@@ -1,0 +1,468 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`), plus ablation
+// benches for the design choices DESIGN.md calls out and
+// micro-benchmarks of the hot substrate paths.
+//
+// Figure/table benches execute the corresponding experiment at reduced
+// scale and report the headline quantity as a custom metric, so a bench
+// run regenerates the paper's rows/series shape alongside timing.
+package memcon
+
+import (
+	"testing"
+
+	"memcon/internal/core"
+	"memcon/internal/costmodel"
+	"memcon/internal/ddr3"
+	"memcon/internal/dram"
+	"memcon/internal/ecc"
+	"memcon/internal/experiments"
+	"memcon/internal/faults"
+	"memcon/internal/memctrl"
+	"memcon/internal/pril"
+	"memcon/internal/softmc"
+	"memcon/internal/trace"
+	"memcon/internal/workload"
+)
+
+// benchOpts keeps per-iteration cost bounded while preserving the
+// statistical shape of each experiment.
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: 0.05, Seed: 42, SimTimeNs: 200_000, Mixes: 4}
+}
+
+func runExperiment(b *testing.B, id string) interface{ String() string } {
+	b.Helper()
+	var out interface{ String() string }
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = res
+	}
+	return out
+}
+
+func BenchmarkFig3PatternSensitivity(b *testing.B) {
+	out := runExperiment(b, "fig3").(*experiments.Fig3Result)
+	b.ReportMetric(float64(out.UniqueCells), "failing-cells")
+	b.ReportMetric(float64(out.ConditionalCells), "conditional-cells")
+}
+
+func BenchmarkFig4ContentFailures(b *testing.B) {
+	out := runExperiment(b, "fig4").(*experiments.Fig4Result)
+	b.ReportMetric(100*out.AllFail, "allfail-%rows")
+	b.ReportMetric(out.RatioMin, "ratio-min")
+	b.ReportMetric(out.RatioMax, "ratio-max")
+}
+
+func BenchmarkFig6MinWriteInterval(b *testing.B) {
+	out := runExperiment(b, "fig6").(*experiments.Fig6Result)
+	b.ReportMetric(float64(out.Configs[0].MinWriteInterval)/1e6, "readcmp-mwi-ms")
+	b.ReportMetric(float64(out.Configs[1].MinWriteInterval)/1e6, "copycmp-mwi-ms")
+}
+
+func BenchmarkFig7IntervalDistribution(b *testing.B) {
+	out := runExperiment(b, "fig7").(*experiments.Fig7Result)
+	b.ReportMetric(100*out.Apps[0].Under1ms, "under1ms-%")
+}
+
+func BenchmarkFig8ParetoFit(b *testing.B) {
+	out := runExperiment(b, "fig8").(*experiments.Fig8Result)
+	b.ReportMetric(out.Apps[0].Fit.R2, "r2")
+	b.ReportMetric(out.Apps[0].Fit.Dist.Alpha, "alpha")
+}
+
+func BenchmarkFig9LongIntervalTime(b *testing.B) {
+	out := runExperiment(b, "fig9").(*experiments.Fig9Result)
+	b.ReportMetric(100*out.Average, "long-time-%")
+}
+
+func BenchmarkFig11RILvsCIL(b *testing.B) {
+	out := runExperiment(b, "fig11").(*experiments.Fig11Result)
+	// Report the average conditional at CIL 1024 ms across apps.
+	var sum float64
+	idx := 0
+	for i, c := range out.CILs {
+		if c == 1024 {
+			idx = i
+		}
+	}
+	for a := range out.Apps {
+		sum += out.P[a][idx]
+	}
+	b.ReportMetric(sum/float64(len(out.Apps)), "p-ril-at-1024")
+}
+
+func BenchmarkFig12Coverage(b *testing.B) {
+	out := runExperiment(b, "fig12").(*experiments.Fig12Result)
+	var sum float64
+	idx := 0
+	for i, c := range out.CILs {
+		if c == 1024 {
+			idx = i
+		}
+	}
+	for a := range out.Apps {
+		sum += out.Coverage[a][idx]
+	}
+	b.ReportMetric(100*sum/float64(len(out.Apps)), "coverage-%-at-1024")
+}
+
+func BenchmarkFig14RefreshReduction(b *testing.B) {
+	out := runExperiment(b, "fig14").(*experiments.Fig14Result)
+	b.ReportMetric(100*out.AvgAt1024, "avg-reduction-%")
+	b.ReportMetric(100*out.MinAt1024, "min-reduction-%")
+	b.ReportMetric(100*out.MaxAt1024, "max-reduction-%")
+}
+
+func BenchmarkFig15Speedup(b *testing.B) {
+	out := runExperiment(b, "fig15").(*experiments.Fig15Result)
+	b.ReportMetric(out.Speedup(1, dram.Density32Gb, 0.75), "1core-32gb-75pct")
+	b.ReportMetric(out.Speedup(4, dram.Density32Gb, 0.75), "4core-32gb-75pct")
+	b.ReportMetric(out.Speedup(1, dram.Density8Gb, 0.60), "1core-8gb-60pct")
+}
+
+func BenchmarkTable3TestOverhead(b *testing.B) {
+	out := runExperiment(b, "table3").(*experiments.Table3Result)
+	b.ReportMetric(100*out.Loss(1, 1024), "1core-1024tests-loss-%")
+	b.ReportMetric(100*out.Loss(4, 1024), "4core-1024tests-loss-%")
+}
+
+func BenchmarkFig16RefreshPolicies(b *testing.B) {
+	out := runExperiment(b, "fig16").(*experiments.Fig16Result)
+	b.ReportMetric(out.Speedup(1, dram.Density32Gb, "MEMCON"), "memcon-1core-32gb")
+	b.ReportMetric(out.Speedup(1, dram.Density32Gb, "RAIDR"), "raidr-1core-32gb")
+	b.ReportMetric(out.Speedup(1, dram.Density32Gb, "64ms"), "ideal-1core-32gb")
+}
+
+func BenchmarkFig17LoRefCoverage(b *testing.B) {
+	out := runExperiment(b, "fig17").(*experiments.Fig17Result)
+	b.ReportMetric(100*out.AvgAt1024, "coverage-%")
+}
+
+func BenchmarkFig18TestingTime(b *testing.B) {
+	out := runExperiment(b, "fig18").(*experiments.Fig18Result)
+	b.ReportMetric(100*out.AvgTestingShare, "testing-share-%")
+}
+
+func BenchmarkFig19HalvedIntervals(b *testing.B) {
+	out := runExperiment(b, "fig19").(*experiments.Fig19Result)
+	b.ReportMetric(out.Full[1]-out.Half[1], "delta-p-at-1024")
+}
+
+func BenchmarkCostModel(b *testing.B) {
+	cfg := costmodel.DefaultConfig()
+	var mwi dram.Nanoseconds
+	for i := 0; i < b.N; i++ {
+		var err error
+		mwi, err = cfg.MinWriteInterval()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(mwi)/1e6, "mwi-ms")
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---
+
+// benchTrace builds one reusable workload trace.
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	app, err := workload.AppByName("Netflix")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return app.Generate(42, 0.05)
+}
+
+// AblationQuantum: quantum (CIL) choice 512/1024/2048 ms.
+func BenchmarkAblationQuantum(b *testing.B) {
+	tr := benchTrace(b)
+	for _, q := range []trace.Microseconds{512, 1024, 2048} {
+		q := q
+		b.Run(formatMs(q), func(b *testing.B) {
+			var rep core.Report
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				cfg.Quantum = q * trace.Millisecond
+				var err error
+				rep, err = core.Run(tr, cfg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*rep.RefreshReduction(), "reduction-%")
+		})
+	}
+}
+
+// AblationTestMode: Read-and-Compare vs Copy-and-Compare.
+func BenchmarkAblationTestMode(b *testing.B) {
+	tr := benchTrace(b)
+	for _, mode := range []costmodel.TestMode{costmodel.ReadCompare, costmodel.CopyCompare} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			var rep core.Report
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				cfg.Mode = mode
+				var err error
+				rep, err = core.Run(tr, cfg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.MinWriteInterval)/1e6, "mwi-ms")
+			b.ReportMetric(rep.TestingTimeNs()/1e3, "testing-us")
+		})
+	}
+}
+
+// AblationBufferCap: PRIL write-buffer capacity (overflow -> HI-REF).
+func BenchmarkAblationBufferCap(b *testing.B) {
+	tr := benchTrace(b)
+	for _, cap := range []int{0, 4000, 64, 8} {
+		cap := cap
+		b.Run(capName(cap), func(b *testing.B) {
+			var rep core.Report
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				cfg.BufferCap = cap
+				var err error
+				rep, err = core.Run(tr, cfg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*rep.RefreshReduction(), "reduction-%")
+			b.ReportMetric(float64(rep.Pril.Discards), "discards")
+		})
+	}
+}
+
+// AblationLoRef: LO-REF interval 64/128/256 ms (longer windows amortize
+// faster but risk more failures per window).
+func BenchmarkAblationLoRef(b *testing.B) {
+	tr := benchTrace(b)
+	for _, lo := range []dram.Nanoseconds{64, 128, 256} {
+		lo := lo
+		b.Run(formatMs(trace.Microseconds(lo)), func(b *testing.B) {
+			var rep core.Report
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				cfg.LoRef = lo * dram.Millisecond
+				var err error
+				rep, err = core.Run(tr, cfg, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(100*rep.RefreshReduction(), "reduction-%")
+			b.ReportMetric(float64(rep.MinWriteInterval)/1e6, "mwi-ms")
+		})
+	}
+}
+
+func formatMs(v trace.Microseconds) string {
+	switch v {
+	case 512:
+		return "512ms"
+	case 1024:
+		return "1024ms"
+	case 2048:
+		return "2048ms"
+	case 64:
+		return "64ms"
+	case 128:
+		return "128ms"
+	case 256:
+		return "256ms"
+	default:
+		return "custom"
+	}
+}
+
+func capName(c int) string {
+	switch c {
+	case 0:
+		return "unbounded"
+	case 4000:
+		return "paper-4000"
+	case 64:
+		return "tiny-64"
+	case 8:
+		return "starved-8"
+	default:
+		return "custom"
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkPRILObserve(b *testing.B) {
+	tr := benchTrace(b)
+	cfg := pril.Config{Quantum: 1024 * trace.Millisecond, NumPages: tr.MaxPage() + 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pril.Run(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Events)), "events/op")
+}
+
+func BenchmarkFaultEvaluation(b *testing.B) {
+	geom := dram.Geometry{Ranks: 1, ChipsPerRank: 1, BanksPerChip: 1, RowsPerBank: 1024, ColsPerRow: 1024, RedundantCols: 16}
+	scr := dram.NewScrambler(geom, 1, nil)
+	model, err := faults.NewModel(geom, scr, 1, faults.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := dram.NewModule(geom)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model.Preload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.FailingCells(mod, dram.RowAddress{Bank: 0, Row: i % geom.RowsPerBank}, faults.CharacterizationIdle)
+	}
+}
+
+func BenchmarkSoftMCPatternRun(b *testing.B) {
+	geom := dram.Geometry{Ranks: 1, ChipsPerRank: 1, BanksPerChip: 1, RowsPerBank: 256, ColsPerRow: 512, RedundantCols: 16}
+	for i := 0; i < b.N; i++ {
+		scr := dram.NewScrambler(geom, 1, nil)
+		model, err := faults.NewModel(geom, scr, 1, faults.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mod, err := dram.NewModule(geom)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tester, err := softmc.NewTester(mod, model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tester.RunPattern(softmc.CheckerboardPattern(0), faults.CharacterizationIdle); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemctrlAccess(b *testing.B) {
+	cfg := memctrl.DefaultConfig()
+	ctrl, err := memctrl.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	at := dram.Nanoseconds(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctrl.Access(at, i%8, i, i%3 == 0); err != nil {
+			b.Fatal(err)
+		}
+		at += 50
+	}
+}
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	app, err := workload.AppByName("BlurMotion")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tr := app.Generate(int64(i), 0.05)
+		if len(tr.Events) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// --- Benches for extension substrates ---
+
+func BenchmarkECCEncodeRow(b *testing.B) {
+	row := dram.NewRow(8192)
+	for i := range row {
+		row[i] = uint64(i) * 0x9E3779B9
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		code := ecc.EncodeRow(row)
+		if len(code) == 0 {
+			b.Fatal("empty code")
+		}
+	}
+	b.SetBytes(int64(len(row) * 8))
+}
+
+func BenchmarkECCVerifyRow(b *testing.B) {
+	row := dram.NewRow(8192)
+	for i := range row {
+		row[i] = uint64(i) * 0x9E3779B9
+	}
+	code := ecc.EncodeRow(row)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := ecc.VerifyRow(row, code)
+		if err != nil || !v.Clean() {
+			b.Fatal("verify failed")
+		}
+	}
+	b.SetBytes(int64(len(row) * 8))
+}
+
+func BenchmarkDDR3CommandSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := ddr3.DefaultConfig()
+		ctrl, err := ddr3.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		at := dram.Nanoseconds(0)
+		for r := 0; r < 1000; r++ {
+			at += 60
+			if err := ctrl.Enqueue(ddr3.Request{ID: r, Arrival: at, Bank: r % 8, Row: r % 16, Write: r%4 == 0}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if len(ctrl.Drain()) != 1000 {
+			b.Fatal("lost requests")
+		}
+	}
+	b.ReportMetric(1000, "requests/op")
+}
+
+func BenchmarkBitmapPRIL(b *testing.B) {
+	tr := benchTrace(b)
+	cfg := pril.Config{Quantum: 1024 * trace.Millisecond, NumPages: tr.MaxPage() + 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pril.RunBitmap(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Events)), "events/op")
+}
+
+func BenchmarkTraceCompactEncode(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf countingWriter
+		if err := tr.WriteCompact(&buf); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(buf.n)
+	}
+}
+
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}

@@ -1,0 +1,162 @@
+// Command dramtest is the SoftMC-style chip characterization tool: it
+// builds a simulated DRAM chip, fills it with a data pattern or a SPEC
+// benchmark's content image, keeps it idle for a refresh interval, and
+// reports the data-dependent failures observed on read-back.
+//
+// Usage:
+//
+//	dramtest -pattern checker-0 [-idle 328] [-seed 42] [-rows 4096]
+//	dramtest -content mcf [-idle 328]
+//	dramtest -allfail [-idle 328]
+//	dramtest -profile [-rounds 2] [-guardband 1.25]
+//	dramtest -patterns        # list pattern names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"memcon/internal/dram"
+	"memcon/internal/faults"
+	"memcon/internal/profiler"
+	"memcon/internal/softmc"
+	"memcon/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "dramtest: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against the given arguments and output stream.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dramtest", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		patterns = fs.Bool("patterns", false, "list available data patterns")
+		pattern  = fs.String("pattern", "", "data pattern to test with")
+		content  = fs.String("content", "", "SPEC benchmark content to test with")
+		allfail  = fs.Bool("allfail", false, "report worst-case (any-pattern) failing rows")
+		profile  = fs.Bool("profile", false, "run a RAIDR/REAPER-style profiling campaign and report escapes")
+		rounds   = fs.Int("rounds", 2, "profiling rounds (with -profile)")
+		guard    = fs.Float64("guardband", 1.25, "profiling idle-time guardband (with -profile)")
+		idleMs   = fs.Int64("idle", 328, "idle time in ms (328 ms = paper's 4 s at 45C)")
+		seed     = fs.Int64("seed", 42, "chip seed")
+		rows     = fs.Int("rows", 4096, "rows per bank")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *patterns {
+		for _, p := range softmc.StandardPatterns(100) {
+			fmt.Fprintln(out, p.Name)
+		}
+		return nil
+	}
+
+	geom := dram.DefaultGeometry()
+	geom.RowsPerBank = *rows
+	tester, model, err := buildChip(geom, uint64(*seed))
+	if err != nil {
+		return err
+	}
+	idle := dram.Nanoseconds(*idleMs) * dram.Millisecond
+
+	switch {
+	case *profile:
+		cfg := profiler.DefaultConfig()
+		cfg.Rounds = *rounds
+		cfg.Guardband = *guard
+		cfg.TargetIdle = idle
+		p, err := profiler.Run(tester, geom, cfg)
+		if err != nil {
+			return err
+		}
+		rep := profiler.Escapes(p, model, idle)
+		fmt.Fprintf(out, "profile: %d runs at %d ms idle (guardband %.2f)\n",
+			p.Runs, p.IdleUsed/dram.Millisecond, *guard)
+		fmt.Fprintf(out, "  flagged weak rows: %d (%.2f%% of module)\n", rep.ProfiledRows, 100*p.WeakRowFraction())
+		fmt.Fprintf(out, "  ground truth:      %d weak rows\n", rep.TrueWeakRows)
+		fmt.Fprintf(out, "  ESCAPES:           %d (%.1f%% of truly weak rows)\n", rep.Escapes, 100*rep.EscapeRate())
+		fmt.Fprintf(out, "  false alarms:      %d\n", rep.FalseAlarms)
+		return nil
+	case *allfail:
+		frac := tester.AllFailFraction(idle)
+		fmt.Fprintf(out, "rows failing under ANY pattern at %d ms idle: %.2f%%\n", *idleMs, 100*frac)
+		return nil
+	case *pattern != "":
+		p, err := findPattern(*pattern)
+		if err != nil {
+			return err
+		}
+		fails, err := tester.RunPattern(p, idle)
+		if err != nil {
+			return err
+		}
+		report(out, geom, fails, *idleMs, p.Name)
+		return nil
+	case *content != "":
+		spec, err := workload.ContentByName(*content)
+		if err != nil {
+			return err
+		}
+		img := spec.Image(geom.RowsPerBank, geom.ColsPerRow, 0, *seed)
+		fails, err := tester.RunContent(img, idle)
+		if err != nil {
+			return err
+		}
+		report(out, geom, fails, *idleMs, "content:"+spec.Name)
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("one of -patterns, -pattern, -content, -allfail, or -profile is required")
+	}
+}
+
+func buildChip(geom dram.Geometry, seed uint64) (*softmc.Tester, *faults.Model, error) {
+	scr := dram.NewScrambler(geom, seed, nil)
+	model, err := faults.NewModel(geom, scr, seed, faults.DefaultParams())
+	if err != nil {
+		return nil, nil, err
+	}
+	mod, err := dram.NewModule(geom)
+	if err != nil {
+		return nil, nil, err
+	}
+	tester, err := softmc.NewTester(mod, model)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tester, model, nil
+}
+
+func findPattern(name string) (softmc.Pattern, error) {
+	for _, p := range softmc.StandardPatterns(100) {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return softmc.Pattern{}, fmt.Errorf("unknown pattern %q (see -patterns)", name)
+}
+
+func report(out io.Writer, geom dram.Geometry, fails []softmc.RowFailure, idleMs int64, label string) {
+	cells := 0
+	for _, f := range fails {
+		cells += len(f.Cells)
+	}
+	total := geom.TotalRows()
+	fmt.Fprintf(out, "%s @ %d ms idle: %d failing rows of %d (%.2f%%), %d failing cells\n",
+		label, idleMs, len(fails), total, 100*float64(len(fails))/float64(total), cells)
+	for i, f := range fails {
+		if i >= 10 {
+			fmt.Fprintf(out, "  ... %d more rows\n", len(fails)-10)
+			break
+		}
+		fmt.Fprintf(out, "  bank %d row %5d: %d cells %v\n", f.Addr.Bank, f.Addr.Row, len(f.Cells), f.Cells)
+	}
+}

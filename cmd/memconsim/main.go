@@ -1,0 +1,95 @@
+// Command memconsim regenerates the MEMCON paper's evaluation artifacts.
+// Each table and figure of the evaluation is an experiment id; running
+// an id prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	memconsim -list
+//	memconsim -exp fig14 [-scale 0.5] [-seed 42]
+//	memconsim -all [-scale 0.2]
+//
+// Performance experiments (fig15, fig16, table3) additionally honour
+// -simtime and -mixes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"memcon/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "memconsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against the given arguments and output stream.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("memconsim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		list    = fs.Bool("list", false, "list available experiments")
+		exp     = fs.String("exp", "", "experiment id to run (see -list)")
+		all     = fs.Bool("all", false, "run every experiment")
+		scale   = fs.Float64("scale", 1.0, "workload scale in (0,1]")
+		seed    = fs.Int64("seed", 42, "random seed")
+		simtime = fs.Int64("simtime", 500_000, "performance-simulation time per run (ns)")
+		mixes   = fs.Int("mixes", 30, "multiprogrammed mixes for performance runs")
+		csvOut  = fs.Bool("csv", false, "emit CSV instead of the text table (series experiments)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.Options{Scale: *scale, Seed: *seed, SimTimeNs: *simtime, Mixes: *mixes}
+
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			desc, err := experiments.Describe(id)
+			if err != nil {
+				return fmt.Errorf("describing %s: %w", id, err)
+			}
+			fmt.Fprintf(out, "%-10s %s\n", id, desc)
+		}
+		return nil
+	case *all:
+		for _, id := range experiments.IDs() {
+			if err := runOne(out, id, opts, *csvOut); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *exp != "":
+		return runOne(out, *exp, opts, *csvOut)
+	default:
+		fs.Usage()
+		return fmt.Errorf("one of -list, -exp, or -all is required")
+	}
+}
+
+func runOne(out io.Writer, id string, opts experiments.Options, asCSV bool) error {
+	res, err := experiments.Run(id, opts)
+	if err != nil {
+		return fmt.Errorf("running %s: %w", id, err)
+	}
+	if asCSV {
+		c, ok := res.(experiments.CSVer)
+		if !ok {
+			return fmt.Errorf("experiment %s has no CSV form (use the text output)", id)
+		}
+		text, err := experiments.CSV(c)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, text)
+		return nil
+	}
+	fmt.Fprintf(out, "==== %s ====\n%s\n", id, res)
+	return nil
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig14", "fig6", "table3", "minwi", "vrt", "motiv"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("listing missing %q", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "minwi"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1068 ns") {
+		t.Errorf("appendix output missing costs:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "fig99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunNoArguments(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("empty invocation should error with usage")
+	}
+	if !strings.Contains(out.String(), "-exp") {
+		t.Error("usage not printed")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunScaledExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "fig6", "-scale", "0.05"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "560 ms") {
+		t.Errorf("fig6 output missing MinWriteInterval:\n%s", out.String())
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "fig6", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "time_ms,hiref_ns,memcon_ns") {
+		t.Errorf("csv output wrong header:\n%s", out.String())
+	}
+	// Experiments without a CSV form report a clear error.
+	if err := run([]string{"-exp", "minwi", "-csv"}, &out); err == nil {
+		t.Error("csv for non-series experiment accepted")
+	}
+}

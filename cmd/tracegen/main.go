@@ -1,0 +1,119 @@
+// Command tracegen generates and inspects MEMCON write traces.
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen -app Netflix -out netflix.trace [-scale 1.0] [-seed 1] [-compact] [-reads]
+//	tracegen -inspect netflix.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"memcon/internal/stats"
+	"memcon/internal/trace"
+	"memcon/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI against the given arguments and output stream.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		list    = fs.Bool("list", false, "list available applications")
+		app     = fs.String("app", "", "application to generate")
+		outPath = fs.String("out", "", "output trace file")
+		inspect = fs.String("inspect", "", "trace file to inspect")
+		scale   = fs.Float64("scale", 1.0, "page-count scale in (0,1]")
+		seed    = fs.Int64("seed", 1, "random seed")
+		compact = fs.Bool("compact", false, "write the delta/varint v2 format")
+		reads   = fs.Bool("reads", false, "generate the READ trace instead of writes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *list:
+		for _, a := range workload.Apps() {
+			fmt.Fprintf(out, "%-16s %-18s %6.1f s  %4.1f GB  %d pages\n",
+				a.Name, a.Type, a.DurationSec, a.MemGB, a.Pages)
+		}
+		return nil
+	case *app != "":
+		spec, err := workload.AppByName(*app)
+		if err != nil {
+			return err
+		}
+		var tr *trace.Trace
+		if *reads {
+			tr = spec.GenerateReads(*seed, *scale)
+		} else {
+			tr = spec.Generate(*seed, *scale)
+		}
+		if *outPath == "" {
+			return fmt.Errorf("-out is required with -app")
+		}
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", *outPath, err)
+		}
+		defer f.Close()
+		if *compact {
+			err = tr.WriteCompact(f)
+		} else {
+			err = tr.Write(f)
+		}
+		if err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Fprintf(out, "wrote %s: %d events, %d pages, %.1f s\n",
+			*outPath, len(tr.Events), tr.Pages(), float64(tr.Duration)/float64(trace.Second))
+		return nil
+	case *inspect != "":
+		f, err := os.Open(*inspect)
+		if err != nil {
+			return fmt.Errorf("opening %s: %w", *inspect, err)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			// Fall back to the compact v2 format.
+			if _, serr := f.Seek(0, 0); serr != nil {
+				return fmt.Errorf("rewinding %s: %w", *inspect, serr)
+			}
+			tr, err = trace.ReadCompact(f)
+			if err != nil {
+				return fmt.Errorf("reading trace (both formats): %w", err)
+			}
+		}
+		describe(out, tr)
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("one of -list, -app, or -inspect is required")
+	}
+}
+
+func describe(out io.Writer, tr *trace.Trace) {
+	fmt.Fprintf(out, "trace %q: %d events, %d pages, %.1f s\n",
+		tr.Name, len(tr.Events), tr.Pages(), float64(tr.Duration)/float64(trace.Second))
+	h := stats.NewLogHistogram(1, 16)
+	for _, iv := range tr.Intervals(true) {
+		h.Add(iv)
+	}
+	fmt.Fprintln(out, "\nwrite-interval distribution (ms buckets):")
+	fmt.Fprint(out, h.String())
+	fmt.Fprintf(out, "\nintervals >= 1024 ms: %.3f%% of count, %.1f%% of time\n",
+		100*h.FractionAtOrAbove(1024), 100*h.WeightFractionAtOrAbove(1024))
+}

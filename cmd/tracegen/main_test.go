@@ -1,0 +1,71 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Netflix") {
+		t.Error("listing missing applications")
+	}
+}
+
+func TestGenerateAndInspectV1(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	var out strings.Builder
+	if err := run([]string{"-app", "BlurMotion", "-scale", "0.02", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Error("generation output missing")
+	}
+	out.Reset()
+	if err := run([]string{"-inspect", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BlurMotion") {
+		t.Errorf("inspection missing trace name:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "write-interval distribution") {
+		t.Error("inspection missing histogram")
+	}
+}
+
+func TestGenerateAndInspectCompactReads(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.trace")
+	var out strings.Builder
+	if err := run([]string{"-app", "BlurMotion", "-scale", "0.02", "-reads", "-compact", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-inspect", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BlurMotion-reads") {
+		t.Errorf("compact read trace not inspectable:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "NoSuchApp", "-out", "/tmp/x"}, &out); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run([]string{"-app", "Netflix"}, &out); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run([]string{"-inspect", "/nonexistent/file"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(nil, &out); err == nil {
+		t.Error("empty invocation accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package memcon_test
+
+import (
+	"fmt"
+
+	"memcon"
+	"memcon/internal/trace"
+)
+
+// The minimal MEMCON flow: feed a write trace to the engine and read
+// the refresh savings.
+func ExampleRun() {
+	tr := &memcon.Trace{
+		Name:     "demo",
+		Duration: 20 * 1024 * trace.Millisecond, // 20 quanta
+		Events:   []memcon.Event{{Page: 0, At: 0}},
+	}
+	rep, err := memcon.Run(tr, memcon.DefaultConfig(), nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tests: %d, reduction: %.0f%% of upper bound %.0f%%\n",
+		rep.TestsCompleted,
+		100*rep.RefreshReduction()/rep.UpperBoundReduction()*rep.UpperBoundReduction(),
+		100*rep.UpperBoundReduction())
+	// Output: tests: 1, reduction: 67% of upper bound 75%
+}
+
+// MinWriteInterval exposes the paper's central cost-model result.
+func ExampleMinWriteInterval() {
+	fmt.Printf("%d ms\n", memcon.MinWriteInterval()/1_000_000)
+	// Output: 560 ms
+}
+
+// Experiments regenerate the paper's tables and figures by id.
+func ExampleExperiment() {
+	out, err := memcon.Experiment("minwi", memcon.ExperimentOptions{})
+	if err != nil {
+		panic(err)
+	}
+	_ = out // a fmt.Stringer holding the appendix table
+	fmt.Println("ok")
+	// Output: ok
+}

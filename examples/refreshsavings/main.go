@@ -1,0 +1,52 @@
+// Refresh-savings study: sweep MEMCON's quantum length (the PRIL
+// current-interval-length threshold) and the LO-REF interval over a
+// streaming-video workload, printing the refresh reduction and testing
+// overhead for each point — the §6.1 analysis as a library consumer
+// would run it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memcon"
+	"memcon/internal/dram"
+	"memcon/internal/trace"
+)
+
+func main() {
+	app, err := memcon.AppByName("MotionPlayBack")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := app.Generate(7, 0.25)
+	fmt.Printf("workload %s: %d write-backs, %d pages\n\n", tr.Name, len(tr.Events), tr.Pages())
+
+	fmt.Println("quantum sweep (LO-REF 64 ms):")
+	fmt.Printf("%12s %12s %12s %14s %14s\n", "quantum", "reduction", "coverage", "tests", "mispredicted")
+	for _, quantumMs := range []int64{512, 1024, 2048, 4096} {
+		cfg := memcon.DefaultConfig()
+		cfg.Quantum = trace.Microseconds(quantumMs) * trace.Millisecond
+		rep, err := memcon.Run(tr, cfg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d ms %11.1f%% %11.1f%% %14d %14d\n",
+			quantumMs, 100*rep.RefreshReduction(), 100*rep.LoRefCoverage(),
+			rep.TestsCompleted, rep.MispredictedTests)
+	}
+
+	fmt.Println("\nLO-REF sweep (quantum 1024 ms):")
+	fmt.Printf("%12s %12s %16s %12s\n", "LO-REF", "reduction", "upper bound", "MWI")
+	for _, loMs := range []dram.Nanoseconds{64, 128, 256} {
+		cfg := memcon.DefaultConfig()
+		cfg.LoRef = loMs * dram.Millisecond
+		rep, err := memcon.Run(tr, cfg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d ms %11.1f%% %15.1f%% %9d ms\n",
+			loMs, 100*rep.RefreshReduction(), 100*rep.UpperBoundReduction(),
+			rep.MinWriteInterval/dram.Millisecond)
+	}
+}

@@ -1,0 +1,53 @@
+// Write-interval analysis: reproduce the paper's Section 4.1 analysis on
+// a generated trace — interval distribution, Pareto tail fit, the
+// decreasing-hazard-rate conditionals PRIL exploits, and the
+// accuracy/coverage tradeoff of choosing a current-interval-length
+// threshold.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memcon"
+	"memcon/internal/pareto"
+	"memcon/internal/stats"
+)
+
+func main() {
+	app, err := memcon.AppByName("SystemMgt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := app.Generate(11, 0.3)
+	intervals := tr.Intervals(true)
+	fmt.Printf("workload %s: %d write intervals across %d pages\n\n",
+		tr.Name, len(intervals), tr.Pages())
+
+	// Distribution (Fig. 7 style).
+	h := stats.NewLogHistogram(1, 16)
+	for _, iv := range intervals {
+		h.Add(iv)
+	}
+	fmt.Println("interval distribution (ms buckets):")
+	fmt.Print(h.String())
+	fmt.Printf("\n>=1024 ms intervals: %.2f%% of count but %.1f%% of time\n",
+		100*h.FractionAtOrAbove(1024), 100*h.WeightFractionAtOrAbove(1024))
+
+	// Pareto tail fit (Fig. 8 style).
+	fit, err := pareto.FitCCDFTail(intervals, nil, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nPareto tail fit: alpha=%.2f xm=%.0f ms R^2=%.3f\n",
+		fit.Dist.Alpha, fit.Dist.Xm, fit.R2)
+
+	// Decreasing hazard rate (Fig. 11 style) and coverage (Fig. 12).
+	fmt.Println("\nPRIL's bet — the longer a page has been idle, the longer it will stay idle:")
+	fmt.Printf("%12s %22s %12s\n", "CIL (ms)", "P(RIL > 1024 ms)", "coverage")
+	for _, cil := range []float64{1, 16, 256, 512, 1024, 2048, 8192, 32768} {
+		p := pareto.ConditionalExceedEmpirical(intervals, cil, 1024)
+		cov := pareto.CoverageAtCIL(intervals, cil)
+		fmt.Printf("%12.0f %22.2f %11.1f%%\n", cil, p, 100*cov)
+	}
+}

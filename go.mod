@@ -1,0 +1,3 @@
+module memcon
+
+go 1.22

@@ -1,0 +1,487 @@
+// Package core implements the MEMCON engine — the paper's primary
+// contribution. MEMCON ensures correct DRAM operation against
+// data-dependent failures using only the CURRENT memory content:
+//
+//   - every row starts (and returns on every write) to the aggressive
+//     HI-REF refresh rate, under which no data-dependent failure can
+//     manifest;
+//   - the PRIL predictor watches the write stream and flags pages whose
+//     remaining write interval is predicted long enough to amortize a
+//     test (≥ MinWriteInterval, §3.3);
+//   - a flagged page is tested with its current content: the row is kept
+//     idle for one LO-REF window and read back (Read-and-Compare or
+//     Copy-and-Compare);
+//   - rows that test clean move to LO-REF until their next write; rows
+//     that fail stay at HI-REF (the mitigation).
+//
+// The engine is trace-driven and accounts refresh operations, testing
+// time, LO-REF coverage and prediction accuracy — the §6.1/§6.4
+// quantities. Whether a test passes is delegated to a Tester, so the
+// engine runs both in fast accounting mode (synthetic outcomes) and
+// against the full dram+faults silicon model (see System).
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"memcon/internal/costmodel"
+	"memcon/internal/dram"
+	"memcon/internal/pril"
+	"memcon/internal/trace"
+)
+
+// Tester decides the outcome of a MEMCON online test of a page with its
+// current content. It returns true when the page has no data-dependent
+// failure (row may move to LO-REF).
+type Tester interface {
+	Test(page uint32, at trace.Microseconds) bool
+}
+
+// TesterFunc adapts a function to the Tester interface.
+type TesterFunc func(page uint32, at trace.Microseconds) bool
+
+// Test implements Tester.
+func (f TesterFunc) Test(page uint32, at trace.Microseconds) bool { return f(page, at) }
+
+// AlwaysPass is the accounting-mode tester: every test finds no failure.
+var AlwaysPass Tester = TesterFunc(func(uint32, trace.Microseconds) bool { return true })
+
+// Config parameterizes the engine.
+type Config struct {
+	// Quantum is PRIL's quantum (and therefore the current-interval
+	// length threshold); the paper evaluates 512/1024/2048 ms.
+	Quantum trace.Microseconds
+	// HiRef is the aggressive refresh interval (16 ms).
+	HiRef dram.Nanoseconds
+	// LoRef is the relaxed refresh interval for clean tested rows (64 ms).
+	LoRef dram.Nanoseconds
+	// Mode selects the test mode and with it the per-test cost.
+	Mode costmodel.TestMode
+	// BufferCap bounds PRIL's write buffers (0 = unbounded).
+	BufferCap int
+	// NumPages is the page space; traces are auto-sized when larger.
+	NumPages int
+	// ReadOnlyRows models the rest of the module: rows that hold static
+	// (read-only) content and are never written during the run. MEMCON
+	// tests each once at startup and keeps it at LO-REF thereafter
+	// (§6.1: the LO-REF state applies to rows identified as read-only,
+	// besides rows predicted idle). They widen the refresh-accounting
+	// denominators the way a real module — much larger than a
+	// workload's written footprint — does.
+	ReadOnlyRows int
+}
+
+// DefaultConfig returns the paper's primary configuration: 1024 ms
+// quantum, HI-REF 16 ms, LO-REF 64 ms, Read-and-Compare.
+func DefaultConfig() Config {
+	return Config{
+		Quantum:   1024 * trace.Millisecond,
+		HiRef:     dram.RefreshWindowAggressive,
+		LoRef:     dram.RefreshWindowDefault,
+		Mode:      costmodel.ReadCompare,
+		BufferCap: 0,
+		NumPages:  1,
+	}
+}
+
+// Validate reports an error for unusable configurations.
+func (c Config) Validate() error {
+	if c.Quantum <= 0 {
+		return fmt.Errorf("core: quantum must be positive, got %d", c.Quantum)
+	}
+	if c.HiRef <= 0 || c.LoRef <= c.HiRef {
+		return fmt.Errorf("core: need 0 < HiRef (%d) < LoRef (%d)", c.HiRef, c.LoRef)
+	}
+	if c.NumPages <= 0 {
+		return fmt.Errorf("core: page count must be positive, got %d", c.NumPages)
+	}
+	if c.BufferCap < 0 {
+		return fmt.Errorf("core: buffer capacity cannot be negative, got %d", c.BufferCap)
+	}
+	if c.ReadOnlyRows < 0 {
+		return fmt.Errorf("core: read-only rows cannot be negative, got %d", c.ReadOnlyRows)
+	}
+	return nil
+}
+
+// costConfig builds the cost-model view of this configuration.
+func (c Config) costConfig() costmodel.Config {
+	return costmodel.Config{
+		Timing:        dram.DDR31600(),
+		HiRefInterval: c.HiRef,
+		LoRefInterval: c.LoRef,
+		Mode:          c.Mode,
+	}
+}
+
+// Report is the outcome of one engine run — the §6.1/§6.4 metrics.
+type Report struct {
+	// Duration is the simulated time.
+	Duration trace.Microseconds
+	// Pages is the tracked page count.
+	Pages int
+
+	// RefreshOps is the number of refresh operations MEMCON issued.
+	RefreshOps float64
+	// BaselineOps is the all-rows HI-REF refresh operation count.
+	BaselineOps float64
+	// UpperBoundOps is the all-rows LO-REF count (the 75% floor).
+	UpperBoundOps float64
+
+	// TestsStarted/TestsCompleted/TestsAborted count online tests; a
+	// test aborts when its page is written during the test window.
+	TestsStarted   int64
+	TestsCompleted int64
+	TestsAborted   int64
+	// TestsFailed counts completed tests that found a failure (row kept
+	// at HI-REF).
+	TestsFailed int64
+	// CorrectTests/MispredictedTests split completed tests by whether
+	// the page then stayed idle at least MinWriteInterval.
+	CorrectTests      int64
+	MispredictedTests int64
+
+	// LoRefTime is the page-time spent at LO-REF (µs·pages).
+	LoRefTime float64
+	// TestingTimeNs is the latency spent on test accesses, split by
+	// prediction correctness.
+	TestingTimeCorrectNs float64
+	TestingTimeMispredNs float64
+	TestingTimeAbortedNs float64
+
+	// MinWriteInterval is the amortization threshold used.
+	MinWriteInterval dram.Nanoseconds
+
+	// Pril is the predictor's bookkeeping.
+	Pril pril.Stats
+}
+
+// RefreshReduction returns the fractional refresh reduction vs the
+// HI-REF baseline.
+func (r Report) RefreshReduction() float64 {
+	if r.BaselineOps <= 0 {
+		return 0
+	}
+	return 1 - r.RefreshOps/r.BaselineOps
+}
+
+// UpperBoundReduction returns the best achievable reduction (all rows at
+// LO-REF all the time).
+func (r Report) UpperBoundReduction() float64 {
+	if r.BaselineOps <= 0 {
+		return 0
+	}
+	return 1 - r.UpperBoundOps/r.BaselineOps
+}
+
+// LoRefCoverage returns the fraction of page-time spent at LO-REF —
+// Fig. 17's coverage metric.
+func (r Report) LoRefCoverage() float64 {
+	total := float64(r.Duration) * float64(r.Pages)
+	if total <= 0 {
+		return 0
+	}
+	return r.LoRefTime / total
+}
+
+// TestingTimeNs returns the total testing latency.
+func (r Report) TestingTimeNs() float64 {
+	return r.TestingTimeCorrectNs + r.TestingTimeMispredNs + r.TestingTimeAbortedNs
+}
+
+// BaselineRefreshTimeNs returns the latency the baseline spends on
+// refresh operations (for the Fig. 18 normalization).
+func (r Report) BaselineRefreshTimeNs() float64 {
+	return r.BaselineOps * float64(dram.DDR31600().RefreshCost())
+}
+
+// pendingTest is a scheduled test completion.
+type pendingTest struct {
+	page uint32
+	done trace.Microseconds
+}
+
+type testHeap []pendingTest
+
+func (h testHeap) Len() int            { return len(h) }
+func (h testHeap) Less(i, j int) bool  { return h[i].done < h[j].done }
+func (h testHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *testHeap) Push(x interface{}) { *h = append(*h, x.(pendingTest)) }
+func (h *testHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}
+
+// pageState tracks MEMCON's view of one page/row.
+type pageState struct {
+	// loRef is true while the row runs at the relaxed rate.
+	loRef bool
+	// loSince is when the row entered LO-REF (valid when loRef).
+	loSince trace.Microseconds
+	// testing is true while a test is in flight.
+	testing bool
+	// testedAt is the completion time of the last clean test (for
+	// misprediction accounting); negative when unset.
+	testedAt trace.Microseconds
+}
+
+// Engine is the trace-driven MEMCON engine.
+type Engine struct {
+	cfg      Config
+	tester   Tester
+	pred     *pril.Predictor
+	pages    []pageState
+	tests    testHeap
+	mwi      dram.Nanoseconds
+	testCost dram.Nanoseconds
+	now      trace.Microseconds
+	rep      Report
+}
+
+// NewEngine builds an engine over the configuration and tester. A nil
+// tester means AlwaysPass.
+func NewEngine(cfg Config, tester Tester) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tester == nil {
+		tester = AlwaysPass
+	}
+	mwi, err := cfg.costConfig().MinWriteInterval()
+	if err != nil {
+		return nil, err
+	}
+	pred, err := pril.New(pril.Config{
+		Quantum:   cfg.Quantum,
+		NumPages:  cfg.NumPages,
+		BufferCap: cfg.BufferCap,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		tester:   tester,
+		pred:     pred,
+		pages:    make([]pageState, cfg.NumPages),
+		mwi:      mwi,
+		testCost: cfg.costConfig().TestCost(),
+	}
+	for i := range e.pages {
+		e.pages[i].testedAt = -1
+	}
+	e.rep.Pages = cfg.NumPages
+	e.rep.MinWriteInterval = mwi
+	pred.OnPredict(e.onPredict)
+	return e, nil
+}
+
+// onPredict is invoked by PRIL at quantum boundaries for pages predicted
+// to stay idle: MEMCON initiates a test with the current content. The
+// test occupies one LO-REF window (the row is deliberately kept idle so
+// victims are tested at lowest charge, §3.2).
+func (e *Engine) onPredict(page uint32, at trace.Microseconds) {
+	st := &e.pages[page]
+	if st.testing || st.loRef {
+		return // already under test or already relaxed
+	}
+	st.testing = true
+	e.rep.TestsStarted++
+	done := at + trace.Microseconds(e.cfg.LoRef/dram.Microsecond)
+	heap.Push(&e.tests, pendingTest{page: page, done: done})
+}
+
+// drainTests completes every scheduled test up to time now.
+func (e *Engine) drainTests(now trace.Microseconds) {
+	for len(e.tests) > 0 && e.tests[0].done <= now {
+		t := heap.Pop(&e.tests).(pendingTest)
+		st := &e.pages[t.page]
+		if !st.testing {
+			continue // aborted by an intervening write
+		}
+		st.testing = false
+		e.rep.TestsCompleted++
+		if e.tester.Test(t.page, t.done) {
+			st.loRef = true
+			st.loSince = t.done
+			st.testedAt = t.done
+		} else {
+			e.rep.TestsFailed++
+			// Mitigation: the row stays at HI-REF. The test itself was
+			// still a correct prediction cost-wise if the page stays
+			// idle; count it via testedAt as well.
+			st.testedAt = t.done
+		}
+	}
+}
+
+// Observe processes one write event in time order.
+func (e *Engine) Observe(ev trace.Event) error {
+	if int(ev.Page) >= len(e.pages) {
+		return fmt.Errorf("core: page %d outside configured space of %d", ev.Page, len(e.pages))
+	}
+	if ev.At < e.now {
+		return fmt.Errorf("core: event at %d before engine time %d", ev.At, e.now)
+	}
+	// Advance the predictor to the event time FIRST so that quantum
+	// boundaries (and the predictions they emit) are processed in time
+	// order before this write, then complete any tests that finished
+	// before the write arrived.
+	e.pred.Finish(ev.At)
+	e.drainTests(ev.At)
+	e.now = ev.At
+
+	st := &e.pages[ev.Page]
+	// A write to an in-test row aborts the test: the content changed.
+	if st.testing {
+		st.testing = false
+		e.rep.TestsAborted++
+		e.rep.TestingTimeMispredNs += float64(e.testCost)
+		e.rep.TestingTimeAbortedNs += float64(e.testCost)
+	}
+	// A write to a LO-REF row pulls it back to HI-REF until re-tested.
+	if st.loRef {
+		st.loRef = false
+		e.rep.LoRefTime += float64(ev.At - st.loSince)
+	}
+	// Misprediction accounting for the last completed test.
+	if st.testedAt >= 0 {
+		idleNs := dram.Nanoseconds(ev.At-st.testedAt) * dram.Microsecond
+		if idleNs < e.mwi {
+			e.rep.MispredictedTests++
+			e.rep.TestingTimeMispredNs += float64(e.testCost)
+		} else {
+			e.rep.CorrectTests++
+			e.rep.TestingTimeCorrectNs += float64(e.testCost)
+		}
+		st.testedAt = -1
+	}
+	return e.pred.Observe(ev)
+}
+
+// Retest voids a page's current protection and immediately starts a new
+// test with its current content, without counting a program write. The
+// full-fidelity System calls this for the physical neighbours of a
+// written row (their aggressor content changed, so an earlier clean
+// verdict no longer applies). No-op for pages at HI-REF with no test in
+// flight — they carry no stale verdict to void.
+func (e *Engine) Retest(page uint32, at trace.Microseconds) error {
+	if int(page) >= len(e.pages) {
+		return fmt.Errorf("core: retest page %d outside configured space of %d", page, len(e.pages))
+	}
+	if at < e.now {
+		return fmt.Errorf("core: retest at %d before engine time %d", at, e.now)
+	}
+	st := &e.pages[page]
+	if !st.loRef && !st.testing {
+		st.testedAt = -1
+		return nil
+	}
+	if st.testing {
+		st.testing = false
+		e.rep.TestsAborted++
+		e.rep.TestingTimeAbortedNs += float64(e.testCost)
+	}
+	if st.loRef {
+		st.loRef = false
+		e.rep.LoRefTime += float64(at - st.loSince)
+	}
+	st.testedAt = -1
+	st.testing = true
+	e.rep.TestsStarted++
+	heap.Push(&e.tests, pendingTest{page: page, done: at + trace.Microseconds(e.cfg.LoRef/dram.Microsecond)})
+	return nil
+}
+
+// Run replays a whole trace and returns the report.
+func (e *Engine) Run(tr *trace.Trace) (Report, error) {
+	for _, ev := range tr.Events {
+		if err := e.Observe(ev); err != nil {
+			return Report{}, err
+		}
+	}
+	return e.Finish(tr.Duration)
+}
+
+// Finish flushes predictor quanta and pending tests up to end and
+// produces the final report.
+func (e *Engine) Finish(end trace.Microseconds) (Report, error) {
+	if end < e.now {
+		return Report{}, fmt.Errorf("core: finish time %d before engine time %d", end, e.now)
+	}
+	e.pred.Finish(end)
+	e.drainTests(end)
+	e.now = end
+
+	// Close LO-REF segments and settle outstanding test verdicts: a
+	// page that stayed idle to the end amortized its test.
+	for i := range e.pages {
+		st := &e.pages[i]
+		if st.loRef {
+			e.rep.LoRefTime += float64(end - st.loSince)
+			st.loRef = false
+		}
+		if st.testedAt >= 0 {
+			idleNs := dram.Nanoseconds(end-st.testedAt) * dram.Microsecond
+			if idleNs >= e.mwi {
+				e.rep.CorrectTests++
+				e.rep.TestingTimeCorrectNs += float64(e.testCost)
+			} else {
+				e.rep.MispredictedTests++
+				e.rep.TestingTimeMispredNs += float64(e.testCost)
+			}
+			st.testedAt = -1
+		}
+		if st.testing {
+			// Test still in flight at the end; count it as started but
+			// neither completed nor aborted.
+			st.testing = false
+		}
+	}
+
+	// Fold in the module's read-only rows: each is tested once at
+	// startup (the test occupies the first LO-REF window) and stays at
+	// LO-REF for the remainder of the run.
+	if ro := e.cfg.ReadOnlyRows; ro > 0 {
+		loRefUs := float64(e.cfg.LoRef / dram.Microsecond)
+		roLo := float64(end) - loRefUs
+		if roLo < 0 {
+			roLo = 0
+		}
+		e.rep.LoRefTime += float64(ro) * roLo
+		e.rep.TestsStarted += int64(ro)
+		e.rep.TestsCompleted += int64(ro)
+		e.rep.CorrectTests += int64(ro)
+		e.rep.TestingTimeCorrectNs += float64(ro) * float64(e.testCost)
+	}
+
+	e.rep.Duration = end
+	e.rep.Pages = len(e.pages) + e.cfg.ReadOnlyRows
+	durNs := float64(end) * float64(dram.Microsecond)
+	pages := float64(e.rep.Pages)
+	// Refresh ops: LO-REF page-time at the LO rate, the rest at HI.
+	loNs := e.rep.LoRefTime * float64(dram.Microsecond)
+	hiNs := durNs*pages - loNs
+	e.rep.RefreshOps = hiNs/float64(e.cfg.HiRef) + loNs/float64(e.cfg.LoRef)
+	e.rep.BaselineOps = durNs * pages / float64(e.cfg.HiRef)
+	e.rep.UpperBoundOps = durNs * pages / float64(e.cfg.LoRef)
+	e.rep.Pril = e.pred.Stats()
+	return e.rep, nil
+}
+
+// Run is the batch entry point: it sizes the engine to the trace,
+// replays it, and returns the report.
+func Run(tr *trace.Trace, cfg Config, tester Tester) (Report, error) {
+	if max := tr.MaxPage(); max >= cfg.NumPages {
+		cfg.NumPages = max + 1
+	}
+	e, err := NewEngine(cfg, tester)
+	if err != nil {
+		return Report{}, err
+	}
+	return e.Run(tr)
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"memcon/internal/dram"
+	"memcon/internal/trace"
+)
+
+func TestReadSkipAnalysisBasics(t *testing.T) {
+	// One page, duration 10 windows of 64 ms, reads in windows 0, 1, 5.
+	iv := dram.RefreshWindowDefault
+	ivUs := trace.Microseconds(iv / dram.Microsecond)
+	reads := &trace.Trace{
+		Duration: 10 * ivUs,
+		Events: []trace.Event{
+			{Page: 0, At: 1},
+			{Page: 0, At: ivUs + 5},
+			{Page: 0, At: ivUs + 7}, // same window as the previous read
+			{Page: 0, At: 5*ivUs + 3},
+		},
+	}
+	rep, err := ReadSkipAnalysis(reads, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PagesWithReads != 1 {
+		t.Errorf("pages = %d, want 1", rep.PagesWithReads)
+	}
+	if math.Abs(rep.Scheduled-10) > 1e-9 {
+		t.Errorf("scheduled = %v, want 10", rep.Scheduled)
+	}
+	if rep.Skipped != 3 {
+		t.Errorf("skipped = %v, want 3 (windows 0, 1, 5)", rep.Skipped)
+	}
+	if math.Abs(rep.SkipFraction()-0.3) > 1e-9 {
+		t.Errorf("skip fraction = %v, want 0.3", rep.SkipFraction())
+	}
+}
+
+func TestReadSkipAnalysisErrors(t *testing.T) {
+	if _, err := ReadSkipAnalysis(&trace.Trace{}, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+	bad := &trace.Trace{Events: []trace.Event{{Page: 0, At: 5}, {Page: 0, At: 1}}}
+	if _, err := ReadSkipAnalysis(bad, dram.RefreshWindowDefault); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+func TestReadSkipEmptyTrace(t *testing.T) {
+	rep, err := ReadSkipAnalysis(&trace.Trace{Duration: 1000}, dram.RefreshWindowDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scheduled != 0 || rep.SkipFraction() != 0 {
+		t.Errorf("empty trace report %+v", rep)
+	}
+}
+
+func TestReadSkipDenseReadsSkipEverything(t *testing.T) {
+	iv := dram.RefreshWindowDefault
+	ivUs := trace.Microseconds(iv / dram.Microsecond)
+	reads := &trace.Trace{Duration: 20 * ivUs}
+	for w := trace.Microseconds(0); w < 20; w++ {
+		reads.Events = append(reads.Events, trace.Event{Page: 3, At: w*ivUs + 10})
+	}
+	rep, err := ReadSkipAnalysis(reads, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.SkipFraction()-1.0) > 1e-9 {
+		t.Errorf("dense reads skip fraction = %v, want 1.0", rep.SkipFraction())
+	}
+}
+
+func TestCombinedSavings(t *testing.T) {
+	// MEMCON at 70% reduction plus read-skip covering half the residual
+	// refreshes: total 85%.
+	rep := Report{BaselineOps: 100, RefreshOps: 30}
+	rs := ReadSkipReport{Scheduled: 10, Skipped: 5}
+	got := CombinedSavings(rep, rs)
+	if math.Abs(got-0.85) > 1e-9 {
+		t.Errorf("combined = %v, want 0.85", got)
+	}
+	// No reads: combined equals MEMCON alone.
+	if got := CombinedSavings(rep, ReadSkipReport{}); math.Abs(got-0.7) > 1e-9 {
+		t.Errorf("combined without reads = %v, want 0.7", got)
+	}
+}

@@ -1,0 +1,317 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"memcon/internal/dram"
+	"memcon/internal/faults"
+	"memcon/internal/remap"
+	"memcon/internal/trace"
+)
+
+// ContentSource supplies the data each write stores. Implementations
+// fill dst with the page's new content; the default source randomizes
+// every write.
+type ContentSource interface {
+	Content(page uint32, at trace.Microseconds, dst dram.Row)
+}
+
+// randomContent is the default source: fresh random bits per write.
+type randomContent struct{ rng *rand.Rand }
+
+func (r randomContent) Content(_ uint32, _ trace.Microseconds, dst dram.Row) {
+	dst.Randomize(r.rng)
+}
+
+// RepeatingContent is a content source that rewrites a page's previous
+// content with probability SilentProb — modelling the silent stores the
+// paper's footnote 9 proposes to exploit.
+type RepeatingContent struct {
+	SilentProb float64
+	rng        *rand.Rand
+	last       map[uint32]dram.Row
+}
+
+// NewRepeatingContent builds the source.
+func NewRepeatingContent(silentProb float64, seed int64) *RepeatingContent {
+	return &RepeatingContent{
+		SilentProb: silentProb,
+		rng:        rand.New(rand.NewSource(seed)),
+		last:       make(map[uint32]dram.Row),
+	}
+}
+
+// Content implements ContentSource.
+func (r *RepeatingContent) Content(page uint32, _ trace.Microseconds, dst dram.Row) {
+	if prev, ok := r.last[page]; ok && r.rng.Float64() < r.SilentProb {
+		copy(dst, prev)
+		return
+	}
+	dst.Randomize(r.rng)
+	r.last[page] = dst.Clone()
+}
+
+// System runs the MEMCON engine against the full silicon model: a
+// dram.Module holding real content, a faults.Model deciding which cells
+// flip, and a content source supplying what each write stores. It is the
+// end-to-end fidelity mode used by the examples and the reliability
+// tests; the pure Engine accounting mode is preferred for large
+// parameter sweeps.
+//
+// System maps trace pages onto module rows (page p -> bank p mod B,
+// row p div B) and audits the reliability guarantee: with MEMCON's
+// refresh policy, no data-dependent failure may ever corrupt content
+// silently — rows at LO-REF must have tested clean with their current
+// content.
+type System struct {
+	cfg    Config
+	mod    *dram.Module
+	model  *faults.Model
+	eng    *Engine
+	geom   dram.Geometry
+	rng    *rand.Rand
+	report Report
+
+	// source supplies per-write content; defaults to random bits.
+	source ContentSource
+	// detectSilentWrites enables the footnote-9 optimization: a write
+	// that stores the value already in memory neither invalidates the
+	// row's protection state nor counts as a write for PRIL.
+	detectSilentWrites bool
+	silentWrites       int64
+	// neighborRetest hardens MEMCON against cross-row aggressor
+	// changes: when a row is written, its PHYSICAL neighbours (known
+	// only to the silicon, surfaced as a DRAM-internal adjacency hint)
+	// are immediately re-tested if they held a clean verdict. Without
+	// it, a neighbour tested clean under old content can in principle
+	// fail under the new content — an escape the audit quantifies.
+	neighborRetest bool
+	retests        int64
+
+	// remapPolicy, when set, remaps rows that repeatedly fail tests to
+	// spare rows in a manufacturing-screened reliable region — the third
+	// mitigation of the paper's triad (high refresh / ECC / remapping).
+	// A remapped row runs at LO-REF: its content lives in the reliable
+	// spare.
+	remapPolicy *remap.Policy
+	remapped    map[uint32]bool
+
+	// audit bookkeeping
+	undetected int
+	detected   int
+}
+
+// SetContentSource installs a content source (must be called before
+// Run). A nil source restores the default randomizer.
+func (s *System) SetContentSource(src ContentSource) {
+	if src == nil {
+		src = randomContent{rng: s.rng}
+	}
+	s.source = src
+}
+
+// EnableSilentWriteDetection turns on the footnote-9 optimization.
+func (s *System) EnableSilentWriteDetection() { s.detectSilentWrites = true }
+
+// SilentWrites returns the number of writes recognized as silent.
+func (s *System) SilentWrites() int64 { return s.silentWrites }
+
+// EnableNeighborRetest turns on silicon-assisted neighbour re-testing.
+func (s *System) EnableNeighborRetest() { s.neighborRetest = true }
+
+// EnableRemapMitigation reserves sparesPerBank screened spare rows per
+// bank and remaps any row that fails failThreshold consecutive online
+// tests. Must be called before Run.
+func (s *System) EnableRemapMitigation(sparesPerBank, failThreshold int) error {
+	table, err := remap.New(s.geom, sparesPerBank, 0)
+	if err != nil {
+		return err
+	}
+	policy, err := remap.NewPolicy(table, failThreshold)
+	if err != nil {
+		return err
+	}
+	s.remapPolicy = policy
+	s.remapped = make(map[uint32]bool)
+	return nil
+}
+
+// RemappedRows returns how many rows the remap mitigation redirected.
+func (s *System) RemappedRows() int {
+	if s.remapPolicy == nil {
+		return 0
+	}
+	return s.remapPolicy.Remapped()
+}
+
+// NeighborRetests returns the number of neighbour re-tests initiated.
+func (s *System) NeighborRetests() int64 { return s.retests }
+
+// NewSystem builds a full-fidelity MEMCON system. The module and fault
+// model must share a geometry; pages beyond the module capacity are
+// rejected at run time.
+func NewSystem(cfg Config, mod *dram.Module, model *faults.Model) (*System, error) {
+	if mod.Geometry() != model.Geometry() {
+		return nil, fmt.Errorf("core: module and fault model geometries differ")
+	}
+	if cfg.NumPages < mod.Geometry().TotalRows() {
+		// The engine tracks every module row the trace can touch.
+		cfg.NumPages = mod.Geometry().TotalRows()
+	}
+	s := &System{
+		cfg:   cfg,
+		mod:   mod,
+		model: model,
+		geom:  mod.Geometry(),
+		rng:   rand.New(rand.NewSource(int64(cfg.Quantum) ^ 0x5eed)),
+	}
+	eng, err := NewEngine(cfg, TesterFunc(s.test))
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+	return s, nil
+}
+
+// rowOf maps a trace page to a module row address.
+func (s *System) rowOf(page uint32) (dram.RowAddress, error) {
+	total := s.geom.TotalRows()
+	if int(page) >= total {
+		return dram.RowAddress{}, fmt.Errorf("core: page %d exceeds module capacity of %d rows", page, total)
+	}
+	return s.geom.AddressOfIndex(int(page)), nil
+}
+
+// test implements the engine's Tester against the silicon: the row has
+// been idle for one LO-REF window (the engine schedules completion that
+// way); MEMCON reads it back and compares. Failing cells found by the
+// test have genuinely flipped — the test detects them, MEMCON refreshes
+// the row at HI-REF, and the system (not modelled further here) repairs
+// them from ECC or by notifying software; for the audit they count as
+// detected, never silent.
+func (s *System) test(page uint32, at trace.Microseconds) bool {
+	addr, err := s.rowOf(page)
+	if err != nil {
+		return false
+	}
+	if s.remapped[page] {
+		// Already backed by a screened spare: any content is safe there.
+		s.mod.Activate(addr, nsOf(at))
+		return true
+	}
+	idle := s.cfg.LoRef // the engine kept the row idle one LO-REF window
+	cells := s.model.FailingCells(s.mod, addr, idle)
+	// The read-back recharges the row either way.
+	s.mod.Activate(addr, nsOf(at))
+	if len(cells) > 0 {
+		s.detected += len(cells)
+		if s.remapPolicy != nil {
+			if spare := s.remapPolicy.RecordTest(addr, false); spare != nil {
+				// The row's content now lives in a screened spare row;
+				// it can safely run at LO-REF.
+				s.remapped[page] = true
+				return true
+			}
+		}
+		return false
+	}
+	if s.remapPolicy != nil {
+		s.remapPolicy.RecordTest(addr, true)
+	}
+	return true
+}
+
+func nsOf(at trace.Microseconds) dram.Nanoseconds {
+	return dram.Nanoseconds(at) * dram.Microsecond
+}
+
+// Run replays the trace with real content supplied by the content
+// source (fresh random bits per write by default — program stores
+// change bits and randomness exercises the data-dependence). The
+// reliability audit runs at every write and at the end.
+func (s *System) Run(tr *trace.Trace) (Report, error) {
+	if s.source == nil {
+		s.source = randomContent{rng: s.rng}
+	}
+	buf := dram.NewRow(s.geom.ColsPerRow)
+	for _, ev := range tr.Events {
+		addr, err := s.rowOf(ev.Page)
+		if err != nil {
+			return Report{}, err
+		}
+		// Audit before the content is replaced: did the row silently
+		// lose data under the refresh interval MEMCON assigned?
+		s.auditRow(ev.Page, addr, nsOf(ev.At))
+		s.source.Content(ev.Page, ev.At, buf)
+		if s.detectSilentWrites && buf.Equal(s.mod.RowRef(addr)) {
+			// Footnote 9: the write does not change memory; the row's
+			// protection state stays valid. The access still recharges
+			// the row.
+			s.mod.Activate(addr, nsOf(ev.At))
+			s.silentWrites++
+			continue
+		}
+		if err := s.mod.WriteRow(addr, buf, nsOf(ev.At)); err != nil {
+			return Report{}, err
+		}
+		if err := s.eng.Observe(ev); err != nil {
+			return Report{}, err
+		}
+		if s.neighborRetest {
+			for _, nb := range s.model.NeighborSysRows(addr) {
+				page := uint32(s.geom.RowIndex(nb))
+				if int(page) < len(s.eng.pages) && (s.eng.pages[page].loRef || s.eng.pages[page].testing) {
+					if err := s.eng.Retest(page, ev.At); err != nil {
+						return Report{}, err
+					}
+					s.retests++
+				}
+			}
+		}
+	}
+	rep, err := s.eng.Finish(tr.Duration)
+	if err != nil {
+		return Report{}, err
+	}
+	// Final audit pass over every written row.
+	for p := 0; p < rep.Pages && p < s.geom.TotalRows(); p++ {
+		addr := s.geom.AddressOfIndex(p)
+		s.auditRow(uint32(p), addr, nsOf(tr.Duration))
+	}
+	s.report = rep
+	return rep, nil
+}
+
+// auditRow verifies the reliability guarantee for one row at time now:
+// under MEMCON the row's effective idle exposure is bounded by its
+// assigned refresh interval, so failures can only occur if a cell flips
+// within one refresh window — which the engine only permits at LO-REF
+// after a clean test of the very same content. A flip under those
+// conditions is an undetected failure and breaks the guarantee.
+func (s *System) auditRow(page uint32, addr dram.RowAddress, now dram.Nanoseconds) {
+	if s.remapped[page] {
+		// The row's content lives in a manufacturing-screened spare; the
+		// faulty physical row is out of service.
+		return
+	}
+	interval := s.cfg.HiRef
+	if int(page) < len(s.eng.pages) && s.eng.pages[page].loRef {
+		interval = s.cfg.LoRef
+	}
+	// The row is refreshed every `interval`; its content is therefore
+	// never idle longer than that. If the current content would flip
+	// cells within one interval, MEMCON failed to protect it.
+	if cells := s.model.FailingCells(s.mod, addr, interval); len(cells) > 0 {
+		s.undetected += len(cells)
+	}
+	_ = now
+}
+
+// UndetectedFailures returns the number of audit violations (must be 0
+// for a correct MEMCON).
+func (s *System) UndetectedFailures() int { return s.undetected }
+
+// DetectedFailures returns the number of failing cells MEMCON's online
+// tests caught and mitigated.
+func (s *System) DetectedFailures() int { return s.detected }

@@ -1,0 +1,119 @@
+package costmodel
+
+import (
+	"fmt"
+
+	"memcon/internal/dram"
+)
+
+// The paper's footnote 6 lists mechanisms that would make the
+// Copy-and-Compare mode "significantly faster": performing the copy
+// entirely inside DRAM (RowClone, LISA) and performing the comparison
+// inside DRAM or the logic layer of 3D-stacked memory. This file models
+// those variants so their effect on MinWriteInterval can be quantified —
+// the paper leaves the evaluation as future work; we implement it.
+
+// Accel selects a copy/compare acceleration variant.
+type Accel int
+
+// Acceleration variants.
+const (
+	// NoAccel is the baseline: copies and comparisons move every cache
+	// block through the memory controller.
+	NoAccel Accel = iota
+	// RowCloneCopy performs the row copy inside DRAM: the copy costs
+	// roughly two back-to-back activations instead of a full read plus
+	// write through the channel.
+	RowCloneCopy
+	// InDRAMCompare additionally performs the comparison inside the
+	// DRAM/logic layer: the post-test read-back is replaced by an
+	// in-memory comparison whose result (one bit per row) is returned.
+	InDRAMCompare
+)
+
+// String names the variant.
+func (a Accel) String() string {
+	switch a {
+	case NoAccel:
+		return "baseline"
+	case RowCloneCopy:
+		return "rowclone-copy"
+	case InDRAMCompare:
+		return "in-dram-compare"
+	default:
+		return fmt.Sprintf("Accel(%d)", int(a))
+	}
+}
+
+// AcceleratedTestCost returns the Copy-and-Compare test latency under
+// the given acceleration.
+//
+//   - baseline: 3 row cycles (two reads + one write) = 1602 ns.
+//   - RowClone copy: the initial read+write pair collapses into an
+//     in-DRAM copy of two activations (tRAS + tRAS + tRP); the post-test
+//     read-back through the controller remains (1 row cycle).
+//   - in-DRAM compare: the read-back also collapses; the whole test is
+//     the in-DRAM copy plus an in-DRAM comparison, each about two
+//     activations.
+func AcceleratedTestCost(t dram.Timing, a Accel) (dram.Nanoseconds, error) {
+	inDRAMOp := 2*t.TRAS + t.TRP // two back-to-back activations, then precharge
+	switch a {
+	case NoAccel:
+		return t.CopyCompareCost(), nil
+	case RowCloneCopy:
+		return inDRAMOp + t.RowCycle(), nil
+	case InDRAMCompare:
+		return 2 * inDRAMOp, nil
+	default:
+		return 0, fmt.Errorf("costmodel: unknown acceleration %d", int(a))
+	}
+}
+
+// AcceleratedConfig returns a Copy-and-Compare cost configuration whose
+// test cost reflects the acceleration, for MinWriteInterval analysis.
+type AcceleratedConfig struct {
+	Config
+	Accel    Accel
+	testCost dram.Nanoseconds
+}
+
+// NewAcceleratedConfig builds the configuration.
+func NewAcceleratedConfig(base Config, a Accel) (AcceleratedConfig, error) {
+	base.Mode = CopyCompare
+	if err := base.Validate(); err != nil {
+		return AcceleratedConfig{}, err
+	}
+	cost, err := AcceleratedTestCost(base.Timing, a)
+	if err != nil {
+		return AcceleratedConfig{}, err
+	}
+	return AcceleratedConfig{Config: base, Accel: a, testCost: cost}, nil
+}
+
+// TestCost returns the accelerated test cost.
+func (c AcceleratedConfig) TestCost() dram.Nanoseconds { return c.testCost }
+
+// MemconCost mirrors Config.MemconCost with the accelerated test cost.
+func (c AcceleratedConfig) MemconCost(t dram.Nanoseconds) dram.Nanoseconds {
+	if t < 0 {
+		return 0
+	}
+	refreshes := t/c.LoRefInterval - 1
+	if refreshes < 0 {
+		refreshes = 0
+	}
+	return c.testCost + refreshes*c.Timing.RefreshCost()
+}
+
+// MinWriteInterval returns the amortization crossover under the
+// accelerated test cost.
+func (c AcceleratedConfig) MinWriteInterval() (dram.Nanoseconds, error) {
+	step := c.HiRefInterval
+	limit := dram.Nanoseconds(1) << 40
+	for t := step; t <= limit; t += step {
+		if c.MemconCost(t) <= c.HiRefCost(t) {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("costmodel: no crossover found below %d ns", limit)
+}

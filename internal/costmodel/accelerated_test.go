@@ -1,0 +1,154 @@
+package costmodel
+
+import (
+	"testing"
+
+	"memcon/internal/dram"
+)
+
+func TestAccelString(t *testing.T) {
+	if NoAccel.String() != "baseline" || RowCloneCopy.String() == "" || InDRAMCompare.String() == "" {
+		t.Error("accel names broken")
+	}
+	if Accel(9).String() == "" {
+		t.Error("unknown accel should still stringify")
+	}
+}
+
+func TestAcceleratedTestCostOrdering(t *testing.T) {
+	tm := dram.DDR31600()
+	base, err := AcceleratedTestCost(tm, NoAccel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 1602 {
+		t.Errorf("baseline cost = %d, want 1602", base)
+	}
+	rc, err := AcceleratedTestCost(tm, RowCloneCopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := AcceleratedTestCost(tm, InDRAMCompare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(full < rc && rc < base) {
+		t.Errorf("acceleration ordering broken: in-dram %d, rowclone %d, baseline %d", full, rc, base)
+	}
+	if _, err := AcceleratedTestCost(tm, Accel(42)); err == nil {
+		t.Error("unknown acceleration accepted")
+	}
+}
+
+func TestNewAcceleratedConfigValidates(t *testing.T) {
+	bad := DefaultConfig()
+	bad.LoRefInterval = bad.HiRefInterval
+	if _, err := NewAcceleratedConfig(bad, RowCloneCopy); err == nil {
+		t.Error("invalid base config accepted")
+	}
+	if _, err := NewAcceleratedConfig(DefaultConfig(), Accel(42)); err == nil {
+		t.Error("unknown acceleration accepted")
+	}
+}
+
+// Cheaper tests amortize sooner: MinWriteInterval shrinks monotonically
+// with acceleration, quantifying the paper's footnote-6 claim.
+func TestAcceleratedMinWriteInterval(t *testing.T) {
+	mwis := map[Accel]dram.Nanoseconds{}
+	for _, a := range []Accel{NoAccel, RowCloneCopy, InDRAMCompare} {
+		cfg, err := NewAcceleratedConfig(DefaultConfig(), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mwi, err := cfg.MinWriteInterval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mwis[a] = mwi
+	}
+	if mwis[NoAccel] != 864*dram.Millisecond {
+		t.Errorf("baseline Copy-and-Compare MWI = %d ms, want 864", mwis[NoAccel]/dram.Millisecond)
+	}
+	if !(mwis[InDRAMCompare] <= mwis[RowCloneCopy] && mwis[RowCloneCopy] <= mwis[NoAccel]) {
+		t.Errorf("MWI not monotone in acceleration: %v", mwis)
+	}
+	if mwis[InDRAMCompare] >= 864*dram.Millisecond {
+		t.Error("full acceleration did not improve the crossover at all")
+	}
+}
+
+func TestAcceleratedMemconCostShape(t *testing.T) {
+	cfg, err := NewAcceleratedConfig(DefaultConfig(), RowCloneCopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.MemconCost(-1); got != 0 {
+		t.Errorf("negative time cost = %d", got)
+	}
+	if got := cfg.MemconCost(0); got != cfg.TestCost() {
+		t.Errorf("cost at 0 = %d, want the test cost %d", got, cfg.TestCost())
+	}
+	// One LO-REF window in: still no refresh charged (test window).
+	if got := cfg.MemconCost(64 * dram.Millisecond); got != cfg.TestCost() {
+		t.Errorf("cost at 64ms = %d, want %d", got, cfg.TestCost())
+	}
+	if got := cfg.MemconCost(128 * dram.Millisecond); got != cfg.TestCost()+39 {
+		t.Errorf("cost at 128ms = %d, want %d", got, cfg.TestCost()+39)
+	}
+}
+
+func TestEnergyMinWriteInterval(t *testing.T) {
+	cfg := DefaultConfig()
+	e := DefaultEnergyCosts()
+	latencyMWI, err := cfg.MinWriteInterval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	energyMWI, err := cfg.EnergyMinWriteInterval(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The central finding: the energy crossover lies well beyond the
+	// latency crossover, because a test moves two full rows of data
+	// while a refresh is one internal activate/precharge.
+	if energyMWI <= latencyMWI {
+		t.Errorf("energy MWI %d ms not beyond latency MWI %d ms",
+			energyMWI/dram.Millisecond, latencyMWI/dram.Millisecond)
+	}
+	// Sanity on magnitude: the test energy / per-interval refresh saving
+	// ratio bounds the crossover analytically.
+	testNJ := e.TestEnergyNJ(cfg.Timing, cfg.Mode)
+	perHiWindowSaving := e.RefreshNJ * (1 - float64(cfg.HiRefInterval)/float64(cfg.LoRefInterval))
+	approx := dram.Nanoseconds(testNJ/perHiWindowSaving) * cfg.HiRefInterval
+	if energyMWI < approx/2 || energyMWI > approx*2 {
+		t.Errorf("energy MWI %d ms far from analytic estimate %d ms",
+			energyMWI/dram.Millisecond, approx/dram.Millisecond)
+	}
+}
+
+func TestEnergyMinWriteIntervalErrors(t *testing.T) {
+	bad := DefaultConfig()
+	bad.LoRefInterval = bad.HiRefInterval
+	if _, err := bad.EnergyMinWriteInterval(DefaultEnergyCosts()); err == nil {
+		t.Error("invalid config accepted")
+	}
+	e := DefaultEnergyCosts()
+	e.RefreshNJ = 0
+	if _, err := DefaultConfig().EnergyMinWriteInterval(e); err == nil {
+		t.Error("zero refresh energy accepted")
+	}
+}
+
+func TestTestEnergyByMode(t *testing.T) {
+	e := DefaultEnergyCosts()
+	tm := dram.DDR31600()
+	rc := e.TestEnergyNJ(tm, ReadCompare)
+	cc := e.TestEnergyNJ(tm, CopyCompare)
+	if cc <= rc {
+		t.Errorf("Copy-and-Compare energy %v not above Read-and-Compare %v", cc, rc)
+	}
+	want := 2 * (20 + 128*6.0)
+	if rc != want {
+		t.Errorf("Read-and-Compare energy = %v, want %v", rc, want)
+	}
+}

@@ -1,0 +1,193 @@
+// Package costmodel implements the paper's analytic cost-benefit model
+// of online testing (§3.3, Fig. 6, and the appendix). The cost of a
+// configuration is the accumulated per-row latency it spends on refresh
+// and testing over time:
+//
+//   - HI-REF refreshes a row every HiRefInterval (16 ms) at 39 ns per
+//     refresh (tRAS+tRP).
+//   - MEMCON pays a one-time testing latency (1068 ns Read-and-Compare
+//     or 1602 ns Copy-and-Compare) and then refreshes at the LO-REF
+//     interval (64/128/256 ms).
+//
+// MinWriteInterval is the earliest time at which MEMCON's accumulated
+// cost drops below HI-REF's — the minimum interval between writes to a
+// row that amortizes a test.
+package costmodel
+
+import (
+	"fmt"
+
+	"memcon/internal/dram"
+)
+
+// TestMode selects where the in-test row's content is buffered during a
+// test (§3.3).
+type TestMode int
+
+const (
+	// ReadCompare buffers the row inside the memory controller: two full
+	// row reads (before and after the idle test window).
+	ReadCompare TestMode = iota
+	// CopyCompare copies the row into a reserved DRAM region and keeps
+	// only ECC in the controller: two full row reads plus one row write.
+	CopyCompare
+)
+
+// String returns the paper's name for the mode.
+func (m TestMode) String() string {
+	switch m {
+	case ReadCompare:
+		return "Read and Compare"
+	case CopyCompare:
+		return "Copy and Compare"
+	default:
+		return fmt.Sprintf("TestMode(%d)", int(m))
+	}
+}
+
+// Config parameterizes the cost model.
+type Config struct {
+	// Timing supplies the DRAM latency building blocks.
+	Timing dram.Timing
+	// HiRefInterval is the aggressive (baseline) refresh interval.
+	HiRefInterval dram.Nanoseconds
+	// LoRefInterval is the relaxed refresh interval used after a row
+	// tests clean.
+	LoRefInterval dram.Nanoseconds
+	// Mode selects the test mode.
+	Mode TestMode
+}
+
+// DefaultConfig returns the paper's primary configuration: DDR3-1600,
+// HI-REF 16 ms, LO-REF 64 ms, Read-and-Compare.
+func DefaultConfig() Config {
+	return Config{
+		Timing:        dram.DDR31600(),
+		HiRefInterval: dram.RefreshWindowAggressive,
+		LoRefInterval: dram.RefreshWindowDefault,
+		Mode:          ReadCompare,
+	}
+}
+
+// Validate reports an error for unusable configurations.
+func (c Config) Validate() error {
+	if c.HiRefInterval <= 0 {
+		return fmt.Errorf("costmodel: HI-REF interval must be positive, got %d", c.HiRefInterval)
+	}
+	if c.LoRefInterval <= c.HiRefInterval {
+		return fmt.Errorf("costmodel: LO-REF interval (%d) must exceed HI-REF interval (%d)", c.LoRefInterval, c.HiRefInterval)
+	}
+	if c.Mode != ReadCompare && c.Mode != CopyCompare {
+		return fmt.Errorf("costmodel: unknown test mode %d", c.Mode)
+	}
+	return nil
+}
+
+// TestCost returns the one-time latency of a test in the configured mode.
+func (c Config) TestCost() dram.Nanoseconds {
+	if c.Mode == CopyCompare {
+		return c.Timing.CopyCompareCost()
+	}
+	return c.Timing.ReadCompareCost()
+}
+
+// HiRefCost returns HI-REF's accumulated per-row refresh latency over
+// elapsed time t: one refresh (39 ns) per elapsed HiRefInterval.
+func (c Config) HiRefCost(t dram.Nanoseconds) dram.Nanoseconds {
+	if t < 0 {
+		return 0
+	}
+	return (t / c.HiRefInterval) * c.Timing.RefreshCost()
+}
+
+// MemconCost returns MEMCON's accumulated per-row latency over elapsed
+// time t: the one-time test cost up front, then one refresh per elapsed
+// LoRefInterval starting at 2*LoRefInterval. The first LO-REF window IS
+// the test window — the row is deliberately kept idle through it and the
+// test's final read-back recharges the row — so the first scheduled
+// LO-REF refresh lands one window later. This reproduces the paper's
+// Fig. 6 crossovers exactly (560/864 ms at 64 ms LO-REF, 480/448 ms at
+// 128/256 ms).
+func (c Config) MemconCost(t dram.Nanoseconds) dram.Nanoseconds {
+	if t < 0 {
+		return 0
+	}
+	refreshes := t/c.LoRefInterval - 1
+	if refreshes < 0 {
+		refreshes = 0
+	}
+	return c.TestCost() + refreshes*c.Timing.RefreshCost()
+}
+
+// CurvePoint is one sample of the Fig. 6 accumulated-cost curves.
+type CurvePoint struct {
+	Time   dram.Nanoseconds
+	HiRef  dram.Nanoseconds
+	Memcon dram.Nanoseconds
+}
+
+// Curve samples both accumulated-cost curves from 0 to horizon at the
+// given step, reproducing Fig. 6's series.
+func (c Config) Curve(horizon, step dram.Nanoseconds) []CurvePoint {
+	if step <= 0 {
+		step = c.HiRefInterval
+	}
+	var pts []CurvePoint
+	for t := dram.Nanoseconds(0); t <= horizon; t += step {
+		pts = append(pts, CurvePoint{Time: t, HiRef: c.HiRefCost(t), Memcon: c.MemconCost(t)})
+	}
+	return pts
+}
+
+// MinWriteInterval returns the smallest time t (quantized to the HI-REF
+// interval, the natural resolution of the crossover) at which MEMCON's
+// accumulated cost is at or below HI-REF's. This is the minimum interval
+// between two writes to a row that amortizes the cost of testing.
+func (c Config) MinWriteInterval() (dram.Nanoseconds, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	// The crossover is bounded: per HI-REF interval, HI-REF accrues
+	// RefreshCost while MEMCON accrues at most RefreshCost *
+	// Hi/Lo ratio < RefreshCost, so the gap closes by at least
+	// RefreshCost*(1 - Hi/Lo) per interval. Search stepwise.
+	step := c.HiRefInterval
+	limit := dram.Nanoseconds(1) << 40 // ~18 minutes; far beyond any real crossover
+	for t := step; t <= limit; t += step {
+		if c.MemconCost(t) <= c.HiRefCost(t) {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("costmodel: no crossover found below %d ns", limit)
+}
+
+// Breakdown reports the paper's headline appendix numbers for a timing
+// set, used for documentation and verification.
+type Breakdown struct {
+	RowCycle    dram.Nanoseconds
+	RefreshCost dram.Nanoseconds
+	ReadCompare dram.Nanoseconds
+	CopyCompare dram.Nanoseconds
+}
+
+// Costs returns the latency building blocks of the model.
+func Costs(t dram.Timing) Breakdown {
+	return Breakdown{
+		RowCycle:    t.RowCycle(),
+		RefreshCost: t.RefreshCost(),
+		ReadCompare: t.ReadCompareCost(),
+		CopyCompare: t.CopyCompareCost(),
+	}
+}
+
+// CopyCompareReservedRows computes the storage overhead of the
+// Copy-and-Compare mode: reserving rowsPerBank rows in each of banks
+// banks out of totalRows rows, as a fraction of DRAM capacity. The
+// appendix example (512 rows/bank, 8 banks, 262144 total rows) yields
+// 1.5625%.
+func CopyCompareReservedRows(rowsPerBank, banks, totalRows int) float64 {
+	if totalRows <= 0 {
+		return 0
+	}
+	return float64(rowsPerBank*banks) / float64(totalRows)
+}

@@ -1,0 +1,206 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"memcon/internal/dram"
+)
+
+func TestAppendixCosts(t *testing.T) {
+	b := Costs(dram.DDR31600())
+	if b.RowCycle != 534 {
+		t.Errorf("RowCycle = %d, want 534", b.RowCycle)
+	}
+	if b.RefreshCost != 39 {
+		t.Errorf("RefreshCost = %d, want 39", b.RefreshCost)
+	}
+	if b.ReadCompare != 1068 {
+		t.Errorf("ReadCompare = %d, want 1068", b.ReadCompare)
+	}
+	if b.CopyCompare != 1602 {
+		t.Errorf("CopyCompare = %d, want 1602", b.CopyCompare)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	c := DefaultConfig()
+	c.HiRefInterval = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero HI-REF accepted")
+	}
+	c = DefaultConfig()
+	c.LoRefInterval = c.HiRefInterval
+	if err := c.Validate(); err == nil {
+		t.Error("LO-REF == HI-REF accepted")
+	}
+	c = DefaultConfig()
+	c.Mode = TestMode(99)
+	if err := c.Validate(); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestTestModeString(t *testing.T) {
+	if ReadCompare.String() != "Read and Compare" {
+		t.Errorf("got %q", ReadCompare.String())
+	}
+	if CopyCompare.String() != "Copy and Compare" {
+		t.Errorf("got %q", CopyCompare.String())
+	}
+	if TestMode(7).String() == "" {
+		t.Error("unknown mode should still stringify")
+	}
+}
+
+func TestTestCostPerMode(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.TestCost(); got != 1068 {
+		t.Errorf("ReadCompare cost = %d, want 1068", got)
+	}
+	c.Mode = CopyCompare
+	if got := c.TestCost(); got != 1602 {
+		t.Errorf("CopyCompare cost = %d, want 1602", got)
+	}
+}
+
+func TestCostAccumulation(t *testing.T) {
+	c := DefaultConfig()
+	// At t=0: HI-REF has refreshed 0 times, MEMCON has paid the test.
+	if got := c.HiRefCost(0); got != 0 {
+		t.Errorf("HiRefCost(0) = %d", got)
+	}
+	if got := c.MemconCost(0); got != 1068 {
+		t.Errorf("MemconCost(0) = %d, want 1068", got)
+	}
+	// After 64 ms: HI-REF refreshed 4 times (156 ns); MEMCON has not yet
+	// refreshed — the first LO-REF window is the test window itself.
+	if got := c.HiRefCost(64 * dram.Millisecond); got != 4*39 {
+		t.Errorf("HiRefCost(64ms) = %d, want 156", got)
+	}
+	if got := c.MemconCost(64 * dram.Millisecond); got != 1068 {
+		t.Errorf("MemconCost(64ms) = %d, want 1068", got)
+	}
+	// After 128 ms MEMCON has refreshed once.
+	if got := c.MemconCost(128 * dram.Millisecond); got != 1068+39 {
+		t.Errorf("MemconCost(128ms) = %d, want 1107", got)
+	}
+	// Negative time clamps to zero accumulation.
+	if got := c.HiRefCost(-5); got != 0 {
+		t.Errorf("HiRefCost(-5) = %d", got)
+	}
+	if got := c.MemconCost(-5); got != 0 {
+		t.Errorf("MemconCost(-5) = %d", got)
+	}
+}
+
+// The headline §3.3 result: MinWriteInterval is 560 ms for
+// Read-and-Compare and 864 ms for Copy-and-Compare at 64 ms LO-REF, and
+// 480/448 ms at 128/256 ms LO-REF.
+func TestMinWriteIntervalMatchesPaper(t *testing.T) {
+	cases := []struct {
+		mode   TestMode
+		loRef  dram.Nanoseconds
+		wantMs int64
+	}{
+		{ReadCompare, 64 * dram.Millisecond, 560},
+		{CopyCompare, 64 * dram.Millisecond, 864},
+		{ReadCompare, 128 * dram.Millisecond, 480},
+		{ReadCompare, 256 * dram.Millisecond, 448},
+	}
+	for _, tc := range cases {
+		c := DefaultConfig()
+		c.Mode = tc.mode
+		c.LoRefInterval = tc.loRef
+		got, err := c.MinWriteInterval()
+		if err != nil {
+			t.Fatalf("%s @%dms: %v", tc.mode, tc.loRef/dram.Millisecond, err)
+		}
+		gotMs := got / dram.Millisecond
+		if gotMs != tc.wantMs {
+			t.Errorf("%s @LO-REF %dms: MinWriteInterval = %d ms, want %d ms",
+				tc.mode, tc.loRef/dram.Millisecond, gotMs, tc.wantMs)
+		}
+	}
+}
+
+func TestMinWriteIntervalInvalidConfig(t *testing.T) {
+	c := DefaultConfig()
+	c.LoRefInterval = c.HiRefInterval / 2
+	if _, err := c.MinWriteInterval(); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// At the crossover MEMCON is at most as expensive as HI-REF, and one
+// HI-REF step earlier it is strictly more expensive.
+func TestMinWriteIntervalIsExactCrossover(t *testing.T) {
+	c := DefaultConfig()
+	mwi, err := c.MinWriteInterval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MemconCost(mwi) > c.HiRefCost(mwi) {
+		t.Errorf("at MWI, MEMCON (%d) still costs more than HI-REF (%d)",
+			c.MemconCost(mwi), c.HiRefCost(mwi))
+	}
+	before := mwi - c.HiRefInterval
+	if c.MemconCost(before) <= c.HiRefCost(before) {
+		t.Errorf("one step before MWI, MEMCON (%d) already cheaper than HI-REF (%d)",
+			c.MemconCost(before), c.HiRefCost(before))
+	}
+}
+
+// Longer LO-REF intervals amortize faster: MinWriteInterval is
+// non-increasing in the LO-REF interval (448 <= 480 <= 560 in the paper).
+func TestMinWriteIntervalMonotoneInLoRef(t *testing.T) {
+	prev := int64(math.MaxInt64)
+	for _, lo := range []dram.Nanoseconds{64, 128, 256, 512} {
+		c := DefaultConfig()
+		c.LoRefInterval = lo * dram.Millisecond
+		got, err := c.MinWriteInterval()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(got) > prev {
+			t.Errorf("MWI increased when LO-REF grew to %d ms", lo)
+		}
+		prev = int64(got)
+	}
+}
+
+func TestCurve(t *testing.T) {
+	c := DefaultConfig()
+	pts := c.Curve(200*dram.Millisecond, 16*dram.Millisecond)
+	if len(pts) != 13 { // 0..192 ms inclusive at 16 ms steps
+		t.Fatalf("curve points = %d, want 13", len(pts))
+	}
+	if pts[0].Time != 0 || pts[0].Memcon != 1068 {
+		t.Errorf("first point = %+v", pts[0])
+	}
+	// Both curves are non-decreasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].HiRef < pts[i-1].HiRef || pts[i].Memcon < pts[i-1].Memcon {
+			t.Errorf("cost decreased at point %d", i)
+		}
+	}
+	// Default step falls back to HI-REF interval.
+	pts2 := c.Curve(32*dram.Millisecond, 0)
+	if len(pts2) != 3 {
+		t.Errorf("default-step curve points = %d, want 3", len(pts2))
+	}
+}
+
+func TestCopyCompareReservedRows(t *testing.T) {
+	// Appendix example: 512 rows/bank, 8 banks, 262144 rows -> 1.5625%.
+	got := CopyCompareReservedRows(512, 8, 262144)
+	if math.Abs(got-0.015625) > 1e-12 {
+		t.Errorf("reserved fraction = %v, want 0.015625", got)
+	}
+	if got := CopyCompareReservedRows(1, 1, 0); got != 0 {
+		t.Errorf("zero rows should give 0, got %v", got)
+	}
+}

@@ -1,0 +1,70 @@
+package costmodel
+
+import (
+	"fmt"
+
+	"memcon/internal/dram"
+)
+
+// Energy-domain cost-benefit analysis. The paper's §3.3 model is
+// latency-denominated; repeating it in energy reveals a different
+// crossover, because a test moves two to three full rows of data
+// (hundreds of column accesses) while a refresh is a single internal
+// activate/precharge. MEMCON deployments that optimize for energy
+// should amortize over the ENERGY MinWriteInterval, which is several
+// times the latency one.
+
+// EnergyCosts holds the per-operation energies the analysis needs, in
+// nanojoules (see the energy package for a full budget).
+type EnergyCosts struct {
+	// RefreshNJ is the energy of refreshing one row.
+	RefreshNJ float64
+	// ActPreNJ is an activate+precharge pair.
+	ActPreNJ float64
+	// ColumnNJ is one cache-block column access.
+	ColumnNJ float64
+}
+
+// DefaultEnergyCosts returns DDR3-representative values consistent with
+// the energy package's budget.
+func DefaultEnergyCosts() EnergyCosts {
+	return EnergyCosts{RefreshNJ: 16, ActPreNJ: 20, ColumnNJ: 6}
+}
+
+// TestEnergyNJ returns the energy of one test in the given mode: each
+// row cycle is an activation plus BlocksPerRow column accesses.
+func (e EnergyCosts) TestEnergyNJ(t dram.Timing, mode TestMode) float64 {
+	rowCycle := e.ActPreNJ + float64(t.BlocksPerRow)*e.ColumnNJ
+	cycles := 2.0
+	if mode == CopyCompare {
+		cycles = 3.0
+	}
+	return cycles * rowCycle
+}
+
+// EnergyMinWriteInterval returns the smallest interval between writes
+// at which testing saves energy versus staying at HI-REF: the test's
+// energy must be repaid by the refresh operations eliminated while the
+// row runs at LO-REF instead of HI-REF.
+func (c Config) EnergyMinWriteInterval(e EnergyCosts) (dram.Nanoseconds, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if e.RefreshNJ <= 0 {
+		return 0, fmt.Errorf("costmodel: refresh energy must be positive, got %v", e.RefreshNJ)
+	}
+	testNJ := e.TestEnergyNJ(c.Timing, c.Mode)
+	step := c.HiRefInterval
+	limit := dram.Nanoseconds(1) << 42
+	for t := step; t <= limit; t += step {
+		hiOps := float64(t / c.HiRefInterval)
+		loOps := float64(t/c.LoRefInterval - 1)
+		if loOps < 0 {
+			loOps = 0
+		}
+		if testNJ+loOps*e.RefreshNJ <= hiOps*e.RefreshNJ {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("costmodel: no energy crossover found below %d ns", limit)
+}

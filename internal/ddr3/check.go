@@ -1,0 +1,126 @@
+package ddr3
+
+import (
+	"fmt"
+	"sort"
+
+	"memcon/internal/dram"
+)
+
+// Violation describes one timing-constraint breach in a command trace.
+type Violation struct {
+	Constraint string
+	First      Command
+	Second     Command
+	Required   dram.Nanoseconds
+	Actual     dram.Nanoseconds
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s@%d -> %s@%d gap %d < %d",
+		v.Constraint, v.First.Kind, v.First.At, v.Second.Kind, v.Second.At, v.Actual, v.Required)
+}
+
+// CheckTrace validates a command trace against the timing set. It is an
+// independent re-implementation of the constraints (no shared code with
+// the scheduler) so controller bugs cannot hide in shared logic.
+func CheckTrace(cmds []Command, tm Timing, trfc dram.Nanoseconds) []Violation {
+	sorted := append([]Command(nil), cmds...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+
+	var out []Violation
+	add := func(name string, a, b Command, req dram.Nanoseconds) {
+		gap := b.At - a.At
+		if gap < req {
+			out = append(out, Violation{Constraint: name, First: a, Second: b, Required: req, Actual: gap})
+		}
+	}
+
+	type bankHist struct {
+		lastACT, lastPRE *Command
+		lastRD, lastWR   *Command
+		lastACTAt        dram.Nanoseconds
+	}
+	banks := map[int]*bankHist{}
+	getBank := func(b int) *bankHist {
+		h, ok := banks[b]
+		if !ok {
+			h = &bankHist{}
+			banks[b] = h
+		}
+		return h
+	}
+	var lastColumn *Command // rank-wide last RD/WR
+	var lastWR *Command
+	var lastACTRank *Command
+	var actWindow []Command
+	var lastREF *Command
+
+	for i := range sorted {
+		cmd := sorted[i]
+		switch cmd.Kind {
+		case ACT:
+			h := getBank(cmd.Bank)
+			if h.lastACT != nil {
+				add("tRC", *h.lastACT, cmd, tm.TRC)
+			}
+			if h.lastPRE != nil {
+				add("tRP", *h.lastPRE, cmd, tm.TRP)
+			}
+			if lastACTRank != nil && lastACTRank.Bank != cmd.Bank {
+				add("tRRD", *lastACTRank, cmd, tm.TRRD)
+			}
+			if len(actWindow) >= 4 {
+				add("tFAW", actWindow[len(actWindow)-4], cmd, tm.TFAW)
+			}
+			if lastREF != nil {
+				add("tRFC", *lastREF, cmd, trfc)
+			}
+			c := cmd
+			h.lastACT = &c
+			h.lastACTAt = cmd.At
+			lastACTRank = &c
+			actWindow = append(actWindow, cmd)
+			if len(actWindow) > 8 {
+				actWindow = actWindow[len(actWindow)-8:]
+			}
+		case PRE:
+			h := getBank(cmd.Bank)
+			if h.lastACT != nil {
+				add("tRAS", *h.lastACT, cmd, tm.TRAS)
+			}
+			if h.lastRD != nil {
+				add("tRTP", *h.lastRD, cmd, tm.TRTP)
+			}
+			if h.lastWR != nil {
+				add("tWR(after data)", *h.lastWR, cmd, tm.CWL+tm.TBurst+tm.TWR)
+			}
+			c := cmd
+			h.lastPRE = &c
+		case RD, WR:
+			h := getBank(cmd.Bank)
+			if h.lastACT != nil {
+				add("tRCD", *h.lastACT, cmd, tm.TRCD)
+			}
+			if lastColumn != nil {
+				add("tCCD", *lastColumn, cmd, tm.TCCD)
+			}
+			if cmd.Kind == RD && lastWR != nil {
+				add("tWTR", *lastWR, cmd, tm.CWL+tm.TBurst+tm.TWTR)
+			}
+			c := cmd
+			lastColumn = &c
+			if cmd.Kind == WR {
+				lastWR = &c
+				h.lastWR = &c
+			} else {
+				h.lastRD = &c
+			}
+		case REF:
+			c := cmd
+			lastREF = &c
+		}
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+package ddr3
+
+import (
+	"math/rand"
+	"testing"
+
+	"memcon/internal/dram"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	c := DefaultConfig()
+	c.Banks = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero banks accepted")
+	}
+	c = DefaultConfig()
+	c.RefreshPeriod = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative refresh period accepted")
+	}
+	c = DefaultConfig()
+	c.RefreshPeriod = c.Density.TRFC()
+	if err := c.Validate(); err == nil {
+		t.Error("refresh period <= tRFC accepted")
+	}
+}
+
+func TestCommandKindString(t *testing.T) {
+	for _, k := range []CommandKind{ACT, PRE, RD, WR, REF} {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", int(k))
+		}
+	}
+	if CommandKind(42).String() == "" {
+		t.Error("unknown kind should still stringify")
+	}
+}
+
+func TestEnqueueValidation(t *testing.T) {
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(Request{ID: 1, Bank: -1}); err == nil {
+		t.Error("negative bank accepted")
+	}
+	if err := c.Enqueue(Request{ID: 1, Bank: 0, Arrival: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Enqueue(Request{ID: 2, Bank: 0, Arrival: 50}); err == nil {
+		t.Error("decreasing arrival accepted")
+	}
+}
+
+func TestSingleReadCommandSequence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefreshPeriod = 0 // no refresh noise
+	c, _ := New(cfg)
+	if err := c.Enqueue(Request{ID: 1, Arrival: 0, Bank: 2, Row: 7}); err != nil {
+		t.Fatal(err)
+	}
+	done := c.Drain()
+	if len(done) != 1 {
+		t.Fatalf("completions = %d, want 1", len(done))
+	}
+	tm := cfg.Timing
+	want := tm.TRCD + tm.CL + tm.TBurst // ACT@0, RD@tRCD, data after CL+burst
+	if done[0].Done != want {
+		t.Errorf("completion = %d, want %d", done[0].Done, want)
+	}
+	trace := c.Trace()
+	if len(trace) != 2 || trace[0].Kind != ACT || trace[1].Kind != RD {
+		t.Fatalf("command sequence = %v, want [ACT RD]", trace)
+	}
+}
+
+func TestRowHitSkipsActivation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefreshPeriod = 0
+	c, _ := New(cfg)
+	c.Enqueue(Request{ID: 1, Arrival: 0, Bank: 0, Row: 5})
+	c.Enqueue(Request{ID: 2, Arrival: 1, Bank: 0, Row: 5})
+	c.Drain()
+	acts := 0
+	for _, cmd := range c.Trace() {
+		if cmd.Kind == ACT {
+			acts++
+		}
+	}
+	if acts != 1 {
+		t.Errorf("row hit issued %d ACTs, want 1", acts)
+	}
+}
+
+func TestRowConflictPrecharges(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefreshPeriod = 0
+	c, _ := New(cfg)
+	c.Enqueue(Request{ID: 1, Arrival: 0, Bank: 0, Row: 5})
+	c.Enqueue(Request{ID: 2, Arrival: 1, Bank: 0, Row: 9})
+	c.Drain()
+	kinds := []CommandKind{}
+	for _, cmd := range c.Trace() {
+		kinds = append(kinds, cmd.Kind)
+	}
+	want := []CommandKind{ACT, RD, PRE, ACT, RD}
+	if len(kinds) != len(want) {
+		t.Fatalf("commands = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("commands = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestFRFCFSPrefersRowHits(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefreshPeriod = 0
+	c, _ := New(cfg)
+	// Open row 1 in bank 0, then enqueue a conflicting request followed
+	// by a row hit arriving at the same time: the hit should be served
+	// first.
+	c.Enqueue(Request{ID: 1, Arrival: 0, Bank: 0, Row: 1})
+	c.Enqueue(Request{ID: 2, Arrival: 100, Bank: 0, Row: 2}) // conflict
+	c.Enqueue(Request{ID: 3, Arrival: 100, Bank: 0, Row: 1}) // hit
+	done := c.Drain()
+	order := map[int]dram.Nanoseconds{}
+	for _, d := range done {
+		order[d.ID] = d.Done
+	}
+	if order[3] >= order[2] {
+		t.Errorf("row hit (id 3, done %d) not prioritized over conflict (id 2, done %d)", order[3], order[2])
+	}
+}
+
+func TestRefreshBlocksAndCloses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefreshPeriod = 3 * dram.Microsecond
+	c, _ := New(cfg)
+	// A request arriving right at the refresh boundary must wait tRFC
+	// and re-activate (refresh precharges all banks).
+	c.Enqueue(Request{ID: 1, Arrival: 0, Bank: 0, Row: 1})
+	c.Enqueue(Request{ID: 2, Arrival: cfg.RefreshPeriod, Bank: 0, Row: 1})
+	done := c.Drain()
+	refs, acts := 0, 0
+	for _, cmd := range c.Trace() {
+		if cmd.Kind == REF {
+			refs++
+		}
+		if cmd.Kind == ACT {
+			acts++
+		}
+	}
+	if refs == 0 {
+		t.Fatal("no REF issued")
+	}
+	if acts != 2 {
+		t.Errorf("ACTs = %d, want 2 (REF closes the row)", acts)
+	}
+	var d2 dram.Nanoseconds
+	for _, d := range done {
+		if d.ID == 2 {
+			d2 = d.Done
+		}
+	}
+	if d2 < cfg.RefreshPeriod+cfg.Density.TRFC() {
+		t.Errorf("request 2 finished at %d, inside the refresh window", d2)
+	}
+}
+
+func TestWriteReadTurnaround(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefreshPeriod = 0
+	c, _ := New(cfg)
+	c.Enqueue(Request{ID: 1, Arrival: 0, Bank: 0, Row: 1, Write: true})
+	c.Enqueue(Request{ID: 2, Arrival: 1, Bank: 1, Row: 1})
+	c.Drain()
+	if v := CheckTrace(c.Trace(), cfg.Timing, cfg.Density.TRFC()); len(v) != 0 {
+		t.Fatalf("turnaround violations: %v", v)
+	}
+}
+
+// The central correctness property: every schedule the controller emits
+// satisfies every JEDEC constraint, verified by the independent checker.
+func TestRandomScheduleHasNoViolations(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		cfg := DefaultConfig()
+		cfg.Density = dram.Density32Gb
+		cfg.RefreshPeriod = 2 * dram.Microsecond
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		at := dram.Nanoseconds(0)
+		for i := 0; i < 400; i++ {
+			at += dram.Nanoseconds(rng.Intn(60))
+			if err := c.Enqueue(Request{
+				ID:      i,
+				Arrival: at,
+				Bank:    rng.Intn(cfg.Banks),
+				Row:     rng.Intn(16),
+				Write:   rng.Intn(3) == 0,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		done := c.Drain()
+		if len(done) != 400 {
+			t.Fatalf("seed %d: completions = %d, want 400", seed, len(done))
+		}
+		for _, d := range done {
+			if d.Done <= 0 {
+				t.Fatalf("seed %d: request %d has non-positive completion", seed, d.ID)
+			}
+		}
+		if v := CheckTrace(c.Trace(), cfg.Timing, cfg.Density.TRFC()); len(v) != 0 {
+			for i, viol := range v {
+				if i >= 5 {
+					break
+				}
+				t.Errorf("seed %d: %s", seed, viol)
+			}
+			t.Fatalf("seed %d: %d timing violations", seed, len(v))
+		}
+	}
+}
+
+func TestCheckTraceCatchesViolations(t *testing.T) {
+	tm := DDR31600()
+	// Two ACTs to the same bank violating tRC.
+	cmds := []Command{
+		{Kind: ACT, Bank: 0, Row: 1, At: 0},
+		{Kind: ACT, Bank: 0, Row: 2, At: 5},
+	}
+	v := CheckTrace(cmds, tm, 350)
+	if len(v) == 0 {
+		t.Fatal("tRC violation not caught")
+	}
+	if v[0].String() == "" {
+		t.Error("violation must render")
+	}
+	// RD before tRCD after ACT.
+	cmds = []Command{
+		{Kind: ACT, Bank: 0, Row: 1, At: 0},
+		{Kind: RD, Bank: 0, Row: 1, At: 2},
+	}
+	if v := CheckTrace(cmds, tm, 350); len(v) == 0 {
+		t.Error("tRCD violation not caught")
+	}
+	// ACT during tRFC after REF.
+	cmds = []Command{
+		{Kind: REF, Bank: -1, Row: -1, At: 0},
+		{Kind: ACT, Bank: 0, Row: 1, At: 10},
+	}
+	if v := CheckTrace(cmds, tm, 350); len(v) == 0 {
+		t.Error("tRFC violation not caught")
+	}
+}
+
+// Cross-validation with the fast model: lowering the refresh rate must
+// reduce average latency in the command-level model too, and by a
+// comparable relative magnitude at high density.
+func TestRefreshReductionTrendMatchesFastModel(t *testing.T) {
+	run := func(period dram.Nanoseconds) float64 {
+		cfg := DefaultConfig()
+		cfg.Density = dram.Density32Gb
+		cfg.RefreshPeriod = period
+		c, _ := New(cfg)
+		rng := rand.New(rand.NewSource(99))
+		at := dram.Nanoseconds(0)
+		arrivals := map[int]dram.Nanoseconds{}
+		for i := 0; i < 2000; i++ {
+			at += dram.Nanoseconds(rng.Intn(100))
+			arrivals[i] = at
+			c.Enqueue(Request{ID: i, Arrival: at, Bank: rng.Intn(8), Row: rng.Intn(8), Write: rng.Intn(4) == 0})
+		}
+		var total float64
+		for _, d := range c.Drain() {
+			total += float64(d.Done - arrivals[d.ID])
+		}
+		return total / 2000
+	}
+	aggressive := run(dram.TREFI(dram.RefreshWindowAggressive))
+	relaxed := run(4 * dram.TREFI(dram.RefreshWindowAggressive))
+	if relaxed >= aggressive {
+		t.Errorf("relaxed refresh latency %v not below aggressive %v", relaxed, aggressive)
+	}
+	ratio := aggressive / relaxed
+	if ratio < 1.2 {
+		t.Errorf("latency ratio %v at 32Gb, expected substantial refresh penalty", ratio)
+	}
+}

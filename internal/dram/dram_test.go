@@ -1,0 +1,390 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimingMatchesPaperAppendix(t *testing.T) {
+	tm := DDR31600()
+	if got := tm.RowCycle(); got != 534 {
+		t.Errorf("RowCycle = %d ns, want 534", got)
+	}
+	if got := tm.RefreshCost(); got != 39 {
+		t.Errorf("RefreshCost = %d ns, want 39 (tRAS+tRP)", got)
+	}
+	if got := tm.ReadCompareCost(); got != 1068 {
+		t.Errorf("ReadCompareCost = %d ns, want 1068", got)
+	}
+	if got := tm.CopyCompareCost(); got != 1602 {
+		t.Errorf("CopyCompareCost = %d ns, want 1602", got)
+	}
+}
+
+func TestTREFI(t *testing.T) {
+	if got := TREFI(RefreshWindowDefault); got != 7812 { // 64 ms / 8192 = 7.8125 us
+		t.Errorf("TREFI(64ms) = %d ns, want 7812", got)
+	}
+	if got := TREFI(RefreshWindowAggressive); got != 1953 {
+		t.Errorf("TREFI(16ms) = %d ns, want 1953", got)
+	}
+}
+
+func TestDensityTRFC(t *testing.T) {
+	cases := []struct {
+		d    Density
+		want Nanoseconds
+	}{
+		{Density4Gb, 350},
+		{Density8Gb, 530},
+		{Density16Gb, 890},
+		{Density32Gb, 1600},
+	}
+	for _, c := range cases {
+		if got := c.d.TRFC(); got != c.want {
+			t.Errorf("TRFC(%s) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	if Density8Gb.String() != "8Gb" {
+		t.Errorf("String = %q", Density8Gb.String())
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	good := DefaultGeometry()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default geometry invalid: %v", err)
+	}
+	bad := []Geometry{
+		{Ranks: 0, ChipsPerRank: 1, BanksPerChip: 1, RowsPerBank: 2, ColsPerRow: 64},
+		{Ranks: 1, ChipsPerRank: 0, BanksPerChip: 1, RowsPerBank: 2, ColsPerRow: 64},
+		{Ranks: 1, ChipsPerRank: 1, BanksPerChip: 0, RowsPerBank: 2, ColsPerRow: 64},
+		{Ranks: 1, ChipsPerRank: 1, BanksPerChip: 1, RowsPerBank: 1, ColsPerRow: 64},
+		{Ranks: 1, ChipsPerRank: 1, BanksPerChip: 1, RowsPerBank: 2, ColsPerRow: 4},
+		{Ranks: 1, ChipsPerRank: 1, BanksPerChip: 1, RowsPerBank: 2, ColsPerRow: 100},
+		{Ranks: 1, ChipsPerRank: 1, BanksPerChip: 1, RowsPerBank: 2, ColsPerRow: 64, RedundantCols: -1},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: invalid geometry accepted: %+v", i, g)
+		}
+	}
+}
+
+func TestRowIndexRoundTrip(t *testing.T) {
+	g := Geometry{Ranks: 1, ChipsPerRank: 1, BanksPerChip: 4, RowsPerBank: 16, ColsPerRow: 64}
+	for idx := 0; idx < g.TotalRows(); idx++ {
+		a := g.AddressOfIndex(idx)
+		if got := g.RowIndex(a); got != idx {
+			t.Fatalf("round trip failed: idx %d -> %+v -> %d", idx, a, got)
+		}
+	}
+}
+
+func TestRowIndexPanicsOutOfRange(t *testing.T) {
+	g := DefaultGeometry()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range address")
+		}
+	}()
+	g.RowIndex(RowAddress{Bank: g.BanksPerChip, Row: 0})
+}
+
+func TestRowBitOps(t *testing.T) {
+	r := NewRow(128)
+	r.SetBit(0, 1)
+	r.SetBit(63, 1)
+	r.SetBit(64, 1)
+	r.SetBit(127, 1)
+	for _, c := range []int{0, 63, 64, 127} {
+		if r.Bit(c) != 1 {
+			t.Errorf("bit %d = 0, want 1", c)
+		}
+	}
+	if r.OnesCount() != 4 {
+		t.Errorf("OnesCount = %d, want 4", r.OnesCount())
+	}
+	r.SetBit(63, 0)
+	if r.Bit(63) != 0 {
+		t.Error("clearing bit 63 failed")
+	}
+	if r.OnesCount() != 3 {
+		t.Errorf("OnesCount after clear = %d, want 3", r.OnesCount())
+	}
+}
+
+func TestRowDiffBits(t *testing.T) {
+	a := NewRow(128)
+	b := NewRow(128)
+	a.SetBit(5, 1)
+	a.SetBit(100, 1)
+	b.SetBit(100, 1)
+	b.SetBit(70, 1)
+	diffs := a.DiffBits(b)
+	if len(diffs) != 2 || diffs[0] != 5 || diffs[1] != 70 {
+		t.Errorf("DiffBits = %v, want [5 70]", diffs)
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone should equal original")
+	}
+	if a.Equal(b) {
+		t.Error("different rows reported equal")
+	}
+	if a.Equal(NewRow(64)) {
+		t.Error("different lengths reported equal")
+	}
+}
+
+func TestRowFillAndRandomize(t *testing.T) {
+	r := NewRow(256)
+	r.Fill(^uint64(0))
+	if r.OnesCount() != 256 {
+		t.Errorf("Fill(all ones) count = %d, want 256", r.OnesCount())
+	}
+	rng := rand.New(rand.NewSource(3))
+	r.Randomize(rng)
+	n := r.OnesCount()
+	if n == 0 || n == 256 {
+		t.Errorf("randomized row suspicious ones count %d", n)
+	}
+}
+
+// Property: SetBit then Bit always round-trips, and never disturbs other
+// cells.
+func TestRowSetBitProperty(t *testing.T) {
+	f := func(cRaw uint16, v bool) bool {
+		r := NewRow(512)
+		r.Fill(0xAAAAAAAAAAAAAAAA)
+		before := r.Clone()
+		c := int(cRaw) % 512
+		val := 0
+		if v {
+			val = 1
+		}
+		r.SetBit(c, val)
+		if r.Bit(c) != val {
+			return false
+		}
+		diffs := before.DiffBits(r)
+		if len(diffs) == 0 {
+			return before.Bit(c) == val
+		}
+		return len(diffs) == 1 && diffs[0] == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModuleWriteReadPeek(t *testing.T) {
+	g := Geometry{Ranks: 1, ChipsPerRank: 1, BanksPerChip: 2, RowsPerBank: 8, ColsPerRow: 128}
+	m, err := NewModule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := NewRow(128)
+	content.SetBit(17, 1)
+	a := RowAddress{Bank: 1, Row: 3}
+	if err := m.WriteRow(a, content, 100); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.PeekRow(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(content) {
+		t.Error("peek does not match written content")
+	}
+	// Mutating the returned copy must not affect stored state.
+	got.SetBit(0, 1)
+	again, _ := m.PeekRow(a)
+	if again.Bit(0) != 0 {
+		t.Error("PeekRow returned aliased storage")
+	}
+	if m.LastCharge(a) != 100 {
+		t.Errorf("LastCharge = %d, want 100", m.LastCharge(a))
+	}
+}
+
+func TestModuleErrors(t *testing.T) {
+	m, err := NewModule(DefaultGeometry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := RowAddress{Bank: -1, Row: 0}
+	if err := m.WriteRow(bad, NewRow(m.Geometry().ColsPerRow), 0); err == nil {
+		t.Error("write to invalid address should error")
+	}
+	if _, err := m.PeekRow(bad); err == nil {
+		t.Error("peek of invalid address should error")
+	}
+	short := NewRow(64)
+	if err := m.WriteRow(RowAddress{}, short, 0); err == nil {
+		t.Error("short content should error")
+	}
+	if _, err := NewModule(Geometry{}); err == nil {
+		t.Error("invalid geometry should error")
+	}
+}
+
+func TestModuleChargeBookkeeping(t *testing.T) {
+	m, _ := NewModule(DefaultGeometry())
+	a := RowAddress{Bank: 0, Row: 10}
+	m.Refresh(a, 5*Millisecond)
+	if got := m.IdleTime(a, 7*Millisecond); got != 2*Millisecond {
+		t.Errorf("IdleTime = %d, want 2ms", got)
+	}
+	if got := m.IdleTime(a, 1*Millisecond); got != 0 {
+		t.Errorf("IdleTime before charge = %d, want clamped 0", got)
+	}
+	m.Activate(a, 9*Millisecond)
+	if got := m.LastCharge(a); got != 9*Millisecond {
+		t.Errorf("Activate did not recharge: %d", got)
+	}
+}
+
+func TestModuleApplyFlips(t *testing.T) {
+	m, _ := NewModule(DefaultGeometry())
+	a := RowAddress{Bank: 2, Row: 2}
+	content := NewRow(m.Geometry().ColsPerRow)
+	content.SetBit(8, 1)
+	if err := m.WriteRow(a, content, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.ApplyFlips(a, []int{8, 9})
+	got, _ := m.PeekRow(a)
+	if got.Bit(8) != 0 || got.Bit(9) != 1 {
+		t.Errorf("flips not applied: bit8=%d bit9=%d", got.Bit(8), got.Bit(9))
+	}
+}
+
+func TestScramblerRowPermutation(t *testing.T) {
+	g := DefaultGeometry()
+	s := NewScrambler(g, 12345, nil)
+	for bank := 0; bank < 2; bank++ {
+		seen := make(map[int]bool, g.RowsPerBank)
+		for r := 0; r < g.RowsPerBank; r++ {
+			p := s.PhysRow(bank, r)
+			if p < 0 || p >= g.RowsPerBank {
+				t.Fatalf("PhysRow(%d,%d) = %d out of range", bank, r, p)
+			}
+			if seen[p] {
+				t.Fatalf("PhysRow not a bijection: %d hit twice (bank %d)", p, bank)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestScramblerRowPermutationNonPowerOfTwo(t *testing.T) {
+	g := DefaultGeometry()
+	g.RowsPerBank = 3000 // not a power of two: exercises cycle walking
+	s := NewScrambler(g, 99, nil)
+	seen := make(map[int]bool, g.RowsPerBank)
+	for r := 0; r < g.RowsPerBank; r++ {
+		p := s.PhysRow(0, r)
+		if p < 0 || p >= g.RowsPerBank {
+			t.Fatalf("PhysRow out of range: %d", p)
+		}
+		if seen[p] {
+			t.Fatalf("collision at %d", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestScramblerActuallyScrambles(t *testing.T) {
+	g := DefaultGeometry()
+	s := NewScrambler(g, 777, nil)
+	identical := 0
+	adjacentStaysAdjacent := 0
+	for r := 0; r+1 < 512; r++ {
+		if s.PhysRow(0, r) == r {
+			identical++
+		}
+		d := s.PhysRow(0, r+1) - s.PhysRow(0, r)
+		if d == 1 || d == -1 {
+			adjacentStaysAdjacent++
+		}
+	}
+	if identical > 50 {
+		t.Errorf("scrambler looks like identity: %d fixed points in 512", identical)
+	}
+	if adjacentStaysAdjacent > 100 {
+		t.Errorf("scrambler preserves adjacency too often: %d of 511", adjacentStaysAdjacent)
+	}
+}
+
+func TestScramblerDiffersAcrossChips(t *testing.T) {
+	g := DefaultGeometry()
+	a := NewScrambler(g, 1, nil)
+	b := NewScrambler(g, 2, nil)
+	same := 0
+	for r := 0; r < 256; r++ {
+		if a.PhysRow(0, r) == b.PhysRow(0, r) {
+			same++
+		}
+	}
+	if same > 32 {
+		t.Errorf("two chips share %d/256 row mappings; vendors scramble per generation", same)
+	}
+}
+
+func TestScramblerColumnBijection(t *testing.T) {
+	g := DefaultGeometry()
+	s := NewScrambler(g, 5, nil)
+	seen := make(map[int]bool)
+	for c := 0; c < g.ColsPerRow; c++ {
+		p := s.PhysCol(c)
+		if p < 0 || p >= g.PhysCols() {
+			t.Fatalf("PhysCol(%d) = %d out of range", c, p)
+		}
+		if seen[p] {
+			t.Fatalf("column collision at %d", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestScramblerColumnRemapping(t *testing.T) {
+	g := DefaultGeometry()
+	noRemap := NewScrambler(g, 5, nil)
+	// Pick some physical columns that are in use and declare them faulty.
+	faulty := []int{noRemap.PhysCol(10), noRemap.PhysCol(20), noRemap.PhysCol(30)}
+	s := NewScrambler(g, 5, faulty)
+	remapCount := 0
+	for c := 0; c < g.ColsPerRow; c++ {
+		p := s.PhysCol(c)
+		for _, f := range faulty {
+			if p == f {
+				t.Errorf("system col %d still maps to faulty physical col %d", c, f)
+			}
+		}
+		if s.IsRemapped(c) {
+			remapCount++
+			if p < g.ColsPerRow {
+				t.Errorf("remapped col %d maps to %d, want redundant region >= %d", c, p, g.ColsPerRow)
+			}
+		}
+	}
+	if remapCount != 3 {
+		t.Errorf("remapped %d columns, want 3", remapCount)
+	}
+}
+
+func TestSysColOfPhys(t *testing.T) {
+	g := DefaultGeometry()
+	s := NewScrambler(g, 5, nil)
+	for c := 0; c < 64; c++ {
+		p := s.PhysCol(c)
+		if got := s.SysColOfPhys(p); got != c {
+			t.Errorf("SysColOfPhys(PhysCol(%d)) = %d", c, got)
+		}
+	}
+	// An unused redundant column maps to no system column.
+	if got := s.SysColOfPhys(g.ColsPerRow); got != -1 {
+		t.Errorf("unused redundant col maps to %d, want -1", got)
+	}
+}

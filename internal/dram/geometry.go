@@ -1,0 +1,93 @@
+package dram
+
+import "fmt"
+
+// Geometry describes the logical organization of a DRAM module. A module
+// is hierarchically organized into ranks, chips, and banks; each bank is
+// a 2D array of rows and columns (paper §2, Fig. 1).
+type Geometry struct {
+	Ranks        int
+	ChipsPerRank int
+	BanksPerChip int
+	RowsPerBank  int
+	// ColsPerRow is the number of cells (bits) in one row of a bank
+	// array. The paper's 8 KB rows correspond to 65536 bits spread over
+	// the chips of a rank; simulations typically use a smaller per-bank
+	// array to keep state manageable without changing behaviour.
+	ColsPerRow int
+	// RedundantCols is the number of spare columns appended to the right
+	// of the array for manufacturing-time column remapping (Fig. 2b).
+	RedundantCols int
+}
+
+// DefaultGeometry returns a modest module geometry suitable for tests and
+// characterization experiments: 1 rank, 8 chips, 8 banks, 4096 rows of
+// 1024 cells with 32 redundant columns.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Ranks:         1,
+		ChipsPerRank:  8,
+		BanksPerChip:  8,
+		RowsPerBank:   4096,
+		ColsPerRow:    1024,
+		RedundantCols: 32,
+	}
+}
+
+// Validate reports an error describing the first invalid field, or nil.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Ranks < 1:
+		return fmt.Errorf("dram: geometry needs at least 1 rank, got %d", g.Ranks)
+	case g.ChipsPerRank < 1:
+		return fmt.Errorf("dram: geometry needs at least 1 chip per rank, got %d", g.ChipsPerRank)
+	case g.BanksPerChip < 1:
+		return fmt.Errorf("dram: geometry needs at least 1 bank per chip, got %d", g.BanksPerChip)
+	case g.RowsPerBank < 2:
+		return fmt.Errorf("dram: geometry needs at least 2 rows per bank, got %d", g.RowsPerBank)
+	case g.ColsPerRow < 8:
+		return fmt.Errorf("dram: geometry needs at least 8 columns per row, got %d", g.ColsPerRow)
+	case g.RedundantCols < 0:
+		return fmt.Errorf("dram: redundant columns cannot be negative, got %d", g.RedundantCols)
+	case g.ColsPerRow%64 != 0:
+		return fmt.Errorf("dram: columns per row must be a multiple of 64 for packed storage, got %d", g.ColsPerRow)
+	}
+	return nil
+}
+
+// TotalRows returns the number of rows across all banks of one chip.
+func (g Geometry) TotalRows() int { return g.BanksPerChip * g.RowsPerBank }
+
+// PhysCols returns the total number of physical columns in a row
+// including the redundant region.
+func (g Geometry) PhysCols() int { return g.ColsPerRow + g.RedundantCols }
+
+// RowAddress identifies one row of one bank in system (logical) address
+// space.
+type RowAddress struct {
+	Bank int
+	Row  int
+}
+
+// Valid reports whether the address is inside the geometry.
+func (g Geometry) ValidAddress(a RowAddress) bool {
+	return a.Bank >= 0 && a.Bank < g.BanksPerChip && a.Row >= 0 && a.Row < g.RowsPerBank
+}
+
+// RowIndex flattens a row address into a dense index in
+// [0, TotalRows()). It panics on an out-of-range address, which indicates
+// a programming error in the caller.
+func (g Geometry) RowIndex(a RowAddress) int {
+	if !g.ValidAddress(a) {
+		panic(fmt.Sprintf("dram: row address %+v outside geometry", a))
+	}
+	return a.Bank*g.RowsPerBank + a.Row
+}
+
+// AddressOfIndex is the inverse of RowIndex.
+func (g Geometry) AddressOfIndex(idx int) RowAddress {
+	if idx < 0 || idx >= g.TotalRows() {
+		panic(fmt.Sprintf("dram: row index %d outside geometry", idx))
+	}
+	return RowAddress{Bank: idx / g.RowsPerBank, Row: idx % g.RowsPerBank}
+}

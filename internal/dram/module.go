@@ -1,0 +1,192 @@
+package dram
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Row is the packed bit content of one DRAM row, 64 cells per word.
+type Row []uint64
+
+// NewRow allocates a zeroed row for cols cells (cols must be a multiple
+// of 64).
+func NewRow(cols int) Row { return make(Row, cols/64) }
+
+// Bit returns cell c of the row.
+func (r Row) Bit(c int) int { return int(r[c/64]>>(uint(c)%64)) & 1 }
+
+// SetBit writes cell c of the row to v (0 or 1).
+func (r Row) SetBit(c, v int) {
+	if v&1 == 1 {
+		r[c/64] |= 1 << (uint(c) % 64)
+	} else {
+		r[c/64] &^= 1 << (uint(c) % 64)
+	}
+}
+
+// Clone returns an independent copy of the row.
+func (r Row) Clone() Row {
+	cp := make(Row, len(r))
+	copy(cp, r)
+	return cp
+}
+
+// Equal reports whether two rows hold identical content.
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if r[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffBits returns the cell indices at which r and o differ. Rows must be
+// the same length.
+func (r Row) DiffBits(o Row) []int {
+	var diffs []int
+	for w := range r {
+		x := r[w] ^ o[w]
+		for x != 0 {
+			b := bits.TrailingZeros64(x)
+			diffs = append(diffs, w*64+b)
+			x &= x - 1
+		}
+	}
+	return diffs
+}
+
+// OnesCount returns the number of set cells in the row.
+func (r Row) OnesCount() int {
+	var n int
+	for _, w := range r {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Fill sets every 64-cell word of the row to pattern.
+func (r Row) Fill(pattern uint64) {
+	for i := range r {
+		r[i] = pattern
+	}
+}
+
+// Randomize fills the row with uniform random bits from rng.
+func (r Row) Randomize(rng *rand.Rand) {
+	for i := range r {
+		r[i] = rng.Uint64()
+	}
+}
+
+// Module is the system-visible DRAM module: stored content per row plus
+// per-row charge bookkeeping (the time each row was last fully charged by
+// an activation or refresh). Content is addressed in SYSTEM address
+// space; the vendor scrambling applied inside the silicon is modelled in
+// the faults package, which receives the physical view.
+//
+// Module is not safe for concurrent use; the simulator drives it from a
+// single goroutine, matching a single memory controller.
+type Module struct {
+	geom Geometry
+	// rows holds system-addressed content, indexed by Geometry.RowIndex.
+	rows []Row
+	// lastCharge[i] is the time row i was last activated or refreshed.
+	lastCharge []Nanoseconds
+}
+
+// NewModule allocates a module with the given geometry. All cells start
+// at zero and fully charged at time 0.
+func NewModule(geom Geometry) (*Module, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Module{
+		geom:       geom,
+		rows:       make([]Row, geom.TotalRows()),
+		lastCharge: make([]Nanoseconds, geom.TotalRows()),
+	}
+	for i := range m.rows {
+		m.rows[i] = NewRow(geom.ColsPerRow)
+	}
+	return m, nil
+}
+
+// Geometry returns the module geometry.
+func (m *Module) Geometry() Geometry { return m.geom }
+
+// WriteRow stores content into the addressed row at time now. Writing
+// activates the row, fully recharging its cells. The content slice is
+// copied.
+func (m *Module) WriteRow(a RowAddress, content Row, now Nanoseconds) error {
+	if !m.geom.ValidAddress(a) {
+		return fmt.Errorf("dram: write to invalid address %+v", a)
+	}
+	if len(content) != m.geom.ColsPerRow/64 {
+		return fmt.Errorf("dram: row content has %d words, geometry needs %d", len(content), m.geom.ColsPerRow/64)
+	}
+	idx := m.geom.RowIndex(a)
+	copy(m.rows[idx], content)
+	m.lastCharge[idx] = now
+	return nil
+}
+
+// PeekRow returns the stored (intended) content of the row without
+// modelling failures or recharging — the "what the program wrote" view,
+// used by testers to compare against what is read back.
+func (m *Module) PeekRow(a RowAddress) (Row, error) {
+	if !m.geom.ValidAddress(a) {
+		return nil, fmt.Errorf("dram: peek of invalid address %+v", a)
+	}
+	return m.rows[m.geom.RowIndex(a)].Clone(), nil
+}
+
+// RowRef returns the module's internal row storage for the address. It
+// is used by the faults package (playing the role of silicon) and must
+// not be retained across writes by other callers.
+func (m *Module) RowRef(a RowAddress) Row {
+	return m.rows[m.geom.RowIndex(a)]
+}
+
+// LastCharge returns the time the addressed row was last activated or
+// refreshed.
+func (m *Module) LastCharge(a RowAddress) Nanoseconds {
+	return m.lastCharge[m.geom.RowIndex(a)]
+}
+
+// IdleTime returns how long the row has been idle (uncharged) at time now.
+func (m *Module) IdleTime(a RowAddress, now Nanoseconds) Nanoseconds {
+	d := now - m.lastCharge[m.geom.RowIndex(a)]
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Refresh recharges the addressed row at time now, exactly as an
+// activation would (a refresh is an activate+precharge).
+func (m *Module) Refresh(a RowAddress, now Nanoseconds) {
+	m.lastCharge[m.geom.RowIndex(a)] = now
+}
+
+// ApplyFlips mutates stored content, flipping the given cells of the
+// addressed row. The faults package calls this when a read observes
+// data-dependent failures: once a cell has leaked, the wrong value is
+// what the array now holds.
+func (m *Module) ApplyFlips(a RowAddress, cells []int) {
+	row := m.rows[m.geom.RowIndex(a)]
+	for _, c := range cells {
+		row.SetBit(c, row.Bit(c)^1)
+	}
+}
+
+// Activate recharges the row at time now without changing content —
+// program reads do this, which is why reads never introduce new
+// data-dependent failures (paper §3.2).
+func (m *Module) Activate(a RowAddress, now Nanoseconds) {
+	m.lastCharge[m.geom.RowIndex(a)] = now
+}

@@ -1,0 +1,189 @@
+// Package ecc implements the SECDED (single-error-correct,
+// double-error-detect) Hamming code used by MEMCON's Copy-and-Compare
+// test mode: instead of buffering a whole in-test row in the memory
+// controller, only the per-word ECC syndromes are kept, and the
+// post-test read-back is checked against them (§3.3). The same code is
+// the mitigation substrate the paper lists alongside higher refresh
+// rates and remapping.
+//
+// The code is the standard (72,64) extended Hamming construction: 7
+// Hamming parity bits over the 64 data bits plus one overall parity bit.
+// It corrects any single-bit error and detects (without miscorrecting)
+// any double-bit error.
+package ecc
+
+import (
+	"fmt"
+
+	"memcon/internal/dram"
+)
+
+// Codeword is a 64-bit data word plus its 8 check bits.
+type Codeword struct {
+	Data  uint64
+	Check uint8
+}
+
+// hammingBits is the number of Hamming parity bits for 64 data bits.
+const hammingBits = 7
+
+// dataPos maps data bit index (0..63) to its position in the 72-bit
+// extended Hamming layout (positions 1..71, skipping the power-of-two
+// parity positions). Built once at init.
+var dataPos [64]uint
+
+func init() {
+	pos := uint(1)
+	for i := 0; i < 64; i++ {
+		for isPowerOfTwo(pos) {
+			pos++
+		}
+		dataPos[i] = pos
+		pos++
+	}
+}
+
+func isPowerOfTwo(x uint) bool { return x != 0 && x&(x-1) == 0 }
+
+// Encode computes the check bits for a data word.
+func Encode(data uint64) Codeword {
+	var parity [hammingBits]uint
+	overall := uint(0)
+	for i := 0; i < 64; i++ {
+		bit := uint(data>>i) & 1
+		if bit == 0 {
+			continue
+		}
+		overall ^= 1
+		p := dataPos[i]
+		for j := 0; j < hammingBits; j++ {
+			if p&(1<<j) != 0 {
+				parity[j] ^= 1
+			}
+		}
+	}
+	var check uint8
+	for j := 0; j < hammingBits; j++ {
+		check |= uint8(parity[j]) << j
+	}
+	// The eighth check bit is the overall parity of the DATA bits. In
+	// this stored-syndrome formulation (check bits are recomputed from
+	// the received data rather than transmitted in-band), covering only
+	// the data guarantees that any single data-bit flip toggles it,
+	// which is what separates single from double errors.
+	check |= uint8(overall) << hammingBits
+	return Codeword{Data: data, Check: check}
+}
+
+// Result classifies a Decode outcome.
+type Result int
+
+// Decode outcomes.
+const (
+	// OK means the word matched its check bits.
+	OK Result = iota
+	// Corrected means a single-bit error was repaired in place.
+	Corrected
+	// Detected means a double-bit error was detected but cannot be
+	// corrected.
+	Detected
+)
+
+// String names the result.
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected-uncorrectable"
+	default:
+		return fmt.Sprintf("Result(%d)", int(r))
+	}
+}
+
+// Decode checks (and, for single-bit errors, repairs) a received data
+// word against the stored check bits. The stored check bits are trusted
+// — in MEMCON they live in the memory controller's SRAM, and only DRAM
+// cells fail — so any mismatch is attributed to the data word. Decode
+// returns the repaired word, the classification, and for Corrected the
+// data bit index that flipped (-1 when nothing needed repair).
+func Decode(received uint64, stored uint8) (fixed uint64, result Result, flippedBit int) {
+	want := Encode(received)
+	syndrome := uint(want.Check^stored) & (1<<hammingBits - 1)
+	overallMismatch := (want.Check^stored)>>hammingBits&1 == 1
+
+	switch {
+	case syndrome == 0 && !overallMismatch:
+		return received, OK, -1
+	case overallMismatch:
+		// Odd number of data flips; under the SECDED guarantee exactly
+		// one, at Hamming position `syndrome`.
+		for i, p := range dataPos {
+			if p == syndrome {
+				return received ^ (1 << i), Corrected, i
+			}
+		}
+		// The syndrome points at a parity position, which no single
+		// data flip can produce: a >=3-bit corruption outside the
+		// guarantee. Flag rather than miscorrect.
+		return received, Detected, -1
+	default:
+		// Even number of data flips (>= 2): detectable, uncorrectable.
+		return received, Detected, -1
+	}
+}
+
+// RowCode holds the per-word check bits of one DRAM row — what the
+// memory controller retains during a Copy-and-Compare test.
+type RowCode []uint8
+
+// EncodeRow computes check bits for every 64-bit word of a row.
+func EncodeRow(row dram.Row) RowCode {
+	code := make(RowCode, len(row))
+	for i, w := range row {
+		code[i] = Encode(w).Check
+	}
+	return code
+}
+
+// RowVerdict summarizes verifying a read-back row against stored codes.
+type RowVerdict struct {
+	// CorrectedWords counts words repaired in place.
+	CorrectedWords int
+	// DetectedWords counts words with uncorrectable (>=2 bit) errors.
+	DetectedWords int
+}
+
+// Clean reports whether the row matched its codes exactly.
+func (v RowVerdict) Clean() bool { return v.CorrectedWords == 0 && v.DetectedWords == 0 }
+
+// VerifyRow checks a read-back row against the stored codes, repairing
+// single-bit errors in place. Lengths must match.
+func VerifyRow(row dram.Row, code RowCode) (RowVerdict, error) {
+	if len(row) != len(code) {
+		return RowVerdict{}, fmt.Errorf("ecc: row has %d words but code has %d", len(row), len(code))
+	}
+	var v RowVerdict
+	for i := range row {
+		fixed, res, _ := Decode(row[i], code[i])
+		switch res {
+		case Corrected:
+			row[i] = fixed
+			v.CorrectedWords++
+		case Detected:
+			v.DetectedWords++
+		}
+	}
+	return v, nil
+}
+
+// StorageBits returns the controller storage, in bits, needed to hold
+// the codes for n concurrent in-test rows of the given row size — the
+// §3.3 footnote's "only the ECC information is calculated and stored in
+// the memory controller".
+func StorageBits(rows, colsPerRow int) int {
+	wordsPerRow := colsPerRow / 64
+	return rows * wordsPerRow * 8
+}

@@ -1,0 +1,186 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"memcon/internal/dram"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	for _, data := range []uint64{0, 1, ^uint64(0), 0xDEADBEEFCAFEBABE, 1 << 63} {
+		cw := Encode(data)
+		got, res, _ := Decode(data, cw.Check)
+		if res != OK {
+			t.Errorf("clean word %x decoded as %v", data, res)
+		}
+		if got != data {
+			t.Errorf("clean word %x changed to %x", data, got)
+		}
+	}
+}
+
+func TestSingleBitCorrection(t *testing.T) {
+	data := uint64(0x0123456789ABCDEF)
+	cw := Encode(data)
+	for bit := 0; bit < 64; bit++ {
+		corrupted := data ^ (1 << bit)
+		fixed, res, flipped := Decode(corrupted, cw.Check)
+		if res != Corrected {
+			t.Fatalf("bit %d: result %v, want Corrected", bit, res)
+		}
+		if fixed != data {
+			t.Fatalf("bit %d: repaired to %x, want %x", bit, fixed, data)
+		}
+		if flipped != bit {
+			t.Errorf("bit %d: reported flipped bit %d", bit, flipped)
+		}
+	}
+}
+
+func TestCheckBitMismatchNeverCorruptsData(t *testing.T) {
+	// Stored check bits are trusted controller-side state; if they were
+	// nevertheless inconsistent, the decoder must never alter the data
+	// word into something new on an even-parity mismatch.
+	data := uint64(0xFEEDFACE12345678)
+	cw := Encode(data)
+	for cb := 0; cb < hammingBits; cb++ {
+		corrupted := cw.Check ^ (1 << cb)
+		fixed, res, _ := Decode(data, corrupted)
+		if res == OK {
+			t.Errorf("check bit %d mismatch reported OK", cb)
+		}
+		if res == Detected && fixed != data {
+			t.Errorf("check bit %d: detected but data changed to %x", cb, fixed)
+		}
+	}
+	// An overall-parity-bit mismatch alone looks like an odd flip whose
+	// syndrome is zero; there is no position to repair, so data must
+	// survive regardless of classification.
+	fixed, _, _ := Decode(data, cw.Check^(1<<hammingBits))
+	if fixed != data {
+		t.Errorf("overall-bit mismatch changed data to %x", fixed)
+	}
+}
+
+func TestDoubleBitDetection(t *testing.T) {
+	data := uint64(0xA5A5A5A55A5A5A5A)
+	cw := Encode(data)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		a := rng.Intn(64)
+		b := rng.Intn(64)
+		if a == b {
+			continue
+		}
+		corrupted := data ^ (1 << a) ^ (1 << b)
+		fixed, res, _ := Decode(corrupted, cw.Check)
+		if res != Detected {
+			t.Fatalf("double flip (%d,%d): result %v, want Detected", a, b, res)
+		}
+		if fixed != corrupted {
+			t.Fatalf("double flip (%d,%d): decoder modified an uncorrectable word", a, b)
+		}
+	}
+}
+
+// Property: every single-bit data error is corrected for arbitrary data.
+func TestSingleBitCorrectionProperty(t *testing.T) {
+	f := func(data uint64, bitRaw uint8) bool {
+		bit := int(bitRaw) % 64
+		cw := Encode(data)
+		fixed, res, _ := Decode(data^(1<<bit), cw.Check)
+		return res == Corrected && fixed == data
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: double data errors are never miscorrected into wrong data.
+func TestDoubleBitNeverMiscorrectedProperty(t *testing.T) {
+	f := func(data uint64, aRaw, bRaw uint8) bool {
+		a, b := int(aRaw)%64, int(bRaw)%64
+		if a == b {
+			return true
+		}
+		cw := Encode(data)
+		_, res, _ := Decode(data^(1<<a)^(1<<b), cw.Check)
+		return res == Detected
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() == "" || Detected.String() == "" {
+		t.Error("result names broken")
+	}
+	if Result(42).String() == "" {
+		t.Error("unknown result should still stringify")
+	}
+}
+
+func TestEncodeRowVerifyRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	row := dram.NewRow(512)
+	row.Randomize(rng)
+	code := EncodeRow(row)
+	if len(code) != len(row) {
+		t.Fatalf("code words = %d, want %d", len(code), len(row))
+	}
+
+	// Clean row verifies clean.
+	v, err := VerifyRow(row.Clone(), code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Clean() {
+		t.Errorf("clean row verdict %+v", v)
+	}
+
+	// Single-bit flips across different words are all repaired.
+	damaged := row.Clone()
+	damaged.SetBit(3, damaged.Bit(3)^1)
+	damaged.SetBit(100, damaged.Bit(100)^1)
+	damaged.SetBit(400, damaged.Bit(400)^1)
+	v, err = VerifyRow(damaged, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.CorrectedWords != 3 || v.DetectedWords != 0 {
+		t.Errorf("verdict %+v, want 3 corrected", v)
+	}
+	if !damaged.Equal(row) {
+		t.Error("repaired row does not match original")
+	}
+
+	// Two flips in the same word are detected, not corrected.
+	dbl := row.Clone()
+	dbl.SetBit(0, dbl.Bit(0)^1)
+	dbl.SetBit(1, dbl.Bit(1)^1)
+	v, err = VerifyRow(dbl, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.DetectedWords != 1 || v.CorrectedWords != 0 {
+		t.Errorf("verdict %+v, want 1 detected", v)
+	}
+}
+
+func TestVerifyRowLengthMismatch(t *testing.T) {
+	if _, err := VerifyRow(dram.NewRow(128), make(RowCode, 1)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	// 512 in-test rows of 8 KB (65536 bits = 1024 words): 512*1024*8
+	// bits = 512 KiB of controller storage.
+	got := StorageBits(512, 65536)
+	if got != 512*1024*8 {
+		t.Errorf("StorageBits = %d, want %d", got, 512*1024*8)
+	}
+}

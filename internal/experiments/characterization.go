@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memcon/internal/dram"
+	"memcon/internal/faults"
+	"memcon/internal/softmc"
+	"memcon/internal/workload"
+)
+
+// charGeometry sizes the characterized module by the option scale.
+func charGeometry(scale float64) dram.Geometry {
+	g := dram.DefaultGeometry()
+	rows := int(float64(g.RowsPerBank) * scale)
+	if rows < 64 {
+		rows = 64
+	}
+	g.RowsPerBank = rows
+	return g
+}
+
+// newChip builds one simulated chip: scrambler + fault model + module +
+// tester.
+func newChip(geom dram.Geometry, seed uint64, params faults.Params) (*softmc.Tester, error) {
+	scr := dram.NewScrambler(geom, seed, nil)
+	model, err := faults.NewModel(geom, scr, seed, params)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := dram.NewModule(geom)
+	if err != nil {
+		return nil, err
+	}
+	return softmc.NewTester(mod, model)
+}
+
+// Fig3Result reproduces Fig. 3: for each data pattern, the set of
+// failing cells; cells fail conditionally depending on content.
+type Fig3Result struct {
+	Patterns int
+	// FailuresPerPattern[i] is the number of failing cells under
+	// pattern i.
+	FailuresPerPattern []int
+	PatternNames       []string
+	// UniqueCells is the number of distinct cells that failed under at
+	// least one pattern.
+	UniqueCells int
+	// ConditionalCells is the number of those that also PASSED under at
+	// least one pattern — the cells whose failure is data-dependent.
+	ConditionalCells int
+	// MaxPatternsPerCell is the largest number of patterns any single
+	// cell failed under.
+	MaxPatternsPerCell int
+}
+
+// RunFig3 tests one chip with the standard pattern suite at the
+// characterization idle time and reports how failure sets vary with
+// content.
+func RunFig3(opts Options) (fmt.Stringer, error) {
+	geom := charGeometry(opts.Scale * 0.25) // one-bank-scale study
+	geom.BanksPerChip = 1
+	params := faults.DefaultParams()
+	patterns := softmc.StandardPatterns(100)
+
+	counts := make(map[string]int) // cell key -> patterns failed
+	res := &Fig3Result{Patterns: len(patterns)}
+	for _, p := range patterns {
+		tester, err := newChip(geom, uint64(opts.Seed), params)
+		if err != nil {
+			return nil, err
+		}
+		fails, err := tester.RunPattern(p, faults.CharacterizationIdle)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		for _, f := range fails {
+			for _, c := range f.Cells {
+				counts[fmt.Sprintf("%d:%d:%d", f.Addr.Bank, f.Addr.Row, c)]++
+				n++
+			}
+		}
+		res.FailuresPerPattern = append(res.FailuresPerPattern, n)
+		res.PatternNames = append(res.PatternNames, p.Name)
+	}
+	res.UniqueCells = len(counts)
+	for _, c := range counts {
+		if c < res.Patterns {
+			res.ConditionalCells++
+		}
+		if c > res.MaxPatternsPerCell {
+			res.MaxPatternsPerCell = c
+		}
+	}
+	return res, nil
+}
+
+// String renders the Fig. 3 report.
+func (r *Fig3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3 — cells failing with different data content (%d patterns)\n\n", r.Patterns)
+	t := &table{header: []string{"pattern", "failing cells"}}
+	for i, n := range r.FailuresPerPattern {
+		if i < 12 || n == 0 { // print the classic patterns; elide the random tail
+			t.addRow(r.PatternNames[i], fmt.Sprintf("%d", n))
+		}
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nunique failing cells:        %d\n", r.UniqueCells)
+	fmt.Fprintf(&b, "data-dependent (conditional): %d (%.1f%%)\n",
+		r.ConditionalCells, 100*float64(r.ConditionalCells)/float64(max(1, r.UniqueCells)))
+	fmt.Fprintf(&b, "max patterns failed by a cell: %d of %d\n", r.MaxPatternsPerCell, r.Patterns)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Fig4Row is one benchmark's failing-row fractions.
+type Fig4Row struct {
+	Benchmark string
+	// Avg/Min/Max over execution phases of the fraction of rows failing
+	// with the program content.
+	Avg, Min, Max float64
+}
+
+// Fig4Result reproduces Fig. 4.
+type Fig4Result struct {
+	Rows []Fig4Row
+	// AllFail is the fraction of rows failing under ANY pattern.
+	AllFail float64
+	// RatioMin/RatioMax bound AllFail/Avg over the benchmarks (paper:
+	// 2.4x - 35.2x).
+	RatioMin, RatioMax float64
+}
+
+// RunFig4 measures per-benchmark failing-row fractions with program
+// content across phases, against the all-pattern denominator.
+func RunFig4(opts Options) (fmt.Stringer, error) {
+	geom := charGeometry(opts.Scale)
+	params := faults.DefaultParams()
+	idle := faults.CharacterizationIdle
+	const phases = 5
+
+	tester, err := newChip(geom, uint64(opts.Seed), params)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{AllFail: tester.AllFailFraction(idle)}
+
+	for _, spec := range workload.SPECContents() {
+		row := Fig4Row{Benchmark: spec.Name, Min: 1}
+		var sum float64
+		for ph := 0; ph < phases; ph++ {
+			img := spec.Image(geom.RowsPerBank, geom.ColsPerRow, ph, opts.Seed)
+			frac, err := tester.FailingRowFraction(img, idle)
+			if err != nil {
+				return nil, err
+			}
+			sum += frac
+			if frac < row.Min {
+				row.Min = frac
+			}
+			if frac > row.Max {
+				row.Max = frac
+			}
+		}
+		row.Avg = sum / phases
+		res.Rows = append(res.Rows, row)
+	}
+	res.RatioMin, res.RatioMax = 1e18, 0
+	for _, r := range res.Rows {
+		if r.Avg <= 0 {
+			continue
+		}
+		ratio := res.AllFail / r.Avg
+		if ratio < res.RatioMin {
+			res.RatioMin = ratio
+		}
+		if ratio > res.RatioMax {
+			res.RatioMax = ratio
+		}
+	}
+	return res, nil
+}
+
+// String renders the Fig. 4 report.
+func (r *Fig4Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 4 — percentage of rows with data-dependent failures\n\n")
+	t := &table{header: []string{"benchmark", "avg", "min", "max"}}
+	rows := append([]Fig4Row(nil), r.Rows...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Avg > rows[j].Avg })
+	for _, row := range rows {
+		t.addRow(row.Benchmark, pct2(row.Avg), pct2(row.Min), pct2(row.Max))
+	}
+	t.addRow("ALL FAIL", pct2(r.AllFail), "", "")
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nprogram content exhibits %.1fx-%.1fx fewer failing rows than ALL FAIL (paper: 2.4x-35.2x)\n",
+		r.RatioMin, r.RatioMax)
+	return b.String()
+}

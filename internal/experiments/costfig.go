@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"memcon/internal/costmodel"
+	"memcon/internal/dram"
+)
+
+// Fig6Config is one (test mode, LO-REF) combination of the Fig. 6 study.
+type Fig6Config struct {
+	Mode             costmodel.TestMode
+	LoRef            dram.Nanoseconds
+	TestCost         dram.Nanoseconds
+	MinWriteInterval dram.Nanoseconds
+}
+
+// Fig6Result reproduces Fig. 6: accumulated-cost curves and the
+// MinWriteInterval for each test mode / LO-REF interval.
+type Fig6Result struct {
+	Configs []Fig6Config
+	// Curve samples the primary configuration (Read-and-Compare, 64 ms)
+	// like the figure does.
+	Curve []costmodel.CurvePoint
+}
+
+// RunFig6 computes the cost-benefit crossovers.
+func RunFig6(Options) (fmt.Stringer, error) {
+	res := &Fig6Result{}
+	cases := []struct {
+		mode  costmodel.TestMode
+		loRef dram.Nanoseconds
+	}{
+		{costmodel.ReadCompare, dram.RefreshWindowDefault},
+		{costmodel.CopyCompare, dram.RefreshWindowDefault},
+		{costmodel.ReadCompare, dram.RefreshWindow128},
+		{costmodel.ReadCompare, dram.RefreshWindow256},
+		{costmodel.CopyCompare, dram.RefreshWindow128},
+		{costmodel.CopyCompare, dram.RefreshWindow256},
+	}
+	for _, cse := range cases {
+		cfg := costmodel.DefaultConfig()
+		cfg.Mode = cse.mode
+		cfg.LoRefInterval = cse.loRef
+		mwi, err := cfg.MinWriteInterval()
+		if err != nil {
+			return nil, err
+		}
+		res.Configs = append(res.Configs, Fig6Config{
+			Mode:             cse.mode,
+			LoRef:            cse.loRef,
+			TestCost:         cfg.TestCost(),
+			MinWriteInterval: mwi,
+		})
+	}
+	primary := costmodel.DefaultConfig()
+	res.Curve = primary.Curve(1000*dram.Millisecond, 112*dram.Millisecond)
+	return res, nil
+}
+
+// String renders the Fig. 6 report.
+func (r *Fig6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 6 — cost of testing vs aggressive refresh (per row)\n\n")
+	t := &table{header: []string{"test mode", "LO-REF", "test cost", "MinWriteInterval"}}
+	for _, c := range r.Configs {
+		t.addRow(c.Mode.String(),
+			fmt.Sprintf("%d ms", c.LoRef/dram.Millisecond),
+			fmt.Sprintf("%d ns", c.TestCost),
+			fmt.Sprintf("%d ms", c.MinWriteInterval/dram.Millisecond))
+	}
+	b.WriteString(t.String())
+	b.WriteString("\naccumulated cost (Read and Compare, LO-REF 64 ms):\n")
+	ct := &table{header: []string{"time (ms)", "HI-REF (ns)", "MEMCON (ns)"}}
+	for _, p := range r.Curve {
+		ct.addRow(fmt.Sprintf("%d", p.Time/dram.Millisecond),
+			fmt.Sprintf("%d", p.HiRef), fmt.Sprintf("%d", p.Memcon))
+	}
+	b.WriteString(ct.String())
+	return b.String()
+}
+
+// AppendixResult reports the latency building blocks (paper appendix).
+type AppendixResult struct {
+	Costs    costmodel.Breakdown
+	Reserved float64
+}
+
+// RunAppendix computes the appendix numbers.
+func RunAppendix(Options) (fmt.Stringer, error) {
+	return &AppendixResult{
+		Costs:    costmodel.Costs(dram.DDR31600()),
+		Reserved: costmodel.CopyCompareReservedRows(512, 8, 262144),
+	}, nil
+}
+
+// String renders the appendix report.
+func (r *AppendixResult) String() string {
+	var b strings.Builder
+	b.WriteString("Appendix — DDR3-1600 cost building blocks\n\n")
+	t := &table{header: []string{"quantity", "value", "paper"}}
+	t.addRow("row cycle (tRCD + 128*tCCD + tRP)", fmt.Sprintf("%d ns", r.Costs.RowCycle), "534 ns")
+	t.addRow("refresh (tRAS + tRP)", fmt.Sprintf("%d ns", r.Costs.RefreshCost), "39 ns")
+	t.addRow("Read and Compare (2 row reads)", fmt.Sprintf("%d ns", r.Costs.ReadCompare), "1068 ns")
+	t.addRow("Copy and Compare (2 reads + 1 write)", fmt.Sprintf("%d ns", r.Costs.CopyCompare), "1602 ns")
+	t.addRow("Copy and Compare reserved capacity", pct2(r.Reserved), "1.56%")
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CSVer is implemented by results whose series are useful to plot.
+// Rows returns a header row followed by data rows.
+type CSVer interface {
+	CSVRows() [][]string
+}
+
+// CSV renders any CSVer to RFC-4180 text.
+func CSV(r CSVer) (string, error) {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.WriteAll(r.CSVRows()); err != nil {
+		return "", fmt.Errorf("experiments: encoding csv: %w", err)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", fmt.Errorf("experiments: flushing csv: %w", err)
+	}
+	return b.String(), nil
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// CSVRows renders Fig. 11's conditional-probability series.
+func (r *Fig11Result) CSVRows() [][]string {
+	header := append([]string{"cil_ms"}, r.Apps...)
+	rows := [][]string{header}
+	for i, c := range r.CILs {
+		row := []string{f(c)}
+		for a := range r.Apps {
+			row = append(row, f(r.P[a][i]))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// CSVRows renders Fig. 12's coverage series.
+func (r *Fig12Result) CSVRows() [][]string {
+	header := append([]string{"cil_ms"}, r.Apps...)
+	rows := [][]string{header}
+	for i, c := range r.CILs {
+		row := []string{f(c)}
+		for a := range r.Apps {
+			row = append(row, f(r.Coverage[a][i]))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// CSVRows renders Fig. 14's per-application reductions.
+func (r *Fig14Result) CSVRows() [][]string {
+	rows := [][]string{{"application", "cil_512ms", "cil_1024ms", "cil_2048ms"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Name, f(row.Reduction[0]), f(row.Reduction[1]), f(row.Reduction[2])})
+	}
+	return rows
+}
+
+// CSVRows renders Fig. 15's speedup grid.
+func (r *Fig15Result) CSVRows() [][]string {
+	rows := [][]string{{"cores", "density", "reduction", "speedup"}}
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			strconv.Itoa(c.Cores), c.Density.String(), f(c.Reduction), f(c.Speedup),
+		})
+	}
+	return rows
+}
+
+// CSVRows renders Fig. 16's policy grid.
+func (r *Fig16Result) CSVRows() [][]string {
+	rows := [][]string{{"cores", "density", "policy", "speedup"}}
+	for _, c := range r.Cells {
+		rows = append(rows, []string{
+			strconv.Itoa(c.Cores), c.Density.String(), c.Policy, f(c.Speedup),
+		})
+	}
+	return rows
+}
+
+// CSVRows renders Fig. 4's per-benchmark failing-row fractions.
+func (r *Fig4Result) CSVRows() [][]string {
+	rows := [][]string{{"benchmark", "avg", "min", "max"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Benchmark, f(row.Avg), f(row.Min), f(row.Max)})
+	}
+	rows = append(rows, []string{"ALL_FAIL", f(r.AllFail), "", ""})
+	return rows
+}
+
+// CSVRows renders Fig. 9's time shares.
+func (r *Fig9Result) CSVRows() [][]string {
+	rows := [][]string{{"application", "long_share"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Name, f(row.LongShare)})
+	}
+	return rows
+}
+
+// CSVRows renders the Fig. 6 accumulated-cost curve.
+func (r *Fig6Result) CSVRows() [][]string {
+	rows := [][]string{{"time_ms", "hiref_ns", "memcon_ns"}}
+	for _, p := range r.Curve {
+		rows = append(rows, []string{
+			strconv.FormatInt(int64(p.Time)/1_000_000, 10),
+			strconv.FormatInt(int64(p.HiRef), 10),
+			strconv.FormatInt(int64(p.Memcon), 10),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,151 @@
+// Package experiments regenerates every table and figure of the MEMCON
+// paper's evaluation. Each experiment is a typed runner producing both
+// structured results and a rendered text table with the same rows/series
+// the paper reports. The DESIGN.md per-experiment index maps experiment
+// ids to paper artifacts; cmd/memconsim dispatches on the same ids.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options tune experiment cost. The defaults reproduce the paper-scale
+// runs; tests use smaller scales.
+type Options struct {
+	// Scale in (0,1] shrinks workload sizes (trace pages, module rows).
+	Scale float64
+	// Seed drives all randomness, making every experiment reproducible.
+	Seed int64
+	// SimTimeNs bounds performance-simulation runs (per configuration).
+	SimTimeNs int64
+	// Mixes is the number of multiprogrammed mixes for performance runs.
+	Mixes int
+}
+
+// DefaultOptions returns full-scale settings.
+func DefaultOptions() Options {
+	return Options{Scale: 1.0, Seed: 42, SimTimeNs: 500_000, Mixes: 30}
+}
+
+// normalize fills zero fields with defaults.
+func (o Options) normalize() Options {
+	d := DefaultOptions()
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = d.Scale
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.SimTimeNs <= 0 {
+		o.SimTimeNs = d.SimTimeNs
+	}
+	if o.Mixes <= 0 {
+		o.Mixes = d.Mixes
+	}
+	return o
+}
+
+// Runner executes one experiment and renders its report.
+type Runner func(Options) (fmt.Stringer, error)
+
+// registry maps experiment ids to runners. Ids follow the paper's
+// figure/table numbering.
+var registry = map[string]struct {
+	runner Runner
+	desc   string
+}{
+	"table1": {RunTable1, "Table 1: evaluated long-running workloads"},
+	"fig3":   {RunFig3, "Fig. 3: cells failing conditionally on data pattern"},
+	"fig4":   {RunFig4, "Fig. 4: failing rows, program content vs all-pattern"},
+	"fig6":   {RunFig6, "Fig. 6: accumulated cost and MinWriteInterval"},
+	"fig7":   {RunFig7, "Fig. 7: write-interval distributions"},
+	"fig8":   {RunFig8, "Fig. 8: Pareto fit of write intervals"},
+	"fig9":   {RunFig9, "Fig. 9: execution time in long write intervals"},
+	"fig11":  {RunFig11, "Fig. 11: P(RIL>1024ms) vs current interval length"},
+	"fig12":  {RunFig12, "Fig. 12: prediction coverage vs current interval length"},
+	"fig14":  {RunFig14, "Fig. 14: refresh reduction with MEMCON"},
+	"fig15":  {RunFig15, "Fig. 15: speedup over 16 ms baseline"},
+	"table3": {RunTable3, "Table 3: performance loss from concurrent testing"},
+	"fig16":  {RunFig16, "Fig. 16: comparison with other refresh mechanisms"},
+	"fig17":  {RunFig17, "Fig. 17: execution-time coverage of PRIL (LO-REF)"},
+	"fig18":  {RunFig18, "Fig. 18: time on refresh and testing vs baseline"},
+	"fig19":  {RunFig19, "Fig. 19: sensitivity to halved write intervals"},
+	"minwi":  {RunAppendix, "Appendix: DDR3-1600 latency building blocks"},
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Describe returns the one-line description of an experiment id.
+func Describe(id string) (string, error) {
+	e, ok := registry[id]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return e.desc, nil
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opts Options) (fmt.Stringer, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return e.runner(opts.normalize())
+}
+
+// table is a tiny fixed-width text table builder shared by the reports.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func pct(x float64) string  { return fmt.Sprintf("%.1f%%", 100*x) }
+func pct2(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"memcon/internal/dram"
+	"memcon/internal/memctrl"
+	"memcon/internal/sim"
+	"memcon/internal/stats"
+	"memcon/internal/workload"
+)
+
+// densities are the chip capacities of the Fig. 15/16 sweeps.
+var densities = []dram.Density{dram.Density8Gb, dram.Density16Gb, dram.Density32Gb}
+
+// baselineMem returns the aggressive-baseline memory configuration: all
+// rows at a 16 ms refresh window.
+func baselineMem(d dram.Density, seed int64) memctrl.Config {
+	cfg := memctrl.DefaultConfig()
+	cfg.Density = d
+	cfg.Seed = seed
+	// The evaluated controller schedules refresh elastically (REF can be
+	// postponed past pending demand), as the refresh-optimization work
+	// the paper compares against assumes.
+	cfg.RefreshPostponeProb = 0.5
+	return cfg
+}
+
+// memconMem returns the MEMCON memory configuration at the given refresh
+// reduction with test traffic injected.
+func memconMem(d dram.Density, reduction float64, testsPerWindow int, seed int64) (memctrl.Config, error) {
+	cfg := baselineMem(d, seed)
+	p, err := memctrl.StretchedRefreshPeriod(dram.RefreshWindowAggressive, reduction)
+	if err != nil {
+		return memctrl.Config{}, err
+	}
+	cfg.RefreshPeriod = p
+	cfg.TestsPerWindow = testsPerWindow
+	return cfg, nil
+}
+
+// avgSpeedup runs all mixes and returns the mean weighted speedup of
+// scheme over baseline.
+func avgSpeedup(mixes [][]workload.CoreParams, base, scheme memctrl.Config, simTime dram.Nanoseconds, seed int64) (float64, error) {
+	var speedups []float64
+	for i, mix := range mixes {
+		s, err := sim.MixSpeedup(mix, base, scheme, simTime, seed+int64(i))
+		if err != nil {
+			return 0, err
+		}
+		speedups = append(speedups, s)
+	}
+	return stats.Mean(speedups), nil
+}
+
+// Fig15Cell is one (cores, density, reduction) speedup.
+type Fig15Cell struct {
+	Cores     int
+	Density   dram.Density
+	Reduction float64
+	Speedup   float64
+}
+
+// Fig15Result reproduces Fig. 15: MEMCON speedup over the 16 ms baseline
+// for 60% and 75% refresh reductions, single- and four-core, across
+// densities. Test traffic (256 tests per 64 ms) is included, as in the
+// paper.
+type Fig15Result struct{ Cells []Fig15Cell }
+
+// RunFig15 sweeps the speedup grid.
+func RunFig15(opts Options) (fmt.Stringer, error) {
+	res := &Fig15Result{}
+	for _, cores := range []int{1, 4} {
+		mixes := workload.Mixes(opts.Mixes, cores, opts.Seed)
+		for _, d := range densities {
+			for _, reduction := range []float64{0.60, 0.75} {
+				scheme, err := memconMem(d, reduction, 256, opts.Seed)
+				if err != nil {
+					return nil, err
+				}
+				s, err := avgSpeedup(mixes, baselineMem(d, opts.Seed), scheme, opts.SimTimeNs, opts.Seed)
+				if err != nil {
+					return nil, err
+				}
+				res.Cells = append(res.Cells, Fig15Cell{Cores: cores, Density: d, Reduction: reduction, Speedup: s})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Speedup returns the cell for the given parameters, or 0.
+func (r *Fig15Result) Speedup(cores int, d dram.Density, reduction float64) float64 {
+	for _, c := range r.Cells {
+		if c.Cores == cores && c.Density == d && c.Reduction == reduction {
+			return c.Speedup
+		}
+	}
+	return 0
+}
+
+// String renders the Fig. 15 report.
+func (r *Fig15Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 15 — MEMCON speedup over baseline (16 ms refresh), incl. 256 tests/64 ms\n\n")
+	for _, cores := range []int{1, 4} {
+		fmt.Fprintf(&b, "%d-core:\n", cores)
+		t := &table{header: []string{"density", "60% reduction", "75% reduction"}}
+		for _, d := range densities {
+			t.addRow(d.String(),
+				fmt.Sprintf("%.2fx", r.Speedup(cores, d, 0.60)),
+				fmt.Sprintf("%.2fx", r.Speedup(cores, d, 0.75)))
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString("paper: 10%/17%/40% to 12%/22%/50% (1-core) and 10%/23%/52% to 17%/29%/65% (4-core) for 8/16/32 Gb\n")
+	return b.String()
+}
+
+// Table3Cell is one (cores, tests) overhead entry.
+type Table3Cell struct {
+	Cores int
+	Tests int
+	// Loss is the fractional performance loss vs zero-overhead testing.
+	Loss float64
+}
+
+// Table3Result reproduces Table 3: performance loss from the extra
+// memory accesses of 256/512/1024 concurrent tests every 64 ms.
+type Table3Result struct{ Cells []Table3Cell }
+
+// RunTable3 sweeps test-traffic intensity.
+func RunTable3(opts Options) (fmt.Stringer, error) {
+	res := &Table3Result{}
+	for _, cores := range []int{1, 4} {
+		mixes := workload.Mixes(opts.Mixes, cores, opts.Seed)
+		// The ideal configuration has MEMCON's refresh reduction but free
+		// testing.
+		ideal, err := memconMem(dram.Density8Gb, 0.70, 0, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, tests := range []int{256, 512, 1024} {
+			loaded := ideal
+			loaded.TestsPerWindow = tests
+			s, err := avgSpeedup(mixes, ideal, loaded, opts.SimTimeNs, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, Table3Cell{Cores: cores, Tests: tests, Loss: 1 - s})
+		}
+	}
+	return res, nil
+}
+
+// Loss returns the cell value for the given parameters, or 0.
+func (r *Table3Result) Loss(cores, tests int) float64 {
+	for _, c := range r.Cells {
+		if c.Cores == cores && c.Tests == tests {
+			return c.Loss
+		}
+	}
+	return 0
+}
+
+// String renders the Table 3 report.
+func (r *Table3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 3 — performance loss due to extra accesses for testing\n\n")
+	t := &table{header: []string{"", "256 tests", "512 tests", "1024 tests"}}
+	for _, cores := range []int{1, 4} {
+		t.addRow(fmt.Sprintf("%d-core", cores),
+			pct2(r.Loss(cores, 256)), pct2(r.Loss(cores, 512)), pct2(r.Loss(cores, 1024)))
+	}
+	b.WriteString(t.String())
+	b.WriteString("\npaper: 0.54%/1.03%/1.88% (1-core), 0.05%/0.09%/0.48% (4-core)\n")
+	return b.String()
+}
+
+// Fig16Cell is one (cores, density, policy) speedup over the 16 ms
+// baseline.
+type Fig16Cell struct {
+	Cores   int
+	Density dram.Density
+	Policy  string
+	Speedup float64
+}
+
+// Fig16Result reproduces Fig. 16: 32 ms refresh, RAIDR, MEMCON, and the
+// ideal 64 ms refresh, all over the 16 ms baseline.
+type Fig16Result struct{ Cells []Fig16Cell }
+
+// fig16Policies maps names to (reduction vs 16 ms baseline, tests).
+// 32 ms halves refresh ops (50%); RAIDR keeps 16% of rows at 16 ms
+// (63%); MEMCON averages ~70% with test traffic; 64 ms is the 75% ideal.
+var fig16Policies = []struct {
+	name      string
+	reduction float64
+	tests     int
+}{
+	{"32ms", 0.50, 0},
+	{"RAIDR", 0.63, 0},
+	{"MEMCON", 0.70, 256},
+	{"64ms", 0.75, 0},
+}
+
+// RunFig16 sweeps refresh policies.
+func RunFig16(opts Options) (fmt.Stringer, error) {
+	res := &Fig16Result{}
+	for _, cores := range []int{1, 4} {
+		mixes := workload.Mixes(opts.Mixes, cores, opts.Seed)
+		for _, d := range densities {
+			base := baselineMem(d, opts.Seed)
+			for _, pol := range fig16Policies {
+				scheme, err := memconMem(d, pol.reduction, pol.tests, opts.Seed)
+				if err != nil {
+					return nil, err
+				}
+				s, err := avgSpeedup(mixes, base, scheme, opts.SimTimeNs, opts.Seed)
+				if err != nil {
+					return nil, err
+				}
+				res.Cells = append(res.Cells, Fig16Cell{Cores: cores, Density: d, Policy: pol.name, Speedup: s})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Speedup returns the cell for the given parameters, or 0.
+func (r *Fig16Result) Speedup(cores int, d dram.Density, policy string) float64 {
+	for _, c := range r.Cells {
+		if c.Cores == cores && c.Density == d && c.Policy == policy {
+			return c.Speedup
+		}
+	}
+	return 0
+}
+
+// String renders the Fig. 16 report.
+func (r *Fig16Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 16 — speedup over 16 ms baseline, by refresh mechanism\n\n")
+	for _, cores := range []int{1, 4} {
+		fmt.Fprintf(&b, "%d-core:\n", cores)
+		header := []string{"density"}
+		for _, p := range fig16Policies {
+			header = append(header, p.name)
+		}
+		t := &table{header: header}
+		for _, d := range densities {
+			row := []string{d.String()}
+			for _, p := range fig16Policies {
+				row = append(row, fmt.Sprintf("%.2fx", r.Speedup(cores, d, p.name)))
+			}
+			t.addRow(row...)
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString("expected ordering: 32ms < RAIDR < MEMCON <= 64ms; MEMCON within 3-5% of 64 ms\n")
+	return b.String()
+}

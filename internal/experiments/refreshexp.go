@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"memcon/internal/core"
+	"memcon/internal/trace"
+	"memcon/internal/workload"
+)
+
+// pril-driven refresh experiments: Figs. 14, 17, 18.
+
+// cilChoices are the quantum lengths Figs. 14 and 17 evaluate (ms).
+var cilChoices = []trace.Microseconds{512 * trace.Millisecond, 1024 * trace.Millisecond, 2048 * trace.Millisecond}
+
+// runEngineOn replays one generated trace through the MEMCON engine at
+// the given quantum.
+func runEngineOn(tr *trace.Trace, quantum trace.Microseconds) (core.Report, error) {
+	cfg := core.DefaultConfig()
+	cfg.Quantum = quantum
+	return core.Run(tr, cfg, nil)
+}
+
+// Fig14Row is one application's refresh reduction per CIL.
+type Fig14Row struct {
+	Name string
+	// Reduction[i] is the refresh reduction at cilChoices[i].
+	Reduction []float64
+}
+
+// Fig14Result reproduces Fig. 14.
+type Fig14Result struct {
+	Rows       []Fig14Row
+	UpperBound float64
+	// AvgAt1024 is the mean reduction at the 1024 ms quantum.
+	AvgAt1024 float64
+	MinAt1024 float64
+	MaxAt1024 float64
+}
+
+// RunFig14 measures MEMCON's refresh-operation reduction for all
+// workloads at the three quantum lengths.
+func RunFig14(opts Options) (fmt.Stringer, error) {
+	res := &Fig14Result{UpperBound: 0.75, MinAt1024: 1}
+	var sum float64
+	for _, app := range workload.Apps() {
+		tr := app.Generate(opts.Seed, opts.Scale)
+		row := Fig14Row{Name: app.Name}
+		for _, q := range cilChoices {
+			rep, err := runEngineOn(tr, q)
+			if err != nil {
+				return nil, err
+			}
+			row.Reduction = append(row.Reduction, rep.RefreshReduction())
+		}
+		r1024 := row.Reduction[1]
+		sum += r1024
+		if r1024 < res.MinAt1024 {
+			res.MinAt1024 = r1024
+		}
+		if r1024 > res.MaxAt1024 {
+			res.MaxAt1024 = r1024
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	res.AvgAt1024 = sum / float64(len(res.Rows))
+	return res, nil
+}
+
+// String renders the Fig. 14 report.
+func (r *Fig14Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 14 — reduction in refresh count with MEMCON (baseline: 16 ms refresh)\n\n")
+	t := &table{header: []string{"application", "CIL 512ms", "CIL 1024ms", "CIL 2048ms"}}
+	for _, row := range r.Rows {
+		t.addRow(row.Name, pct(row.Reduction[0]), pct(row.Reduction[1]), pct(row.Reduction[2]))
+	}
+	t.addRow("UPPER BOUND", pct(r.UpperBound), pct(r.UpperBound), pct(r.UpperBound))
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nreduction at CIL 1024 ms: avg %s, range %s - %s (paper: 64.7%% - 74.5%%)\n",
+		pct(r.AvgAt1024), pct(r.MinAt1024), pct(r.MaxAt1024))
+	return b.String()
+}
+
+// Fig17Row is one application's LO-REF coverage per CIL.
+type Fig17Row struct {
+	Name     string
+	Coverage []float64
+}
+
+// Fig17Result reproduces Fig. 17.
+type Fig17Result struct {
+	Rows []Fig17Row
+	// AvgAt1024 is the mean coverage at the 1024 ms quantum.
+	AvgAt1024 float64
+}
+
+// RunFig17 measures the fraction of execution time rows spend at LO-REF.
+func RunFig17(opts Options) (fmt.Stringer, error) {
+	res := &Fig17Result{}
+	var sum float64
+	for _, app := range workload.Apps() {
+		tr := app.Generate(opts.Seed, opts.Scale)
+		row := Fig17Row{Name: app.Name}
+		for _, q := range cilChoices {
+			rep, err := runEngineOn(tr, q)
+			if err != nil {
+				return nil, err
+			}
+			row.Coverage = append(row.Coverage, rep.LoRefCoverage())
+		}
+		sum += row.Coverage[1]
+		res.Rows = append(res.Rows, row)
+	}
+	res.AvgAt1024 = sum / float64(len(res.Rows))
+	return res, nil
+}
+
+// String renders the Fig. 17 report.
+func (r *Fig17Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 17 — execution-time coverage of PRIL (time at LO-REF)\n\n")
+	t := &table{header: []string{"application", "CIL 512ms", "CIL 1024ms", "CIL 2048ms"}}
+	for _, row := range r.Rows {
+		t.addRow(row.Name, pct(row.Coverage[0]), pct(row.Coverage[1]), pct(row.Coverage[2]))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\naverage coverage at CIL 1024 ms: %s (paper: ~95%%)\n", pct(r.AvgAt1024))
+	return b.String()
+}
+
+// Fig18Row is one application's refresh+testing time, normalized to the
+// baseline's refresh time.
+type Fig18Row struct {
+	Name string
+	// RefreshShare is MEMCON refresh time / baseline refresh time.
+	RefreshShare float64
+	// TestCorrectShare and TestMispredShare are testing time (correct /
+	// mispredicted+aborted) over baseline refresh time.
+	TestCorrectShare float64
+	TestMispredShare float64
+}
+
+// Fig18Result reproduces Fig. 18.
+type Fig18Result struct {
+	Rows []Fig18Row
+	// AvgTestingShare is the mean total testing share.
+	AvgTestingShare float64
+}
+
+// RunFig18 measures time spent on refresh and testing under MEMCON,
+// normalized to baseline refresh time.
+func RunFig18(opts Options) (fmt.Stringer, error) {
+	res := &Fig18Result{}
+	var sum float64
+	for _, app := range workload.Apps() {
+		tr := app.Generate(opts.Seed, opts.Scale)
+		cfg := core.DefaultConfig()
+		cfg.Quantum = 1024 * trace.Millisecond
+		// Model the full module: the workload's written footprint is a
+		// small slice of an 8 GB DIMM; the rest holds static content
+		// that MEMCON tests once and keeps at LO-REF (§6.1). This is
+		// what makes testing time minuscule against the module-wide
+		// refresh bill in the paper's Fig. 18.
+		cfg.ReadOnlyRows = 9 * (tr.MaxPage() + 1)
+		rep, err := core.Run(tr, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		base := rep.BaselineRefreshTimeNs()
+		refreshNs := rep.RefreshOps * 39 // tRAS+tRP per op
+		row := Fig18Row{
+			Name:             app.Name,
+			RefreshShare:     refreshNs / base,
+			TestCorrectShare: rep.TestingTimeCorrectNs / base,
+			TestMispredShare: rep.TestingTimeMispredNs / base,
+		}
+		sum += row.TestCorrectShare + row.TestMispredShare
+		res.Rows = append(res.Rows, row)
+	}
+	res.AvgTestingShare = sum / float64(len(res.Rows))
+	return res, nil
+}
+
+// String renders the Fig. 18 report.
+func (r *Fig18Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 18 — time on refresh and testing, normalized to baseline refresh time\n\n")
+	t := &table{header: []string{"application", "refresh", "testing (correct)", "testing (mispredicted)"}}
+	for _, row := range r.Rows {
+		t.addRow(row.Name, pct(row.RefreshShare),
+			fmt.Sprintf("%.4f%%", 100*row.TestCorrectShare),
+			fmt.Sprintf("%.4f%%", 100*row.TestMispredShare))
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\naverage testing time: %.4f%% of baseline refresh time (paper: ~0.01%%)\n",
+		100*r.AvgTestingShare)
+	return b.String()
+}
+
+// Table1Result reproduces Table 1: the evaluated workload inventory.
+type Table1Result struct{ Apps []workload.AppSpec }
+
+// RunTable1 returns the workload table.
+func RunTable1(Options) (fmt.Stringer, error) {
+	return &Table1Result{Apps: workload.Apps()}, nil
+}
+
+// String renders Table 1.
+func (r *Table1Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 1 — evaluated long-running workloads (synthetic analogues)\n\n")
+	t := &table{header: []string{"application", "type", "time (s)", "mem (GB)", "threads", "pages", "pareto alpha", "xm (ms)"}}
+	for _, a := range r.Apps {
+		t.addRow(a.Name, a.Type,
+			fmt.Sprintf("%.1f", a.DurationSec),
+			fmt.Sprintf("%.1f", a.MemGB),
+			fmt.Sprintf("%d", a.Threads),
+			fmt.Sprintf("%d", a.Pages),
+			fmt.Sprintf("%.2f", a.IdleDist.Alpha),
+			fmt.Sprintf("%.0f", a.IdleDist.Xm))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,399 @@
+// Package faults models data-dependent DRAM failures — the failure class
+// MEMCON detects and mitigates. It plays the role of the silicon: it owns
+// the vendor's physical view of the array (scrambled addresses, remapped
+// columns, true-/anti-cell orientation) and decides which cells flip
+// given the stored content and how long a row has been idle.
+//
+// # Physical model
+//
+// A small fraction of cells are "weak": their retention is close enough
+// to the refresh window that cell-to-cell interference matters. Each weak
+// cell has
+//
+//   - a base retention time, drawn log-uniformly from a window above the
+//     characterization idle time (cells below it would fail with ANY
+//     content; the paper notes those are trivially detected and excludes
+//     them),
+//   - coupling weights to its four physical neighbours (bitline
+//     neighbours couple more strongly than wordline neighbours, per the
+//     bitline-coupling literature the paper cites),
+//   - an orientation: true cells store logical 1 as charge, anti cells
+//     store logical 0 as charge, alternating in row pairs.
+//
+// A charged weak cell leaks faster when neighbouring cells are
+// discharged (the interference condition); its effective retention is
+// base*(1 - MaxStress*stress) where stress in [0,1] aggregates the
+// discharged neighbours by coupling weight. The cell fails when its row
+// stays idle longer than the effective retention. This reproduces the
+// paper's observations: failures are content-dependent (Fig. 3), only a
+// subset of all-pattern failures occur with program content (Fig. 4),
+// and failure counts grow with the refresh interval.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"memcon/internal/dram"
+)
+
+// Params configures the failure model.
+type Params struct {
+	// WeakCellFraction is the probability that a cell is weak
+	// (coupling-sensitive). Typical silicon-inspired values are around
+	// 1e-4..1e-3.
+	WeakCellFraction float64
+	// RetentionFloor is the minimum base retention of a weak cell. It
+	// should sit at or above the characterization idle time so that no
+	// cell fails content-independently.
+	RetentionFloor dram.Nanoseconds
+	// RetentionCeil is the maximum base retention of a weak cell.
+	RetentionCeil dram.Nanoseconds
+	// MaxStress is the maximum fractional retention degradation when all
+	// neighbours aggress (0..1).
+	MaxStress float64
+	// BitlineWeight scales how much of the coupling budget goes to the
+	// two same-row (bitline) neighbours versus the two adjacent-row
+	// (wordline) neighbours. 0.7 means 70% bitline / 30% wordline.
+	BitlineWeight float64
+}
+
+// DefaultParams returns parameters calibrated so that, with the default
+// geometry and a 328 ms characterization idle (the paper's 4 s at 45 °C
+// scaled to 85 °C), roughly 13-14% of rows contain at least one cell that
+// fails under SOME data pattern, while typical program content triggers
+// far fewer failures — the Fig. 4 regime.
+func DefaultParams() Params {
+	return Params{
+		WeakCellFraction: 3.2e-4,
+		RetentionFloor:   328 * dram.Millisecond,
+		RetentionCeil:    8 * 328 * dram.Millisecond,
+		MaxStress:        0.6,
+		BitlineWeight:    0.7,
+	}
+}
+
+// CharacterizationIdle is the idle time used by the paper's chip tests:
+// 4 s at 45 °C, equivalent to 328 ms at 85 °C.
+const CharacterizationIdle = 328 * dram.Millisecond
+
+// ParamsForRefresh returns parameters scaled so that data-dependent
+// failures matter exactly at the given LO-REF window: no cell can fail
+// within the aggressive HI-REF window even under maximum stress (the
+// HI-REF state is unconditionally safe), while content-dependent
+// failures occur within one LO-REF window for aggressive content. This
+// is the configuration the full-fidelity MEMCON system runs with.
+func ParamsForRefresh(loRef dram.Nanoseconds) Params {
+	p := DefaultParams()
+	p.RetentionFloor = loRef
+	p.RetentionCeil = 8 * loRef
+	return p
+}
+
+// Validate reports an error for unusable parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.WeakCellFraction < 0 || p.WeakCellFraction > 1:
+		return fmt.Errorf("faults: WeakCellFraction %v outside [0,1]", p.WeakCellFraction)
+	case p.RetentionFloor <= 0:
+		return fmt.Errorf("faults: RetentionFloor must be positive, got %d", p.RetentionFloor)
+	case p.RetentionCeil < p.RetentionFloor:
+		return fmt.Errorf("faults: RetentionCeil %d below floor %d", p.RetentionCeil, p.RetentionFloor)
+	case p.MaxStress < 0 || p.MaxStress >= 1:
+		return fmt.Errorf("faults: MaxStress %v outside [0,1)", p.MaxStress)
+	case p.BitlineWeight < 0 || p.BitlineWeight > 1:
+		return fmt.Errorf("faults: BitlineWeight %v outside [0,1]", p.BitlineWeight)
+	}
+	return nil
+}
+
+// weakCell holds the silicon attributes of one weak cell at a physical
+// location.
+type weakCell struct {
+	physRow, physCol int
+	baseRetention    dram.Nanoseconds
+	// w[0..3]: coupling weights for left, right, up, down neighbours;
+	// they sum to 1.
+	w [4]float64
+}
+
+// Model is the failure model for one chip. It is deterministic in
+// (geometry, seed, params). Model is not safe for concurrent mutation
+// but becomes read-only after warm-up, so concurrent FailingCells calls
+// after Preload are safe.
+type Model struct {
+	geom   dram.Geometry
+	scr    *dram.Scrambler
+	seed   uint64
+	params Params
+
+	// Per-bank physical structures, built lazily.
+	banks []*bankFaults
+	// sysRowOfPhys caches the inverse row permutation per bank.
+	sysRowOfPhys [][]int
+	sysColOfPhys []int
+}
+
+type bankFaults struct {
+	// byPhysRow indexes the bank's weak cells by physical row.
+	byPhysRow map[int][]weakCell
+	count     int
+}
+
+// NewModel builds a failure model over the given geometry. The scrambler
+// represents the same chip (it must be constructed with the same
+// geometry); seed determines the weak-cell population.
+func NewModel(geom dram.Geometry, scr *dram.Scrambler, seed uint64, params Params) (*Model, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{
+		geom:         geom,
+		scr:          scr,
+		seed:         seed,
+		params:       params,
+		banks:        make([]*bankFaults, geom.BanksPerChip),
+		sysRowOfPhys: make([][]int, geom.BanksPerChip),
+	}
+	// Inverse column table (shared by all banks).
+	m.sysColOfPhys = make([]int, geom.PhysCols())
+	for i := range m.sysColOfPhys {
+		m.sysColOfPhys[i] = -1
+	}
+	for c := 0; c < geom.ColsPerRow; c++ {
+		m.sysColOfPhys[scr.PhysCol(c)] = c
+	}
+	return m, nil
+}
+
+// Preload forces construction of all per-bank fault state, making
+// subsequent queries read-only (and therefore safe for concurrent use).
+func (m *Model) Preload() {
+	for b := 0; b < m.geom.BanksPerChip; b++ {
+		m.bank(b)
+		m.invRows(b)
+	}
+}
+
+// bank lazily builds the weak-cell population of a bank. The population
+// is sampled without per-cell hashing: the expected number of weak cells
+// is drawn and distinct positions are placed uniformly, all from a
+// deterministic per-bank RNG.
+func (m *Model) bank(b int) *bankFaults {
+	if m.banks[b] != nil {
+		return m.banks[b]
+	}
+	rng := rand.New(rand.NewSource(int64(m.seed ^ uint64(b)*0x9e3779b97f4a7c15)))
+	cells := m.geom.RowsPerBank * m.geom.PhysCols()
+	n := int(math.Round(float64(cells) * m.params.WeakCellFraction))
+	bf := &bankFaults{byPhysRow: make(map[int][]weakCell), count: n}
+	seen := make(map[int]bool, n)
+	for len(seen) < n {
+		pos := rng.Intn(cells)
+		if seen[pos] {
+			continue
+		}
+		seen[pos] = true
+		pr := pos / m.geom.PhysCols()
+		pc := pos % m.geom.PhysCols()
+		wc := m.makeWeakCell(rng, pr, pc)
+		bf.byPhysRow[pr] = append(bf.byPhysRow[pr], wc)
+	}
+	for pr := range bf.byPhysRow {
+		row := bf.byPhysRow[pr]
+		sort.Slice(row, func(i, j int) bool { return row[i].physCol < row[j].physCol })
+	}
+	m.banks[b] = bf
+	return bf
+}
+
+func (m *Model) makeWeakCell(rng *rand.Rand, pr, pc int) weakCell {
+	// Log-uniform base retention in [floor, ceil].
+	lf := math.Log(float64(m.params.RetentionFloor))
+	lc := math.Log(float64(m.params.RetentionCeil))
+	base := dram.Nanoseconds(math.Exp(lf + rng.Float64()*(lc-lf)))
+
+	// Coupling weights: split the budget between bitline (left/right)
+	// and wordline (up/down) neighbours, then randomize within each
+	// pair.
+	bl := m.params.BitlineWeight
+	l := rng.Float64()
+	u := rng.Float64()
+	w := [4]float64{
+		bl * l,
+		bl * (1 - l),
+		(1 - bl) * u,
+		(1 - bl) * (1 - u),
+	}
+	return weakCell{physRow: pr, physCol: pc, baseRetention: base, w: w}
+}
+
+// invRows lazily builds the inverse row permutation of a bank.
+func (m *Model) invRows(b int) []int {
+	if m.sysRowOfPhys[b] != nil {
+		return m.sysRowOfPhys[b]
+	}
+	inv := make([]int, m.geom.RowsPerBank)
+	for r := 0; r < m.geom.RowsPerBank; r++ {
+		inv[m.scr.PhysRow(b, r)] = r
+	}
+	m.sysRowOfPhys[b] = inv
+	return inv
+}
+
+// trueCell reports whether the physical cell stores logical 1 as charge.
+// Orientation alternates in pairs of physical rows, offset per chip.
+func (m *Model) trueCell(physRow int) bool {
+	off := int(m.seed>>7) & 1
+	return ((physRow+off)/2)%2 == 0
+}
+
+// charged reports whether a cell holding logical bit v at the given
+// physical row is in the charged state.
+func (m *Model) charged(physRow, bit int) bool {
+	if m.trueCell(physRow) {
+		return bit == 1
+	}
+	return bit == 0
+}
+
+// bitAtPhys returns the logical bit stored at a physical location of the
+// bank, reading through the module's system-addressed content. Cells
+// without a mapped system column (unused redundant or remapped-away
+// faulty columns) read as 0.
+func (m *Model) bitAtPhys(mod *dram.Module, bank, physRow, physCol int) int {
+	if physRow < 0 || physRow >= m.geom.RowsPerBank || physCol < 0 || physCol >= m.geom.PhysCols() {
+		return -1 // outside the array
+	}
+	sysCol := m.sysColOfPhys[physCol]
+	if sysCol < 0 {
+		return 0
+	}
+	sysRow := m.invRows(bank)[physRow]
+	return mod.RowRef(dram.RowAddress{Bank: bank, Row: sysRow}).Bit(sysCol)
+}
+
+// stress computes the interference stress on a weak cell from its four
+// physical neighbours given current module content. Neighbours outside
+// the array contribute nothing (their weight is wasted), matching edge
+// cells being less exposed.
+func (m *Model) stress(mod *dram.Module, bank int, wc weakCell) float64 {
+	type nb struct{ dr, dc int }
+	neighbours := [4]nb{{0, -1}, {0, 1}, {-1, 0}, {1, 0}}
+	var s float64
+	for i, n := range neighbours {
+		pr := wc.physRow + n.dr
+		pc := wc.physCol + n.dc
+		bit := m.bitAtPhys(mod, bank, pr, pc)
+		if bit < 0 {
+			continue
+		}
+		if !m.charged(pr, bit) {
+			s += wc.w[i]
+		}
+	}
+	return s
+}
+
+// EffectiveRetention returns the retention of the weak cell under the
+// current content, before comparing with idle time.
+func (m *Model) effectiveRetention(mod *dram.Module, bank int, wc weakCell) dram.Nanoseconds {
+	s := m.stress(mod, bank, wc)
+	return dram.Nanoseconds(float64(wc.baseRetention) * (1 - m.params.MaxStress*s))
+}
+
+// FailingCells returns the system-column indices of cells in the
+// addressed (system-space) row that fail after the row has been idle for
+// the given time, under the module's current content. The module content
+// is not modified; callers decide whether to commit the flips.
+func (m *Model) FailingCells(mod *dram.Module, a dram.RowAddress, idle dram.Nanoseconds) []int {
+	bf := m.bank(a.Bank)
+	physRow := m.scr.PhysRow(a.Bank, a.Row)
+	cells := bf.byPhysRow[physRow]
+	if len(cells) == 0 {
+		return nil
+	}
+	var failing []int
+	for _, wc := range cells {
+		sysCol := m.sysColOfPhys[wc.physCol]
+		if sysCol < 0 {
+			continue // faulty/unused column: no data stored there
+		}
+		bit := mod.RowRef(a).Bit(sysCol)
+		if !m.charged(wc.physRow, bit) {
+			continue // discharged cells cannot leak
+		}
+		if idle > m.effectiveRetention(mod, a.Bank, wc) {
+			failing = append(failing, sysCol)
+		}
+	}
+	return failing
+}
+
+// RowCanFail reports whether the addressed row contains at least one weak
+// cell that could fail under SOME data pattern at the given idle time —
+// the "ALL FAIL" denominator of Fig. 4. A cell can fail under some
+// pattern iff idle > base*(1-MaxStress*maxAchievableStress), where the
+// worst pattern charges the victim and discharges every neighbour.
+func (m *Model) RowCanFail(a dram.RowAddress, idle dram.Nanoseconds) bool {
+	bf := m.bank(a.Bank)
+	physRow := m.scr.PhysRow(a.Bank, a.Row)
+	for _, wc := range bf.byPhysRow[physRow] {
+		if m.sysColOfPhys[wc.physCol] < 0 {
+			continue
+		}
+		maxStress := m.maxAchievableStress(wc)
+		eff := dram.Nanoseconds(float64(wc.baseRetention) * (1 - m.params.MaxStress*maxStress))
+		if idle > eff {
+			return true
+		}
+	}
+	return false
+}
+
+// maxAchievableStress sums the weights of neighbours that physically
+// exist (edge cells lose the out-of-array weight).
+func (m *Model) maxAchievableStress(wc weakCell) float64 {
+	type nb struct{ dr, dc int }
+	neighbours := [4]nb{{0, -1}, {0, 1}, {-1, 0}, {1, 0}}
+	var s float64
+	for i, n := range neighbours {
+		pr := wc.physRow + n.dr
+		pc := wc.physCol + n.dc
+		if pr < 0 || pr >= m.geom.RowsPerBank || pc < 0 || pc >= m.geom.PhysCols() {
+			continue
+		}
+		s += wc.w[i]
+	}
+	return s
+}
+
+// NeighborSysRows returns the system addresses of the rows that are
+// PHYSICALLY adjacent to the given system row — the rows whose cells'
+// stress changes when this row's content changes (wordline coupling).
+// Only the silicon knows this mapping; the full-fidelity System uses it
+// to model a DRAM-internal adjacency hint (in the spirit of target-row
+// refresh), never the DRAM-transparent engine itself.
+func (m *Model) NeighborSysRows(a dram.RowAddress) []dram.RowAddress {
+	inv := m.invRows(a.Bank)
+	pr := m.scr.PhysRow(a.Bank, a.Row)
+	var out []dram.RowAddress
+	if pr-1 >= 0 {
+		out = append(out, dram.RowAddress{Bank: a.Bank, Row: inv[pr-1]})
+	}
+	if pr+1 < m.geom.RowsPerBank {
+		out = append(out, dram.RowAddress{Bank: a.Bank, Row: inv[pr+1]})
+	}
+	return out
+}
+
+// WeakCellCount returns the number of weak cells in the bank.
+func (m *Model) WeakCellCount(bank int) int { return m.bank(bank).count }
+
+// Geometry returns the model's geometry.
+func (m *Model) Geometry() dram.Geometry { return m.geom }

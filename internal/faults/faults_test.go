@@ -1,0 +1,312 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"memcon/internal/dram"
+)
+
+func testGeometry() dram.Geometry {
+	return dram.Geometry{
+		Ranks:         1,
+		ChipsPerRank:  1,
+		BanksPerChip:  2,
+		RowsPerBank:   1024,
+		ColsPerRow:    1024,
+		RedundantCols: 16,
+	}
+}
+
+func newTestModel(t *testing.T, seed uint64, params Params) (*Model, *dram.Module) {
+	t.Helper()
+	geom := testGeometry()
+	scr := dram.NewScrambler(geom, seed, nil)
+	m, err := NewModel(geom, scr, seed, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := dram.NewModule(geom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, mod
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	bad := []Params{
+		{WeakCellFraction: -0.1, RetentionFloor: 1, RetentionCeil: 2, MaxStress: 0.5, BitlineWeight: 0.5},
+		{WeakCellFraction: 1.5, RetentionFloor: 1, RetentionCeil: 2, MaxStress: 0.5, BitlineWeight: 0.5},
+		{WeakCellFraction: 0.1, RetentionFloor: 0, RetentionCeil: 2, MaxStress: 0.5, BitlineWeight: 0.5},
+		{WeakCellFraction: 0.1, RetentionFloor: 5, RetentionCeil: 2, MaxStress: 0.5, BitlineWeight: 0.5},
+		{WeakCellFraction: 0.1, RetentionFloor: 1, RetentionCeil: 2, MaxStress: 1.0, BitlineWeight: 0.5},
+		{WeakCellFraction: 0.1, RetentionFloor: 1, RetentionCeil: 2, MaxStress: -0.1, BitlineWeight: 0.5},
+		{WeakCellFraction: 0.1, RetentionFloor: 1, RetentionCeil: 2, MaxStress: 0.5, BitlineWeight: 1.5},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestNewModelRejectsBadInputs(t *testing.T) {
+	geom := testGeometry()
+	scr := dram.NewScrambler(geom, 1, nil)
+	if _, err := NewModel(dram.Geometry{}, scr, 1, DefaultParams()); err == nil {
+		t.Error("invalid geometry accepted")
+	}
+	if _, err := NewModel(geom, scr, 1, Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestWeakCellPopulationDeterministic(t *testing.T) {
+	p := DefaultParams()
+	p.WeakCellFraction = 1e-3
+	a, _ := newTestModel(t, 42, p)
+	b, _ := newTestModel(t, 42, p)
+	if a.WeakCellCount(0) != b.WeakCellCount(0) {
+		t.Errorf("same seed yields different populations: %d vs %d", a.WeakCellCount(0), b.WeakCellCount(0))
+	}
+	c, _ := newTestModel(t, 43, p)
+	// Counts are the same by construction; the positions must differ, which
+	// shows up as differing failing sets below, but at minimum verify the
+	// deterministic count formula.
+	cells := testGeometry().RowsPerBank * testGeometry().PhysCols()
+	want := int(float64(cells)*p.WeakCellFraction + 0.5)
+	if a.WeakCellCount(0) != want {
+		t.Errorf("weak count = %d, want %d", a.WeakCellCount(0), want)
+	}
+	_ = c
+}
+
+func TestNoFailuresWhenFullyCharged(t *testing.T) {
+	p := DefaultParams()
+	p.WeakCellFraction = 5e-3
+	m, mod := newTestModel(t, 7, p)
+	rng := rand.New(rand.NewSource(1))
+	content := dram.NewRow(testGeometry().ColsPerRow)
+	content.Randomize(rng)
+	a := dram.RowAddress{Bank: 0, Row: 5}
+	if err := mod.WriteRow(a, content, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Idle shorter than the retention floor: nothing can fail.
+	if cells := m.FailingCells(mod, a, p.RetentionFloor/2); len(cells) != 0 {
+		t.Errorf("failures at half the retention floor: %v", cells)
+	}
+}
+
+func TestNoContentIndependentFailures(t *testing.T) {
+	// With all cells discharged no cell can fail regardless of idle time.
+	// All-zero content discharges true cells; all-one discharges anti
+	// cells. A row that is all-discharged requires knowing orientation,
+	// so instead verify the model invariant: FailingCells only reports
+	// cells that were charged, i.e. flipping them discharges them.
+	p := DefaultParams()
+	p.WeakCellFraction = 1e-2
+	m, mod := newTestModel(t, 11, p)
+	rng := rand.New(rand.NewSource(2))
+	geom := testGeometry()
+	idle := 4 * CharacterizationIdle
+	found := 0
+	for r := 0; r < 200 && found < 20; r++ {
+		a := dram.RowAddress{Bank: 0, Row: r}
+		content := dram.NewRow(geom.ColsPerRow)
+		content.Randomize(rng)
+		if err := mod.WriteRow(a, content, 0); err != nil {
+			t.Fatal(err)
+		}
+		cells := m.FailingCells(mod, a, idle)
+		found += len(cells)
+		// Flip each failing cell (discharging it) and confirm it no
+		// longer fails.
+		for _, c := range cells {
+			content.SetBit(c, content.Bit(c)^1)
+		}
+		if err := mod.WriteRow(a, content, 0); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cells {
+			for _, still := range m.FailingCells(mod, a, idle) {
+				if still == c {
+					t.Errorf("row %d cell %d still fails after discharge flip", r, c)
+				}
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("test never observed a failure; model or parameters too weak to be meaningful")
+	}
+}
+
+func TestFailuresAreDataDependent(t *testing.T) {
+	// The same cell should fail with one data pattern and survive with
+	// another — Fig. 3's core observation.
+	p := DefaultParams()
+	p.WeakCellFraction = 1e-2
+	m, mod := newTestModel(t, 13, p)
+	geom := testGeometry()
+	idle := 2 * CharacterizationIdle
+
+	conditional := 0
+	rng := rand.New(rand.NewSource(3))
+	for r := 0; r < 300 && conditional == 0; r++ {
+		a := dram.RowAddress{Bank: 1, Row: r}
+		content := dram.NewRow(geom.ColsPerRow)
+		content.Randomize(rng)
+		if err := mod.WriteRow(a, content, 0); err != nil {
+			t.Fatal(err)
+		}
+		first := m.FailingCells(mod, a, idle)
+		if len(first) == 0 {
+			continue
+		}
+		// Rewrite neighbours with different content, keeping the failing
+		// cell's own bit: if the failing set changes, failures are
+		// content-dependent.
+		content2 := dram.NewRow(geom.ColsPerRow)
+		content2.Randomize(rng)
+		for _, c := range first {
+			content2.SetBit(c, content.Bit(c))
+		}
+		if err := mod.WriteRow(a, content2, 0); err != nil {
+			t.Fatal(err)
+		}
+		second := m.FailingCells(mod, a, idle)
+		secondSet := map[int]bool{}
+		for _, c := range second {
+			secondSet[c] = true
+		}
+		for _, c := range first {
+			if !secondSet[c] {
+				conditional++
+			}
+		}
+	}
+	if conditional == 0 {
+		t.Skip("no conditional cell found in sampled rows; extremely unlikely but not an invariant violation")
+	}
+}
+
+func TestMoreFailuresAtLongerIdle(t *testing.T) {
+	p := DefaultParams()
+	p.WeakCellFraction = 5e-3
+	m, mod := newTestModel(t, 17, p)
+	geom := testGeometry()
+	rng := rand.New(rand.NewSource(4))
+	for r := 0; r < 300; r++ {
+		a := dram.RowAddress{Bank: 0, Row: r}
+		content := dram.NewRow(geom.ColsPerRow)
+		content.Randomize(rng)
+		if err := mod.WriteRow(a, content, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := func(idle dram.Nanoseconds) int {
+		n := 0
+		for r := 0; r < 300; r++ {
+			n += len(m.FailingCells(mod, dram.RowAddress{Bank: 0, Row: r}, idle))
+		}
+		return n
+	}
+	short := count(CharacterizationIdle)
+	long := count(4 * CharacterizationIdle)
+	if long < short {
+		t.Errorf("failures decreased with idle time: %d @1x vs %d @4x", short, long)
+	}
+	if long == 0 {
+		t.Error("no failures even at 4x characterization idle; parameters unusable")
+	}
+}
+
+func TestRowCanFailIsSupersetOfContentFailures(t *testing.T) {
+	p := DefaultParams()
+	p.WeakCellFraction = 2e-3
+	m, mod := newTestModel(t, 19, p)
+	geom := testGeometry()
+	rng := rand.New(rand.NewSource(5))
+	idle := 2 * CharacterizationIdle
+	for r := 0; r < 500; r++ {
+		a := dram.RowAddress{Bank: 0, Row: r}
+		content := dram.NewRow(geom.ColsPerRow)
+		content.Randomize(rng)
+		if err := mod.WriteRow(a, content, 0); err != nil {
+			t.Fatal(err)
+		}
+		if len(m.FailingCells(mod, a, idle)) > 0 && !m.RowCanFail(a, idle) {
+			t.Fatalf("row %d fails with content but RowCanFail is false", r)
+		}
+	}
+}
+
+func TestContentFailuresFewerThanAllFail(t *testing.T) {
+	// Fig. 4: program content triggers substantially fewer failing rows
+	// than the all-pattern worst case.
+	p := DefaultParams()
+	m, mod := newTestModel(t, 23, p)
+	geom := testGeometry()
+	rng := rand.New(rand.NewSource(6))
+	idle := CharacterizationIdle
+
+	allFail, contentFail := 0, 0
+	for r := 0; r < geom.RowsPerBank; r++ {
+		a := dram.RowAddress{Bank: 0, Row: r}
+		content := dram.NewRow(geom.ColsPerRow)
+		content.Randomize(rng)
+		if err := mod.WriteRow(a, content, 0); err != nil {
+			t.Fatal(err)
+		}
+		if m.RowCanFail(a, idle) {
+			allFail++
+		}
+		if len(m.FailingCells(mod, a, idle)) > 0 {
+			contentFail++
+		}
+	}
+	if allFail == 0 {
+		t.Fatal("no rows can fail at all; calibration broken")
+	}
+	if contentFail >= allFail {
+		t.Errorf("content failures (%d) not fewer than all-pattern failures (%d)", contentFail, allFail)
+	}
+}
+
+func TestPreloadEnablesConcurrentReads(t *testing.T) {
+	p := DefaultParams()
+	p.WeakCellFraction = 1e-3
+	m, mod := newTestModel(t, 29, p)
+	m.Preload()
+	geom := testGeometry()
+	rng := rand.New(rand.NewSource(7))
+	for r := 0; r < 64; r++ {
+		content := dram.NewRow(geom.ColsPerRow)
+		content.Randomize(rng)
+		if err := mod.WriteRow(dram.RowAddress{Bank: 0, Row: r}, content, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for r := 0; r < 64; r++ {
+				m.FailingCells(mod, dram.RowAddress{Bank: 0, Row: r}, CharacterizationIdle)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}
+
+func TestGeometryAccessor(t *testing.T) {
+	m, _ := newTestModel(t, 1, DefaultParams())
+	if m.Geometry().RowsPerBank != testGeometry().RowsPerBank {
+		t.Error("Geometry accessor mismatch")
+	}
+}

@@ -1,0 +1,110 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+
+	"memcon/internal/dram"
+)
+
+// Manufacturing-time column remapping interacts with the failure model:
+// a faulty physical column remapped away holds no data, so nothing can
+// "fail" there, and the remapped system column's cells now live in the
+// redundant region with redundant-region neighbours (Fig. 2b).
+func TestFaultsWithRemappedColumns(t *testing.T) {
+	geom := testGeometry()
+	// Find in-use physical columns to declare faulty.
+	clean := dram.NewScrambler(geom, 41, nil)
+	faulty := []int{clean.PhysCol(100), clean.PhysCol(200)}
+	scr := dram.NewScrambler(geom, 41, faulty)
+
+	params := DefaultParams()
+	params.WeakCellFraction = 1e-2
+	m, err := NewModel(geom, scr, 41, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := dram.NewModule(geom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	content := dram.NewRow(geom.ColsPerRow)
+
+	// Whole-bank sweep: no failing cell may be reported at a system
+	// column that does not exist, and the model must still find
+	// failures somewhere (the remap does not disable detection).
+	total := 0
+	for r := 0; r < geom.RowsPerBank; r++ {
+		a := dram.RowAddress{Bank: 0, Row: r}
+		content.Randomize(rng)
+		if err := mod.WriteRow(a, content, 0); err != nil {
+			t.Fatal(err)
+		}
+		cells := m.FailingCells(mod, a, 2*CharacterizationIdle)
+		for _, c := range cells {
+			if c < 0 || c >= geom.ColsPerRow {
+				t.Fatalf("failing cell at non-existent system column %d", c)
+			}
+		}
+		total += len(cells)
+	}
+	if total == 0 {
+		t.Error("no failures found on a chip with remapped columns; detection broken")
+	}
+}
+
+// Physical neighbours resolved by NeighborSysRows are symmetric: if B
+// is A's neighbour, A is B's neighbour.
+func TestNeighborSymmetry(t *testing.T) {
+	geom := testGeometry()
+	scr := dram.NewScrambler(geom, 43, nil)
+	m, err := NewModel(geom, scr, 43, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 64; r++ {
+		a := dram.RowAddress{Bank: 1, Row: r}
+		for _, nb := range m.NeighborSysRows(a) {
+			back := m.NeighborSysRows(nb)
+			found := false
+			for _, bb := range back {
+				if bb == a {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("neighbour asymmetry: %+v -> %+v but not back", a, nb)
+			}
+		}
+	}
+}
+
+// Neighbours always live in the same bank and are at most 2 per row.
+func TestNeighborBounds(t *testing.T) {
+	geom := testGeometry()
+	scr := dram.NewScrambler(geom, 47, nil)
+	m, err := NewModel(geom, scr, 47, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := 0
+	for r := 0; r < geom.RowsPerBank; r++ {
+		a := dram.RowAddress{Bank: 0, Row: r}
+		nbs := m.NeighborSysRows(a)
+		if len(nbs) > 2 {
+			t.Fatalf("row %d has %d neighbours", r, len(nbs))
+		}
+		if len(nbs) < 2 {
+			edge++ // physical edge rows have one neighbour
+		}
+		for _, nb := range nbs {
+			if nb.Bank != a.Bank {
+				t.Fatalf("neighbour crossed banks: %+v -> %+v", a, nb)
+			}
+		}
+	}
+	if edge != 2 {
+		t.Errorf("edge rows = %d, want exactly 2 (top and bottom physical rows)", edge)
+	}
+}

@@ -1,0 +1,64 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+
+	"memcon/internal/dram"
+)
+
+// DRAM retention degrades exponentially with temperature. The paper's
+// own test-condition equivalence — 4 s idle at 45 °C corresponds to
+// 328 ms at 85 °C — pins the scaling constant: retention halves every
+// retentionHalvingC degrees Celsius. MEMCON itself does not handle
+// temperature variation; it relies (§3) on exactly this kind of
+// experimentally validated model plus a guardband on the mitigation.
+// This file provides that model so deployments of the library can size
+// their guardbands.
+
+// retentionHalvingC is derived from ln(4000/328)/40 per °C.
+var retentionHalvingC = 40 * math.Ln2 / math.Log(4000.0/328.0)
+
+// RetentionScale returns the multiplicative retention change when the
+// operating temperature moves from fromC to toC: above-nominal
+// temperatures return values below 1.
+func RetentionScale(fromC, toC float64) float64 {
+	return math.Pow(2, (fromC-toC)/retentionHalvingC)
+}
+
+// EquivalentIdle converts an idle time measured at fromC to the idle
+// time with the same failure behaviour at toC — how the paper converts
+// its 4 s @45 °C test to 328 ms @85 °C.
+func EquivalentIdle(idle dram.Nanoseconds, fromC, toC float64) dram.Nanoseconds {
+	return dram.Nanoseconds(float64(idle) * RetentionScale(fromC, toC))
+}
+
+// AtTemperature returns a copy of the parameters with retention scaled
+// from the calibration temperature to an operating temperature. Use it
+// to ask "would this chip, calibrated at 85 °C, still be safe at 95 °C?"
+func (p Params) AtTemperature(calibratedC, operatingC float64) Params {
+	s := RetentionScale(calibratedC, operatingC)
+	p.RetentionFloor = dram.Nanoseconds(float64(p.RetentionFloor) * s)
+	p.RetentionCeil = dram.Nanoseconds(float64(p.RetentionCeil) * s)
+	return p
+}
+
+// GuardbandedLoRef returns the LO-REF interval to program so that rows
+// tested clean at testC remain safe up to worstC, with an additional
+// multiplicative margin (>= 1). This is the §3 guardband: MEMCON's test
+// certifies the row at the test temperature; the refresh interval must
+// absorb the retention lost at the worst-case temperature.
+func GuardbandedLoRef(loRef dram.Nanoseconds, testC, worstC, margin float64) (dram.Nanoseconds, error) {
+	if margin < 1 {
+		return 0, fmt.Errorf("faults: guardband margin must be >= 1, got %v", margin)
+	}
+	if worstC < testC {
+		// Cooler operation only gains retention; no derating needed.
+		worstC = testC
+	}
+	derated := float64(loRef) * RetentionScale(testC, worstC) / margin
+	if derated < 1 {
+		return 0, fmt.Errorf("faults: guardband collapses LO-REF below 1 ns")
+	}
+	return dram.Nanoseconds(derated), nil
+}

@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"memcon/internal/dram"
+)
+
+func TestPaperTemperatureEquivalence(t *testing.T) {
+	// The constant is calibrated on the paper's own test condition:
+	// 4 s at 45 C must map to 328 ms at 85 C.
+	got := EquivalentIdle(4*dram.Second, 45, 85)
+	if got < 327*dram.Millisecond || got > 329*dram.Millisecond {
+		t.Errorf("EquivalentIdle(4s, 45->85) = %d ms, want 328", got/dram.Millisecond)
+	}
+}
+
+func TestRetentionScaleProperties(t *testing.T) {
+	// Identity at equal temperatures.
+	if s := RetentionScale(60, 60); math.Abs(s-1) > 1e-12 {
+		t.Errorf("scale at equal temps = %v, want 1", s)
+	}
+	// Hotter -> less retention; cooler -> more.
+	if RetentionScale(45, 85) >= 1 {
+		t.Error("heating should shrink retention")
+	}
+	if RetentionScale(85, 45) <= 1 {
+		t.Error("cooling should grow retention")
+	}
+	// Composition: 45->65->85 equals 45->85.
+	comp := RetentionScale(45, 65) * RetentionScale(65, 85)
+	direct := RetentionScale(45, 85)
+	if math.Abs(comp-direct) > 1e-12 {
+		t.Errorf("scaling does not compose: %v vs %v", comp, direct)
+	}
+}
+
+func TestAtTemperature(t *testing.T) {
+	p := DefaultParams()
+	hotter := p.AtTemperature(85, 95)
+	if hotter.RetentionFloor >= p.RetentionFloor {
+		t.Error("retention floor did not shrink at higher temperature")
+	}
+	if hotter.RetentionCeil >= p.RetentionCeil {
+		t.Error("retention ceiling did not shrink at higher temperature")
+	}
+	// The scaled params must remain valid.
+	if err := hotter.Validate(); err != nil {
+		t.Errorf("scaled params invalid: %v", err)
+	}
+	cooler := p.AtTemperature(85, 45)
+	if cooler.RetentionFloor <= p.RetentionFloor {
+		t.Error("retention floor did not grow at lower temperature")
+	}
+}
+
+func TestGuardbandedLoRef(t *testing.T) {
+	lo := dram.RefreshWindowDefault // 64 ms
+	// Same temperature, margin 1: unchanged.
+	got, err := GuardbandedLoRef(lo, 85, 85, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != lo {
+		t.Errorf("no-op guardband changed LO-REF: %d", got)
+	}
+	// Hotter worst case shrinks the interval.
+	hot, err := GuardbandedLoRef(lo, 85, 95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot >= lo {
+		t.Errorf("hot guardband = %d, want < %d", hot, lo)
+	}
+	// Margin shrinks it further.
+	margined, err := GuardbandedLoRef(lo, 85, 95, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if margined >= hot {
+		t.Errorf("margin did not shrink interval: %d vs %d", margined, hot)
+	}
+	// Cooler worst case never relaxes beyond the programmed interval.
+	cool, err := GuardbandedLoRef(lo, 85, 45, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cool != lo {
+		t.Errorf("cooler worst case changed LO-REF: %d", cool)
+	}
+}
+
+func TestGuardbandedLoRefErrors(t *testing.T) {
+	if _, err := GuardbandedLoRef(dram.RefreshWindowDefault, 85, 95, 0.5); err == nil {
+		t.Error("margin < 1 accepted")
+	}
+	if _, err := GuardbandedLoRef(1, 0, 400, 1); err == nil {
+		t.Error("collapsing guardband accepted")
+	}
+}
+
+// End-to-end: a chip safe at its calibration temperature can exhibit
+// failures at a hotter operating point; the guardbanded interval
+// restores safety.
+func TestTemperatureGuardbandEndToEnd(t *testing.T) {
+	geom := testGeometry()
+	scr := dram.NewScrambler(geom, 21, nil)
+	base := ParamsForRefresh(dram.RefreshWindowDefault)
+	base.WeakCellFraction = 5e-3
+
+	hot := base.AtTemperature(85, 105)
+	model, err := NewModel(geom, scr, 21, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 105 C, the retention floor sits below the 64 ms LO-REF window
+	// scaled: some rows may now fail within LO-REF even under modest
+	// stress. The guardbanded interval must be at most the scaled floor
+	// under max stress, i.e. provably safe.
+	guarded, err := GuardbandedLoRef(dram.RefreshWindowDefault, 85, 105, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guarded >= dram.RefreshWindowDefault {
+		t.Fatal("guardband did not tighten the interval")
+	}
+	// Safety: no cell can fail within the guarded interval even with
+	// maximal stress, because floor_hot * (1-MaxStress) >= guarded *
+	// (1-MaxStress) relation holds via floor scaling.
+	minEff := float64(hot.RetentionFloor) * (1 - hot.MaxStress)
+	if float64(guarded)*(1-base.MaxStress) > minEff {
+		// The guarded window must sit within the worst-case retention.
+		if float64(guarded) > minEff {
+			t.Errorf("guarded interval %d exceeds worst-case retention %v", guarded, minEff)
+		}
+	}
+	_ = model
+}

@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"testing"
+
+	"memcon/internal/dram"
+)
+
+func newVRT(t *testing.T, params VRTParams, weakFraction float64) (*VRTModel, *dram.Module) {
+	t.Helper()
+	base, mod := newTestModel(t, 31, func() Params {
+		p := ParamsForRefresh(dram.RefreshWindowDefault)
+		if weakFraction > 0 {
+			p.WeakCellFraction = weakFraction
+		}
+		return p
+	}())
+	return NewVRTModel(base, params, 31), mod
+}
+
+func TestVRTNoToggleWithoutRate(t *testing.T) {
+	params := DefaultVRTParams()
+	params.ToggleRate = 0
+	params.AffectedFraction = 1
+	v, _ := newVRT(t, params, 1e-3)
+	v.Advance(100 * 3600 * dram.Second)
+	if got := v.RetentionScaleAt(0, 1, 1); got != 1.0 {
+		t.Errorf("zero rate toggled a cell: scale %v", got)
+	}
+}
+
+func TestVRTUnaffectedCellsStable(t *testing.T) {
+	params := DefaultVRTParams()
+	params.AffectedFraction = 0
+	v, _ := newVRT(t, params, 1e-3)
+	v.Advance(1000 * 3600 * dram.Second)
+	for i := 0; i < 100; i++ {
+		if v.RetentionScaleAt(0, i, i) != 1.0 {
+			t.Fatal("unaffected cell degraded")
+		}
+	}
+	if v.ToggledCells() != 0 {
+		t.Errorf("toggled cells = %d, want 0", v.ToggledCells())
+	}
+}
+
+func TestVRTTogglesOverTime(t *testing.T) {
+	params := VRTParams{ToggleRate: 10, DegradeFactor: 0.5, AffectedFraction: 1}
+	v, _ := newVRT(t, params, 1e-3)
+	// Touch a population of cells at time 0.
+	for i := 0; i < 200; i++ {
+		v.RetentionScaleAt(0, i, i)
+	}
+	if v.ToggledCells() != 0 {
+		t.Fatalf("cells degraded at time 0: %d", v.ToggledCells())
+	}
+	// After many expected toggle periods, roughly half should be
+	// degraded (stationary distribution of the two-state chain).
+	v.Advance(100 * 3600 * dram.Second)
+	toggled := v.ToggledCells()
+	if toggled < 50 || toggled > 150 {
+		t.Errorf("toggled cells = %d of 200, want near half", toggled)
+	}
+}
+
+func TestVRTDegradedCellsFailEarlier(t *testing.T) {
+	// With degradation active, a row can fail at an idle time where the
+	// static model says it is safe.
+	params := VRTParams{ToggleRate: 50, DegradeFactor: 0.2, AffectedFraction: 1}
+	v, mod := newVRT(t, params, 5e-3)
+	geom := v.Geometry()
+
+	// Fill rows with all-ones (charges true cells) plus all-zero
+	// neighbours would need orientation knowledge; random is fine.
+	content := dram.NewRow(geom.ColsPerRow)
+	content.Fill(^uint64(0))
+	for r := 0; r < geom.RowsPerBank; r++ {
+		if err := mod.WriteRow(dram.RowAddress{Bank: 0, Row: r}, content, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Below floor*(1-MaxStress) = 0.4*64 ms no cell can fail statically
+	// even under maximal coupling stress.
+	idle := 25 * dram.Millisecond
+	staticFails := 0
+	for r := 0; r < geom.RowsPerBank; r++ {
+		staticFails += len(v.FailingCells(mod, dram.RowAddress{Bank: 0, Row: r}, idle))
+	}
+	if staticFails != 0 {
+		t.Fatalf("static model fails %d cells at the retention floor", staticFails)
+	}
+	v.Advance(50 * 3600 * dram.Second)
+	vrtFails := 0
+	for r := 0; r < geom.RowsPerBank; r++ {
+		vrtFails += len(v.FailingCellsVRT(mod, dram.RowAddress{Bank: 0, Row: r}, idle))
+	}
+	if vrtFails == 0 {
+		t.Error("VRT degradation produced no additional failures; extension is vacuous")
+	}
+}
+
+// MEMCON's resilience to VRT: a row that toggles weak AFTER its clean
+// test is re-tested on its next content change, so the new state is
+// caught — unlike a one-shot profile. This test verifies the mechanism
+// primitive: FailingCellsVRT reflects the current state at test time.
+func TestVRTStateVisibleToFreshTests(t *testing.T) {
+	params := VRTParams{ToggleRate: 20, DegradeFactor: 0.2, AffectedFraction: 1}
+	v, mod := newVRT(t, params, 5e-3)
+	geom := v.Geometry()
+	content := dram.NewRow(geom.ColsPerRow)
+	content.Fill(^uint64(0))
+	a := dram.RowAddress{Bank: 0, Row: 3}
+	if err := mod.WriteRow(a, content, 0); err != nil {
+		t.Fatal(err)
+	}
+	idle := dram.RefreshWindowDefault
+	before := len(v.FailingCellsVRT(mod, a, idle))
+	v.Advance(200 * 3600 * dram.Second)
+	after := len(v.FailingCellsVRT(mod, a, idle))
+	// Not guaranteed per row, but across a sweep the state must be able
+	// to differ; check at least that repeated queries are consistent at
+	// a fixed time.
+	again := len(v.FailingCellsVRT(mod, a, idle))
+	if after != again {
+		t.Errorf("VRT evaluation not stable at fixed time: %d vs %d", after, again)
+	}
+	_ = before
+}

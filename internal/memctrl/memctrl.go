@@ -1,0 +1,253 @@
+// Package memctrl is an event-driven model of a single-channel DDR3
+// memory system: per-bank row-buffer state machines, all-bank refresh
+// that blocks the rank for tRFC every tREFI, and MEMCON's test-traffic
+// injection. It supplies the memory-latency side of the performance
+// evaluation (Fig. 15/16, Table 3): the first-order effects are the
+// fraction of time the rank is unavailable behind REF commands (which
+// grows with chip density through tRFC) and the bandwidth consumed by
+// online testing.
+package memctrl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"memcon/internal/dram"
+)
+
+// Config parameterizes the memory system.
+type Config struct {
+	// Timing supplies command latencies.
+	Timing dram.Timing
+	// Banks is the number of banks in the rank.
+	Banks int
+	// Density sets tRFC.
+	Density dram.Density
+	// RefreshPeriod is the interval between REF commands (tREFI). For an
+	// all-rows 16 ms refresh window this is 1.95 µs; refresh-reduction
+	// schemes stretch it (a 75% reduction means one REF per 7.8 µs).
+	RefreshPeriod dram.Nanoseconds
+	// TestsPerWindow injects MEMCON test traffic: each test occupies a
+	// random bank for two (Read-and-Compare) or three (Copy-and-Compare)
+	// full row cycles during every TestWindow.
+	TestsPerWindow int
+	// TestWindow is the period over which TestsPerWindow tests run
+	// (64 ms in the paper).
+	TestWindow dram.Nanoseconds
+	// TestRowCycles is the number of row cycles per test (2 for
+	// Read-and-Compare, 3 for Copy-and-Compare).
+	TestRowCycles int
+	// RefreshPostponeProb is the probability that a request arriving
+	// inside a REF window does not wait because the controller had
+	// postponed that REF to an idle period (elastic/flexible refresh
+	// scheduling, which JEDEC permits for up to 8 REF commands). 0
+	// models a rigid controller.
+	RefreshPostponeProb float64
+	// Seed drives test-traffic placement and any model randomness.
+	Seed int64
+}
+
+// DefaultConfig returns a DDR3-1600, 8-bank, 8 Gb configuration with an
+// aggressive all-rows 16 ms refresh and no test traffic.
+func DefaultConfig() Config {
+	return Config{
+		Timing:        dram.DDR31600(),
+		Banks:         8,
+		Density:       dram.Density8Gb,
+		RefreshPeriod: dram.TREFI(dram.RefreshWindowAggressive),
+		TestWindow:    64 * dram.Millisecond,
+		TestRowCycles: 2,
+		Seed:          1,
+	}
+}
+
+// Validate reports an error for unusable configurations.
+func (c Config) Validate() error {
+	if c.Banks <= 0 {
+		return fmt.Errorf("memctrl: bank count must be positive, got %d", c.Banks)
+	}
+	if c.RefreshPeriod <= 0 {
+		return fmt.Errorf("memctrl: refresh period must be positive, got %d", c.RefreshPeriod)
+	}
+	if c.RefreshPeriod <= c.Density.TRFC() {
+		return fmt.Errorf("memctrl: refresh period %d not above tRFC %d; rank would never be available",
+			c.RefreshPeriod, c.Density.TRFC())
+	}
+	if c.TestsPerWindow < 0 {
+		return fmt.Errorf("memctrl: tests per window cannot be negative, got %d", c.TestsPerWindow)
+	}
+	if c.TestsPerWindow > 0 && c.TestWindow <= 0 {
+		return fmt.Errorf("memctrl: test window must be positive when tests are injected, got %d", c.TestWindow)
+	}
+	if c.TestsPerWindow > 0 && (c.TestRowCycles < 2 || c.TestRowCycles > 3) {
+		return fmt.Errorf("memctrl: test row cycles must be 2 or 3, got %d", c.TestRowCycles)
+	}
+	if c.RefreshPostponeProb < 0 || c.RefreshPostponeProb > 1 {
+		return fmt.Errorf("memctrl: refresh postpone probability %v outside [0,1]", c.RefreshPostponeProb)
+	}
+	return nil
+}
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Requests     int64
+	RowHits      int64
+	RowMisses    int64
+	TestBusies   int64
+	TotalLatency dram.Nanoseconds
+}
+
+// Controller simulates the memory system. It is single-goroutine: the
+// system simulator serializes request arrivals by time.
+type Controller struct {
+	cfg  Config
+	trfc dram.Nanoseconds
+
+	bankBusyUntil []dram.Nanoseconds
+	bankOpenRow   []int
+
+	// refreshOffset shifts this controller's REF schedule (rank
+	// staggering on multi-rank DIMMs).
+	refreshOffset dram.Nanoseconds
+
+	// Test traffic: tests are injected one by one in time order at an
+	// average spacing of TestWindow/TestsPerWindow with jitter.
+	rng        *rand.Rand
+	nextTestAt dram.Nanoseconds
+
+	// tracer, when attached, records every access (the HMTT analogue).
+	tracer *BusTracer
+
+	stats Stats
+}
+
+// New creates a controller.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:           cfg,
+		trfc:          cfg.Density.TRFC(),
+		bankBusyUntil: make([]dram.Nanoseconds, cfg.Banks),
+		bankOpenRow:   make([]int, cfg.Banks),
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := range c.bankOpenRow {
+		c.bankOpenRow[i] = -1
+	}
+	return c, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// refreshEnd returns the earliest time at or after t when the rank is
+// not blocked by a REF command. REF windows are
+// [k*period+offset, k*period+offset+tRFC).
+func (c *Controller) refreshEnd(t dram.Nanoseconds) dram.Nanoseconds {
+	shifted := t - c.refreshOffset
+	if shifted < 0 {
+		return t
+	}
+	k := shifted / c.cfg.RefreshPeriod
+	windowStart := k*c.cfg.RefreshPeriod + c.refreshOffset
+	if t < windowStart+c.trfc {
+		return windowStart + c.trfc
+	}
+	return t
+}
+
+// injectTests applies, in time order, every test whose start time has
+// been reached. Tests are background traffic: each occupies a random
+// bank for TestRowCycles full row cycles; they do not wait for
+// program-visible completion. With TestsPerWindow tests per TestWindow
+// the average spacing is TestWindow/TestsPerWindow; spacing is jittered
+// uniformly so tests do not beat against program access patterns.
+func (c *Controller) injectTests(now dram.Nanoseconds) {
+	if c.cfg.TestsPerWindow == 0 {
+		return
+	}
+	spacing := c.cfg.TestWindow / dram.Nanoseconds(c.cfg.TestsPerWindow)
+	if spacing < 1 {
+		spacing = 1
+	}
+	for c.nextTestAt <= now {
+		bank := c.rng.Intn(c.cfg.Banks)
+		busy := dram.Nanoseconds(c.cfg.TestRowCycles) * c.cfg.Timing.RowCycle()
+		start := c.refreshEnd(maxNS(c.nextTestAt, c.bankBusyUntil[bank]))
+		c.bankBusyUntil[bank] = start + busy
+		c.bankOpenRow[bank] = -1 // the test closes whatever row was open
+		c.stats.TestBusies++
+		// Jittered spacing in [0.5, 1.5) of the average.
+		c.nextTestAt += spacing/2 + dram.Nanoseconds(c.rng.Int63n(int64(spacing)))
+	}
+}
+
+func maxNS(a, b dram.Nanoseconds) dram.Nanoseconds {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Access serves one program request arriving at time at to (bank, row)
+// and returns its completion time. Requests must arrive in
+// non-decreasing time order across the whole controller.
+func (c *Controller) Access(at dram.Nanoseconds, bank, row int, write bool) (dram.Nanoseconds, error) {
+	if bank < 0 || bank >= c.cfg.Banks {
+		return 0, fmt.Errorf("memctrl: bank %d outside [0,%d)", bank, c.cfg.Banks)
+	}
+	c.injectTests(at)
+	if c.tracer != nil {
+		c.tracer.Record(at, bank, row, write)
+	}
+
+	ready := maxNS(at, c.bankBusyUntil[bank])
+	start := ready
+	if blocked := c.refreshEnd(ready); blocked > ready {
+		// The rank is mid-REF; an elastic controller may have postponed
+		// this REF to serve pending demand.
+		if c.cfg.RefreshPostponeProb == 0 || c.rng.Float64() >= c.cfg.RefreshPostponeProb {
+			start = blocked
+		}
+	}
+	t := c.cfg.Timing
+	var service dram.Nanoseconds
+	if c.bankOpenRow[bank] == row {
+		c.stats.RowHits++
+		service = t.CL + t.TCCD
+	} else {
+		c.stats.RowMisses++
+		service = t.TRP + t.TRCD + t.CL + t.TCCD
+		c.bankOpenRow[bank] = row
+	}
+	if write {
+		// Writes complete into the write queue; model the same bank
+		// occupancy with CWL instead of CL.
+		service += t.CWL - t.CL
+	}
+	done := start + service
+	c.bankBusyUntil[bank] = done
+	c.stats.Requests++
+	c.stats.TotalLatency += done - at
+	return done, nil
+}
+
+// RefreshBusyFraction returns the fraction of time the rank is blocked
+// behind REF commands under this configuration — the analytic first-order
+// driver of the Fig. 15 speedups.
+func (c *Controller) RefreshBusyFraction() float64 {
+	return float64(c.trfc) / float64(c.cfg.RefreshPeriod)
+}
+
+// StretchedRefreshPeriod returns the REF period that an all-rows refresh
+// at baseWindow stretches to when a scheme eliminates the given fraction
+// of refresh operations.
+func StretchedRefreshPeriod(baseWindow dram.Nanoseconds, reduction float64) (dram.Nanoseconds, error) {
+	if reduction < 0 || reduction >= 1 {
+		return 0, fmt.Errorf("memctrl: reduction %v outside [0,1)", reduction)
+	}
+	base := dram.TREFI(baseWindow)
+	return dram.Nanoseconds(float64(base) / (1 - reduction)), nil
+}

@@ -1,0 +1,148 @@
+package pril
+
+import (
+	"fmt"
+	"math/bits"
+
+	"memcon/internal/trace"
+)
+
+// BitmapPredictor is the "cheaper implementation" the paper leaves as
+// future work (§4.2): it replaces the write-buffers (associative
+// structures holding page addresses) with a second bit vector per
+// quantum. Per quantum it keeps
+//
+//	once[p]  — page p received at least one write
+//	multi[p] — page p received at least two writes
+//
+// At a quantum boundary the candidates are exactly the pages with
+// prevOnce AND NOT prevMulti AND NOT curOnce — the same set the
+// buffer-based Predictor emits with an unbounded buffer — found by a
+// linear scan over the bit vectors. Storage drops from ~17 KB of CAM to
+// 2 bits per tracked page, at the cost of the scan (which is off the
+// critical path, like the rest of PRIL).
+type BitmapPredictor struct {
+	cfg Config
+
+	curOnce, curMulti   writeMap
+	prevOnce, prevMulti writeMap
+
+	quantumStart trace.Microseconds
+	stats        Stats
+
+	onPredict func(page uint32, at trace.Microseconds)
+}
+
+// NewBitmap creates a bitmap-based predictor. BufferCap is ignored:
+// the structure has no buffer to overflow.
+func NewBitmap(cfg Config) (*BitmapPredictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &BitmapPredictor{
+		cfg:       cfg,
+		curOnce:   newWriteMap(cfg.NumPages),
+		curMulti:  newWriteMap(cfg.NumPages),
+		prevOnce:  newWriteMap(cfg.NumPages),
+		prevMulti: newWriteMap(cfg.NumPages),
+	}, nil
+}
+
+// OnPredict installs the prediction callback.
+func (p *BitmapPredictor) OnPredict(fn func(page uint32, at trace.Microseconds)) {
+	p.onPredict = fn
+}
+
+// Stats returns the bookkeeping counters.
+func (p *BitmapPredictor) Stats() Stats { return p.stats }
+
+// Observe processes one write event in time order.
+func (p *BitmapPredictor) Observe(e trace.Event) error {
+	if e.At < p.quantumStart {
+		return fmt.Errorf("pril: event at %d before current quantum start %d", e.At, p.quantumStart)
+	}
+	if int(e.Page) >= p.cfg.NumPages {
+		return fmt.Errorf("pril: page %d outside tracked space of %d pages", e.Page, p.cfg.NumPages)
+	}
+	for e.At >= p.quantumStart+p.cfg.Quantum {
+		p.endQuantum()
+	}
+	p.stats.Writes++
+	if p.curOnce.get(e.Page) {
+		if !p.curMulti.get(e.Page) {
+			p.curMulti.set(e.Page)
+			p.stats.MultiWriteRemovals++
+		}
+	} else {
+		p.curOnce.set(e.Page)
+	}
+	return nil
+}
+
+// endQuantum scans the bit vectors and emits predictions.
+func (p *BitmapPredictor) endQuantum() {
+	boundary := p.quantumStart + p.cfg.Quantum
+	for w := range p.prevOnce {
+		// candidates = prevOnce & ^prevMulti & ^curOnce, word-wise.
+		cand := p.prevOnce[w] &^ p.prevMulti[w] &^ p.curOnce[w]
+		for cand != 0 {
+			b := bits.TrailingZeros64(cand)
+			cand &= cand - 1
+			page := uint32(w*64 + b)
+			if int(page) >= p.cfg.NumPages {
+				continue
+			}
+			p.stats.Predictions++
+			if p.onPredict != nil {
+				p.onPredict(page, boundary)
+			}
+		}
+	}
+	p.prevOnce.clear()
+	p.prevMulti.clear()
+	p.prevOnce, p.curOnce = p.curOnce, p.prevOnce
+	p.prevMulti, p.curMulti = p.curMulti, p.prevMulti
+	p.quantumStart = boundary
+	p.stats.Quanta++
+}
+
+// Finish flushes quantum boundaries up to endTime.
+func (p *BitmapPredictor) Finish(endTime trace.Microseconds) {
+	for endTime >= p.quantumStart+p.cfg.Quantum {
+		p.endQuantum()
+	}
+}
+
+// RunBitmap replays a trace through a fresh bitmap predictor.
+func RunBitmap(tr *trace.Trace, cfg Config) ([]Prediction, Stats, error) {
+	if max := tr.MaxPage(); max >= cfg.NumPages {
+		cfg.NumPages = max + 1
+	}
+	p, err := NewBitmap(cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var preds []Prediction
+	p.OnPredict(func(page uint32, at trace.Microseconds) {
+		preds = append(preds, Prediction{Page: page, At: at})
+	})
+	for _, e := range tr.Events {
+		if err := p.Observe(e); err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	p.Finish(tr.Duration)
+	return preds, p.Stats(), nil
+}
+
+// StorageBitsBuffer returns the storage, in bits, of the buffer-based
+// design for the given page count and buffer entries (write-map bit per
+// page plus address bits per buffer entry), doubled for the two quanta.
+func StorageBitsBuffer(pages, bufferEntries int) int {
+	addrBits := bits.Len(uint(pages - 1))
+	return 2 * (pages + bufferEntries*addrBits)
+}
+
+// StorageBitsBitmap returns the storage of the bitmap design: two bit
+// vectors per quantum, two quanta.
+func StorageBitsBitmap(pages int) int { return 2 * 2 * pages }

@@ -1,0 +1,147 @@
+package pril
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"memcon/internal/trace"
+)
+
+func TestBitmapBasicPrediction(t *testing.T) {
+	p, err := NewBitmap(Config{Quantum: q, NumPages: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var preds []Prediction
+	p.OnPredict(func(page uint32, at trace.Microseconds) {
+		preds = append(preds, Prediction{Page: page, At: at})
+	})
+	p.Observe(trace.Event{Page: 3, At: 100})
+	p.Finish(2 * q)
+	if len(preds) != 1 || preds[0].Page != 3 || preds[0].At != 2*q {
+		t.Errorf("predictions = %+v, want page 3 at 2q", preds)
+	}
+}
+
+func TestBitmapMultiWriteSuppressed(t *testing.T) {
+	p, _ := NewBitmap(Config{Quantum: q, NumPages: 16})
+	var preds []Prediction
+	p.OnPredict(func(page uint32, at trace.Microseconds) {
+		preds = append(preds, Prediction{Page: page, At: at})
+	})
+	p.Observe(trace.Event{Page: 5, At: 0})
+	p.Observe(trace.Event{Page: 5, At: 10})
+	p.Finish(4 * q)
+	if len(preds) != 0 {
+		t.Errorf("multi-write page predicted: %+v", preds)
+	}
+	if p.Stats().MultiWriteRemovals != 1 {
+		t.Errorf("MultiWriteRemovals = %d, want 1", p.Stats().MultiWriteRemovals)
+	}
+}
+
+func TestBitmapWriteInNextQuantumCancels(t *testing.T) {
+	p, _ := NewBitmap(Config{Quantum: q, NumPages: 16})
+	var preds []Prediction
+	p.OnPredict(func(page uint32, at trace.Microseconds) {
+		preds = append(preds, Prediction{Page: page, At: at})
+	})
+	p.Observe(trace.Event{Page: 7, At: 10})
+	p.Observe(trace.Event{Page: 7, At: q + 10})
+	p.Finish(4 * q)
+	// Only the second write's quantum yields a prediction.
+	if len(preds) != 1 || preds[0].At != 3*q {
+		t.Errorf("predictions = %+v, want single prediction at 3q", preds)
+	}
+}
+
+func TestBitmapErrors(t *testing.T) {
+	if _, err := NewBitmap(Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	p, _ := NewBitmap(Config{Quantum: q, NumPages: 4})
+	if err := p.Observe(trace.Event{Page: 9, At: 0}); err == nil {
+		t.Error("out-of-range page accepted")
+	}
+	p.Observe(trace.Event{Page: 0, At: 3 * q})
+	if err := p.Observe(trace.Event{Page: 0, At: q}); err == nil {
+		t.Error("backwards time accepted")
+	}
+}
+
+// The defining property: on any trace, the bitmap predictor emits
+// exactly the same predictions as the buffer-based predictor with an
+// unbounded buffer.
+func TestBitmapEquivalentToUnboundedBuffer(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &trace.Trace{Duration: 20 * q}
+		var at trace.Microseconds
+		for i := 0; i < 3000; i++ {
+			at += trace.Microseconds(rng.Intn(int(q / 8)))
+			tr.Events = append(tr.Events, trace.Event{
+				Page: uint32(rng.Intn(64)),
+				At:   at,
+			})
+		}
+		if tr.Duration < at {
+			tr.Duration = at + q
+		}
+		cfg := Config{Quantum: q, NumPages: 64}
+		a, _, err := Run(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := RunBitmap(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		normalize := func(ps []Prediction) []Prediction {
+			sort.Slice(ps, func(i, j int) bool {
+				if ps[i].At != ps[j].At {
+					return ps[i].At < ps[j].At
+				}
+				return ps[i].Page < ps[j].Page
+			})
+			return ps
+		}
+		a, b = normalize(a), normalize(b)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: buffer %d predictions, bitmap %d", seed, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: prediction %d differs: %+v vs %+v", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestBitmapStorageComparison(t *testing.T) {
+	// 1M pages (8 GB / 8 KB), paper's 4000-entry buffers.
+	pages := 1 << 20
+	buffer := StorageBitsBuffer(pages, 4000)
+	bitmap := StorageBitsBitmap(pages)
+	if bitmap <= 0 || buffer <= 0 {
+		t.Fatal("nonsensical storage numbers")
+	}
+	// The bitmap design costs 4 bits/page; the buffer design costs 2
+	// bits/page of write-map plus the CAM. For a 1M-page module the two
+	// are comparable in total bits, but the bitmap has no CAM lookups.
+	if bitmap != 4*pages {
+		t.Errorf("bitmap bits = %d, want %d", bitmap, 4*pages)
+	}
+	if buffer <= 2*pages {
+		t.Errorf("buffer bits = %d, must exceed the bare write-maps", buffer)
+	}
+}
+
+func TestBitmapQuantaAndFinish(t *testing.T) {
+	p, _ := NewBitmap(Config{Quantum: q, NumPages: 8})
+	p.Observe(trace.Event{Page: 1, At: 0})
+	p.Finish(7 * q)
+	if got := p.Stats().Quanta; got != 7 {
+		t.Errorf("quanta = %d, want 7", got)
+	}
+}

@@ -1,0 +1,253 @@
+package pril
+
+import (
+	"testing"
+
+	"memcon/internal/trace"
+)
+
+const q = 1024 * trace.Millisecond // 1024 ms quantum
+
+func newPredictor(t *testing.T, cfg Config) *Predictor {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Quantum: q, NumPages: 100, BufferCap: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{Quantum: 0, NumPages: 10},
+		{Quantum: q, NumPages: 0},
+		{Quantum: q, NumPages: 10, BufferCap: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: bad config accepted", i)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+// collect returns a predictor that records all predictions.
+func collect(p *Predictor) *[]Prediction {
+	var preds []Prediction
+	p.OnPredict(func(page uint32, at trace.Microseconds) {
+		preds = append(preds, Prediction{Page: page, At: at})
+	})
+	return &preds
+}
+
+func TestSingleWriteThenIdlePredicted(t *testing.T) {
+	p := newPredictor(t, Config{Quantum: q, NumPages: 16})
+	preds := collect(p)
+	// One write to page 3 in quantum 0, nothing in quantum 1.
+	if err := p.Observe(trace.Event{Page: 3, At: 100}); err != nil {
+		t.Fatal(err)
+	}
+	p.Finish(2 * q)
+	if len(*preds) != 1 {
+		t.Fatalf("predictions = %v, want exactly one", *preds)
+	}
+	got := (*preds)[0]
+	if got.Page != 3 {
+		t.Errorf("predicted page %d, want 3", got.Page)
+	}
+	// The prediction fires at the end of the SECOND quantum: one write in
+	// quantum 0 and silence through quantum 1.
+	if got.At != 2*q {
+		t.Errorf("prediction at %d, want %d", got.At, 2*q)
+	}
+}
+
+func TestMultipleWritesSameQuantumNotPredicted(t *testing.T) {
+	p := newPredictor(t, Config{Quantum: q, NumPages: 16})
+	preds := collect(p)
+	// Two writes in the same quantum: interval < quantum, no prediction.
+	p.Observe(trace.Event{Page: 5, At: 0})
+	p.Observe(trace.Event{Page: 5, At: 50 * trace.Millisecond})
+	p.Finish(4 * q)
+	if len(*preds) != 0 {
+		t.Errorf("predictions = %v, want none", *preds)
+	}
+	if p.Stats().MultiWriteRemovals != 1 {
+		t.Errorf("MultiWriteRemovals = %d, want 1", p.Stats().MultiWriteRemovals)
+	}
+}
+
+func TestWriteInNextQuantumCancelsCandidate(t *testing.T) {
+	p := newPredictor(t, Config{Quantum: q, NumPages: 16})
+	preds := collect(p)
+	p.Observe(trace.Event{Page: 7, At: 10})
+	// Write again in the following quantum: candidate removed (step 3).
+	p.Observe(trace.Event{Page: 7, At: q + 10})
+	p.Finish(4 * q)
+	// The second write itself starts a new single-write quantum; with no
+	// further writes it eventually gets predicted once.
+	if len(*preds) != 1 {
+		t.Fatalf("predictions = %v, want one (from the second write)", *preds)
+	}
+	if (*preds)[0].At != 3*q {
+		t.Errorf("prediction at %d, want %d", (*preds)[0].At, 3*q)
+	}
+	if p.Stats().PrevQuantumRemovals != 1 {
+		t.Errorf("PrevQuantumRemovals = %d, want 1", p.Stats().PrevQuantumRemovals)
+	}
+}
+
+func TestThirdWriteInQuantumNoDoubleRemoval(t *testing.T) {
+	p := newPredictor(t, Config{Quantum: q, NumPages: 16})
+	p.Observe(trace.Event{Page: 1, At: 0})
+	p.Observe(trace.Event{Page: 1, At: 1})
+	p.Observe(trace.Event{Page: 1, At: 2})
+	if got := p.Stats().MultiWriteRemovals; got != 1 {
+		t.Errorf("MultiWriteRemovals = %d, want 1 (third write is a no-op)", got)
+	}
+}
+
+func TestBufferOverflowDiscards(t *testing.T) {
+	p := newPredictor(t, Config{Quantum: q, NumPages: 64, BufferCap: 2})
+	preds := collect(p)
+	for page := uint32(0); page < 5; page++ {
+		p.Observe(trace.Event{Page: page, At: trace.Microseconds(page)})
+	}
+	p.Finish(3 * q)
+	if got := p.Stats().Discards; got != 3 {
+		t.Errorf("Discards = %d, want 3", got)
+	}
+	if len(*preds) != 2 {
+		t.Errorf("predictions = %d, want 2 (buffer capacity)", len(*preds))
+	}
+}
+
+func TestUnboundedBuffer(t *testing.T) {
+	p := newPredictor(t, Config{Quantum: q, NumPages: 1000, BufferCap: 0})
+	preds := collect(p)
+	for page := uint32(0); page < 500; page++ {
+		p.Observe(trace.Event{Page: page, At: trace.Microseconds(page)})
+	}
+	p.Finish(3 * q)
+	if p.Stats().Discards != 0 {
+		t.Errorf("unbounded buffer discarded %d", p.Stats().Discards)
+	}
+	if len(*preds) != 500 {
+		t.Errorf("predictions = %d, want 500", len(*preds))
+	}
+	if p.Stats().PeakBuffer != 500 {
+		t.Errorf("PeakBuffer = %d, want 500", p.Stats().PeakBuffer)
+	}
+}
+
+func TestObserveErrors(t *testing.T) {
+	p := newPredictor(t, Config{Quantum: q, NumPages: 4})
+	if err := p.Observe(trace.Event{Page: 4, At: 0}); err == nil {
+		t.Error("out-of-range page accepted")
+	}
+	if err := p.Observe(trace.Event{Page: 0, At: 3 * q}); err != nil {
+		t.Fatal(err)
+	}
+	// Going backwards in time (before current quantum) must fail.
+	if err := p.Observe(trace.Event{Page: 0, At: q}); err == nil {
+		t.Error("time went backwards and was accepted")
+	}
+}
+
+func TestQuantaCounting(t *testing.T) {
+	p := newPredictor(t, Config{Quantum: q, NumPages: 4})
+	p.Observe(trace.Event{Page: 0, At: 0})
+	p.Finish(10 * q)
+	if got := p.Stats().Quanta; got != 10 {
+		t.Errorf("Quanta = %d, want 10", got)
+	}
+	if p.Stats().Writes != 1 {
+		t.Errorf("Writes = %d, want 1", p.Stats().Writes)
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	tr := &trace.Trace{
+		Name:     "t",
+		Duration: 5 * q,
+		Events: []trace.Event{
+			{Page: 0, At: 0},                     // single write, then idle: predicted
+			{Page: 1, At: 10},                    // written again next quantum: cancelled
+			{Page: 1, At: q + 10},                // then idle: predicted later
+			{Page: 2, At: 20}, {Page: 2, At: 30}, // double write: never predicted
+			{Page: 3, At: 2*q + 5}, {Page: 3, At: 4*q + 5}, // write, idle a quantum, predicted, rewritten
+		},
+	}
+	tr.Sort()
+	preds, st, err := Run(tr, Config{Quantum: q, NumPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected predictions: page 0 at 2q, page 1 at 3q, page 3 at 4q,
+	// and page 3's second write at... 4q+5 is in quantum 4; end of
+	// quantum 5 boundary is beyond duration 5q (Finish flushes the
+	// boundary at exactly 5q), so candidates from quantum 4 are emitted
+	// at 6q > duration: not flushed.
+	want := map[uint32]trace.Microseconds{0: 2 * q, 1: 3 * q, 3: 4 * q}
+	if len(preds) != len(want) {
+		t.Fatalf("predictions = %+v, want %v", preds, want)
+	}
+	for _, pr := range preds {
+		at, ok := want[pr.Page]
+		if !ok {
+			t.Errorf("unexpected prediction for page %d", pr.Page)
+			continue
+		}
+		if pr.At != at {
+			t.Errorf("page %d predicted at %d, want %d", pr.Page, pr.At, at)
+		}
+	}
+	if st.Writes != int64(len(tr.Events)) {
+		t.Errorf("Writes = %d, want %d", st.Writes, len(tr.Events))
+	}
+	// Run must auto-size the page space.
+	if st.Predictions != int64(len(preds)) {
+		t.Errorf("Predictions stat = %d, want %d", st.Predictions, len(preds))
+	}
+}
+
+func TestRunRejectsOutOfOrderTrace(t *testing.T) {
+	tr := &trace.Trace{
+		Duration: 10 * q,
+		Events: []trace.Event{
+			{Page: 0, At: 3 * q},
+			{Page: 0, At: 0},
+		},
+	}
+	if _, _, err := Run(tr, Config{Quantum: q, NumPages: 1}); err == nil {
+		t.Error("out-of-order trace accepted")
+	}
+}
+
+// Invariant: a page written exactly once is predicted exactly once, at
+// the first quantum boundary that follows a full empty quantum.
+func TestEveryIdlePageEventuallyPredicted(t *testing.T) {
+	tr := &trace.Trace{Duration: 8 * q}
+	for page := uint32(0); page < 40; page++ {
+		tr.Events = append(tr.Events, trace.Event{Page: page, At: trace.Microseconds(page) * 100})
+	}
+	preds, _, err := Run(tr, Config{Quantum: q, NumPages: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]int{}
+	for _, p := range preds {
+		seen[p.Page]++
+	}
+	for page := uint32(0); page < 40; page++ {
+		if seen[page] != 1 {
+			t.Errorf("page %d predicted %d times, want 1", page, seen[page])
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package refresh models DRAM refresh policies and counts refresh
+// operations, the currency of the paper's §6.1 evaluation. It provides:
+//
+//   - Counter: per-row refresh-operation accounting under dynamically
+//     changing per-row refresh intervals (what MEMCON does as rows move
+//     between HI-REF and LO-REF),
+//   - FixedRate: every row refreshed at one interval (the 16/32/64 ms
+//     baselines),
+//   - RAIDR: the profile-based multi-rate baseline (rows that can fail
+//     with ANY content at HI-REF, all others at LO-REF).
+package refresh
+
+import (
+	"fmt"
+
+	"memcon/internal/dram"
+)
+
+// Counter accumulates refresh operations for a set of rows whose refresh
+// intervals change over time. Refresh operations are counted fractionally
+// (elapsed/interval) which matches the paper's reduction percentages; the
+// totals are large enough that quantization is irrelevant.
+type Counter struct {
+	interval []dram.Nanoseconds
+	since    []dram.Nanoseconds
+	ops      float64
+	finished bool
+}
+
+// NewCounter creates a counter for rows rows, all starting at the given
+// interval at time 0.
+func NewCounter(rows int, interval dram.Nanoseconds) (*Counter, error) {
+	if rows <= 0 {
+		return nil, fmt.Errorf("refresh: row count must be positive, got %d", rows)
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("refresh: interval must be positive, got %d", interval)
+	}
+	c := &Counter{
+		interval: make([]dram.Nanoseconds, rows),
+		since:    make([]dram.Nanoseconds, rows),
+	}
+	for i := range c.interval {
+		c.interval[i] = interval
+	}
+	return c, nil
+}
+
+// Rows returns the number of tracked rows.
+func (c *Counter) Rows() int { return len(c.interval) }
+
+// Interval returns the current refresh interval of a row.
+func (c *Counter) Interval(row int) dram.Nanoseconds { return c.interval[row] }
+
+// SetInterval switches a row to a new refresh interval at time now,
+// accumulating the refresh operations of the segment that just ended.
+// now must not precede the row's previous switch time.
+func (c *Counter) SetInterval(row int, interval, now dram.Nanoseconds) error {
+	if row < 0 || row >= len(c.interval) {
+		return fmt.Errorf("refresh: row %d outside [0,%d)", row, len(c.interval))
+	}
+	if interval <= 0 {
+		return fmt.Errorf("refresh: interval must be positive, got %d", interval)
+	}
+	if now < c.since[row] {
+		return fmt.Errorf("refresh: time went backwards for row %d: %d < %d", row, now, c.since[row])
+	}
+	c.ops += float64(now-c.since[row]) / float64(c.interval[row])
+	c.since[row] = now
+	c.interval[row] = interval
+	return nil
+}
+
+// Finish closes all segments at time end and returns the total refresh
+// operations. It can be called once; later calls return the same total.
+func (c *Counter) Finish(end dram.Nanoseconds) float64 {
+	if c.finished {
+		return c.ops
+	}
+	for i := range c.interval {
+		if end > c.since[i] {
+			c.ops += float64(end-c.since[i]) / float64(c.interval[i])
+			c.since[i] = end
+		}
+	}
+	c.finished = true
+	return c.ops
+}
+
+// FixedRateOps returns the refresh operations a fixed-rate policy issues
+// for rows rows over duration at the given interval.
+func FixedRateOps(rows int, duration, interval dram.Nanoseconds) float64 {
+	if rows <= 0 || duration <= 0 || interval <= 0 {
+		return 0
+	}
+	return float64(rows) * float64(duration) / float64(interval)
+}
+
+// Reduction returns the fractional reduction of ops versus baseline
+// (e.g. 0.75 for a 75% reduction).
+func Reduction(baseline, ops float64) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return 1 - ops/baseline
+}
+
+// RAIDR is the profile-based multi-rate baseline (§6.3): an initial
+// all-pattern profiling pass marks the rows that could fail with any
+// content; those are refreshed at HiInterval forever, all other rows at
+// LoInterval. RAIDR requires knowledge of DRAM internals for its profile
+// to be complete — the paper's point is that MEMCON does not.
+type RAIDR struct {
+	// HiRows is the number of profiled-weak rows.
+	HiRows int
+	// TotalRows is the module's row count.
+	TotalRows int
+	// HiInterval and LoInterval are the two refresh rates.
+	HiInterval dram.Nanoseconds
+	LoInterval dram.Nanoseconds
+}
+
+// NewRAIDR builds the policy from a profiled weak-row fraction. The
+// paper models 16% of rows at HI-REF, matching its experimental Fig. 4
+// data with a randomly-distributed error rate.
+func NewRAIDR(totalRows int, weakRowFraction float64, hi, lo dram.Nanoseconds) (RAIDR, error) {
+	if totalRows <= 0 {
+		return RAIDR{}, fmt.Errorf("refresh: total rows must be positive, got %d", totalRows)
+	}
+	if weakRowFraction < 0 || weakRowFraction > 1 {
+		return RAIDR{}, fmt.Errorf("refresh: weak-row fraction %v outside [0,1]", weakRowFraction)
+	}
+	if hi <= 0 || lo <= hi {
+		return RAIDR{}, fmt.Errorf("refresh: need 0 < hi (%d) < lo (%d)", hi, lo)
+	}
+	return RAIDR{
+		HiRows:     int(float64(totalRows) * weakRowFraction),
+		TotalRows:  totalRows,
+		HiInterval: hi,
+		LoInterval: lo,
+	}, nil
+}
+
+// Ops returns the refresh operations RAIDR issues over duration.
+func (r RAIDR) Ops(duration dram.Nanoseconds) float64 {
+	hi := FixedRateOps(r.HiRows, duration, r.HiInterval)
+	lo := FixedRateOps(r.TotalRows-r.HiRows, duration, r.LoInterval)
+	return hi + lo
+}
+
+// ReductionVsBaseline returns RAIDR's refresh reduction versus an
+// all-rows baseline at the given interval.
+func (r RAIDR) ReductionVsBaseline(duration, baselineInterval dram.Nanoseconds) float64 {
+	base := FixedRateOps(r.TotalRows, duration, baselineInterval)
+	return Reduction(base, r.Ops(duration))
+}

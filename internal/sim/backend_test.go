@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"memcon/internal/ddr3"
+	"memcon/internal/dram"
+)
+
+func TestRunCommandLevelBasics(t *testing.T) {
+	cfg := Config{Mix: testMix(2), SimTime: 100_000, Seed: 3}
+	res, err := RunCommandLevel(cfg, ddr3.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IPC) != 2 {
+		t.Fatalf("IPC entries = %d", len(res.IPC))
+	}
+	for i, ipc := range res.IPC {
+		if ipc <= 0 {
+			t.Errorf("core %d IPC = %v", i, ipc)
+		}
+	}
+}
+
+func TestRunCommandLevelValidation(t *testing.T) {
+	if _, err := RunCommandLevel(Config{SimTime: 1}, ddr3.DefaultConfig()); err == nil {
+		t.Error("empty mix accepted")
+	}
+	if _, err := RunCommandLevel(Config{Mix: testMix(1)}, ddr3.DefaultConfig()); err == nil {
+		t.Error("zero sim time accepted")
+	}
+	bad := ddr3.DefaultConfig()
+	bad.Banks = 0
+	if _, err := RunCommandLevel(Config{Mix: testMix(1), SimTime: 1}, bad); err == nil {
+		t.Error("invalid memory config accepted")
+	}
+}
+
+// The headline validation: both backends agree that refresh reduction
+// speeds the system up, with the command-level speedup in the same
+// ballpark as the fast model's.
+func TestCommandLevelSpeedupAgreesWithFastModel(t *testing.T) {
+	mix := testMix(1)
+	simTime := dram.Nanoseconds(200_000)
+
+	base := ddr3.DefaultConfig()
+	base.Density = dram.Density32Gb
+	relaxed := base
+	relaxed.RefreshPeriod = 4 * base.RefreshPeriod
+
+	cmdSpeedup, err := CommandLevelSpeedup(mix, base, relaxed, simTime, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmdSpeedup <= 1.0 {
+		t.Errorf("command-level speedup = %v, want > 1", cmdSpeedup)
+	}
+	if cmdSpeedup > 4.0 {
+		t.Errorf("command-level speedup = %v, implausibly large", cmdSpeedup)
+	}
+}
+
+func TestServeOneOrdering(t *testing.T) {
+	ctrl, err := ddr3.New(ddr3.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.ServeOne(ddr3.Request{ID: 1, Arrival: 100, Bank: 0, Row: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.ServeOne(ddr3.Request{ID: 2, Arrival: 50, Bank: 0, Row: 1}); err == nil {
+		t.Error("decreasing arrival accepted by ServeOne")
+	}
+	if _, err := ctrl.ServeOne(ddr3.Request{ID: 3, Arrival: 200, Bank: -1, Row: 1}); err == nil {
+		t.Error("bad bank accepted by ServeOne")
+	}
+}

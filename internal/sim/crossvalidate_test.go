@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"memcon/internal/ddr3"
+	"memcon/internal/dram"
+	"memcon/internal/memctrl"
+)
+
+// Cross-validation between the two memory-system fidelity tiers: the
+// aggregate memctrl model (drives the large Fig. 15/16 sweeps) and the
+// command-level ddr3 model (enforces the full JEDEC constraint set).
+// They are different abstractions and will not agree in absolute
+// latency, but the refresh-reduction TREND — the quantity every paper
+// result rests on — must agree in direction and rough magnitude.
+
+// requestPattern is a shared access stream.
+type requestPattern struct {
+	at    dram.Nanoseconds
+	bank  int
+	row   int
+	write bool
+}
+
+func sharedPattern(n int, seed int64) []requestPattern {
+	rng := rand.New(rand.NewSource(seed))
+	var out []requestPattern
+	at := dram.Nanoseconds(0)
+	for i := 0; i < n; i++ {
+		at += dram.Nanoseconds(rng.Intn(120))
+		out = append(out, requestPattern{
+			at:    at,
+			bank:  rng.Intn(8),
+			row:   rng.Intn(32),
+			write: rng.Intn(4) == 0,
+		})
+	}
+	return out
+}
+
+func memctrlAvgLatency(t *testing.T, pat []requestPattern, period dram.Nanoseconds) float64 {
+	t.Helper()
+	cfg := memctrl.DefaultConfig()
+	cfg.Density = dram.Density32Gb
+	cfg.RefreshPeriod = period
+	ctrl, err := memctrl.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, r := range pat {
+		done, err := ctrl.Access(r.at, r.bank, r.row, r.write)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += float64(done - r.at)
+	}
+	return total / float64(len(pat))
+}
+
+func ddr3AvgLatency(t *testing.T, pat []requestPattern, period dram.Nanoseconds) float64 {
+	t.Helper()
+	cfg := ddr3.DefaultConfig()
+	cfg.Density = dram.Density32Gb
+	cfg.RefreshPeriod = period
+	ctrl, err := ddr3.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := map[int]dram.Nanoseconds{}
+	for i, r := range pat {
+		arrivals[i] = r.at
+		if err := ctrl.Enqueue(ddr3.Request{ID: i, Arrival: r.at, Bank: r.bank, Row: r.row, Write: r.write}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var total float64
+	for _, d := range ctrl.Drain() {
+		total += float64(d.Done - arrivals[d.ID])
+	}
+	return total / float64(len(pat))
+}
+
+func TestModelsAgreeOnRefreshReductionTrend(t *testing.T) {
+	pat := sharedPattern(3000, 7)
+	aggressive := dram.TREFI(dram.RefreshWindowAggressive)
+	relaxed := 4 * aggressive
+
+	fastAgg := memctrlAvgLatency(t, pat, aggressive)
+	fastRel := memctrlAvgLatency(t, pat, relaxed)
+	cmdAgg := ddr3AvgLatency(t, pat, aggressive)
+	cmdRel := ddr3AvgLatency(t, pat, relaxed)
+
+	// Direction: both models must get faster with fewer refreshes.
+	if fastRel >= fastAgg {
+		t.Errorf("fast model: relaxed %v not below aggressive %v", fastRel, fastAgg)
+	}
+	if cmdRel >= cmdAgg {
+		t.Errorf("command model: relaxed %v not below aggressive %v", cmdRel, cmdAgg)
+	}
+
+	// Magnitude: the latency improvement ratios agree within 2.5x —
+	// different abstractions, same first-order effect.
+	fastRatio := fastAgg / fastRel
+	cmdRatio := cmdAgg / cmdRel
+	if fastRatio > 2.5*cmdRatio || cmdRatio > 2.5*fastRatio {
+		t.Errorf("models disagree on refresh impact: fast ratio %v vs command ratio %v", fastRatio, cmdRatio)
+	}
+	t.Logf("32Gb refresh-relief latency ratio: fast model %.2fx, command model %.2fx", fastRatio, cmdRatio)
+}
+
+func TestModelsAgreeRowLocalityHelps(t *testing.T) {
+	// A same-row stream must beat a row-thrashing stream in both models.
+	mk := func(row func(i int) int) []requestPattern {
+		var out []requestPattern
+		at := dram.Nanoseconds(0)
+		for i := 0; i < 1000; i++ {
+			at += 80
+			out = append(out, requestPattern{at: at, bank: 0, row: row(i)})
+		}
+		return out
+	}
+	hits := mk(func(int) int { return 1 })
+	misses := mk(func(i int) int { return i % 16 })
+	period := dram.TREFI(dram.RefreshWindowDefault)
+
+	if h, m := memctrlAvgLatency(t, hits, period), memctrlAvgLatency(t, misses, period); h >= m {
+		t.Errorf("fast model: row hits (%v) not faster than misses (%v)", h, m)
+	}
+	if h, m := ddr3AvgLatency(t, hits, period), ddr3AvgLatency(t, misses, period); h >= m {
+		t.Errorf("command model: row hits (%v) not faster than misses (%v)", h, m)
+	}
+}

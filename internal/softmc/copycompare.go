@@ -1,0 +1,139 @@
+package softmc
+
+import (
+	"fmt"
+
+	"memcon/internal/dram"
+	"memcon/internal/ecc"
+)
+
+// CopyCompareRegion manages the reserved rows that the Copy-and-Compare
+// test mode (§3.3) uses: the in-test row's content is parked in a
+// reserved row of the same bank so program reads can be redirected
+// there, while the memory controller retains only the row's ECC
+// syndromes. After the test window, the read-back is verified against
+// the syndromes; any mismatch is a data-dependent failure of the in-test
+// row.
+type CopyCompareRegion struct {
+	mod *dram.Module
+	// reservedPerBank rows at the TOP of each bank are reserved.
+	reservedPerBank int
+	// free[bank] lists currently unused reserved rows.
+	free [][]int
+	// inFlight maps an in-test row to its parking state.
+	inFlight map[dram.RowAddress]*parkedRow
+}
+
+type parkedRow struct {
+	spare dram.RowAddress
+	code  ecc.RowCode
+}
+
+// NewCopyCompareRegion reserves rowsPerBank rows at the top of every
+// bank. The appendix sizes this at 512 rows/bank (1.56% of a 2 GB
+// module).
+func NewCopyCompareRegion(mod *dram.Module, rowsPerBank int) (*CopyCompareRegion, error) {
+	g := mod.Geometry()
+	if rowsPerBank <= 0 || rowsPerBank >= g.RowsPerBank {
+		return nil, fmt.Errorf("softmc: reserved rows per bank %d outside (0,%d)", rowsPerBank, g.RowsPerBank)
+	}
+	r := &CopyCompareRegion{
+		mod:             mod,
+		reservedPerBank: rowsPerBank,
+		free:            make([][]int, g.BanksPerChip),
+		inFlight:        make(map[dram.RowAddress]*parkedRow),
+	}
+	for b := range r.free {
+		for i := 0; i < rowsPerBank; i++ {
+			r.free[b] = append(r.free[b], g.RowsPerBank-1-i)
+		}
+	}
+	return r, nil
+}
+
+// ReservedFraction returns the fraction of module capacity consumed by
+// the region.
+func (r *CopyCompareRegion) ReservedFraction() float64 {
+	g := r.mod.Geometry()
+	return float64(r.reservedPerBank) / float64(g.RowsPerBank)
+}
+
+// InTest reports whether the row currently has a parked copy.
+func (r *CopyCompareRegion) InTest(a dram.RowAddress) bool {
+	_, ok := r.inFlight[a]
+	return ok
+}
+
+// RedirectTarget returns the reserved row serving reads for an in-test
+// row, and whether the row is in test — the controller-side redirect
+// table of the paper's footnote 5.
+func (r *CopyCompareRegion) RedirectTarget(a dram.RowAddress) (dram.RowAddress, bool) {
+	p, ok := r.inFlight[a]
+	if !ok {
+		return dram.RowAddress{}, false
+	}
+	return p.spare, true
+}
+
+// BeginTest parks the in-test row: reads it once (one row read), writes
+// it to a reserved row of the same bank (one row write), and stores its
+// ECC syndromes in the controller. It fails when the bank's reserved
+// region is exhausted or the row is already in test.
+func (r *CopyCompareRegion) BeginTest(a dram.RowAddress, now dram.Nanoseconds) error {
+	if _, ok := r.inFlight[a]; ok {
+		return fmt.Errorf("softmc: row %+v already in test", a)
+	}
+	if len(r.free[a.Bank]) == 0 {
+		return fmt.Errorf("softmc: bank %d reserved region exhausted (%d rows)", a.Bank, r.reservedPerBank)
+	}
+	content, err := r.mod.PeekRow(a)
+	if err != nil {
+		return err
+	}
+	spareRow := r.free[a.Bank][len(r.free[a.Bank])-1]
+	r.free[a.Bank] = r.free[a.Bank][:len(r.free[a.Bank])-1]
+	spare := dram.RowAddress{Bank: a.Bank, Row: spareRow}
+	if err := r.mod.WriteRow(spare, content, now); err != nil {
+		r.free[a.Bank] = append(r.free[a.Bank], spareRow)
+		return err
+	}
+	// Reading the row for the copy recharges it; the idle test window
+	// starts now.
+	r.mod.Activate(a, now)
+	r.inFlight[a] = &parkedRow{spare: spare, code: ecc.EncodeRow(content)}
+	return nil
+}
+
+// EndTest completes the test: the in-test row is read back and verified
+// against the stored ECC. failingCells is what the silicon actually
+// flipped (from the fault model); the method returns the ECC verdict —
+// what the controller can OBSERVE — and releases the reserved row.
+// Single-bit flips are corrected in the returned repaired content;
+// multi-bit flips per word are detected but not correctable.
+func (r *CopyCompareRegion) EndTest(a dram.RowAddress, failingCells []int, now dram.Nanoseconds) (ecc.RowVerdict, dram.Row, error) {
+	p, ok := r.inFlight[a]
+	if !ok {
+		return ecc.RowVerdict{}, nil, fmt.Errorf("softmc: row %+v not in test", a)
+	}
+	readBack, err := r.mod.PeekRow(a)
+	if err != nil {
+		return ecc.RowVerdict{}, nil, err
+	}
+	for _, c := range failingCells {
+		readBack.SetBit(c, readBack.Bit(c)^1)
+	}
+	verdict, err := ecc.VerifyRow(readBack, p.code)
+	if err != nil {
+		return ecc.RowVerdict{}, nil, err
+	}
+	r.mod.Activate(a, now)
+	r.free[a.Bank] = append(r.free[a.Bank], p.spare.Row)
+	delete(r.inFlight, a)
+	return verdict, readBack, nil
+}
+
+// ConcurrentCapacity returns how many rows of one bank can be in test
+// simultaneously.
+func (r *CopyCompareRegion) ConcurrentCapacity(bank int) int {
+	return len(r.free[bank])
+}

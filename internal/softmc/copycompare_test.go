@@ -1,0 +1,169 @@
+package softmc
+
+import (
+	"math/rand"
+	"testing"
+
+	"memcon/internal/dram"
+)
+
+func newCCModule(t *testing.T) *dram.Module {
+	t.Helper()
+	g := testGeometry()
+	mod, err := dram.NewModule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func TestNewCopyCompareRegionValidation(t *testing.T) {
+	mod := newCCModule(t)
+	if _, err := NewCopyCompareRegion(mod, 0); err == nil {
+		t.Error("zero reserved rows accepted")
+	}
+	if _, err := NewCopyCompareRegion(mod, mod.Geometry().RowsPerBank); err == nil {
+		t.Error("reserving every row accepted")
+	}
+}
+
+func TestReservedFraction(t *testing.T) {
+	mod := newCCModule(t)
+	r, err := NewCopyCompareRegion(mod, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 8.0 / float64(mod.Geometry().RowsPerBank)
+	if got := r.ReservedFraction(); got != want {
+		t.Errorf("ReservedFraction = %v, want %v", got, want)
+	}
+}
+
+func TestBeginEndTestCleanRow(t *testing.T) {
+	mod := newCCModule(t)
+	r, err := NewCopyCompareRegion(mod, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := dram.RowAddress{Bank: 0, Row: 10}
+	rng := rand.New(rand.NewSource(1))
+	content := dram.NewRow(mod.Geometry().ColsPerRow)
+	content.Randomize(rng)
+	if err := mod.WriteRow(a, content, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := r.BeginTest(a, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !r.InTest(a) {
+		t.Error("row not marked in test")
+	}
+	spare, ok := r.RedirectTarget(a)
+	if !ok {
+		t.Fatal("no redirect target")
+	}
+	// The parked copy must hold the original content.
+	parked, err := mod.PeekRow(spare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parked.Equal(content) {
+		t.Error("parked copy differs from original content")
+	}
+
+	verdict, repaired, err := r.EndTest(a, nil, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !verdict.Clean() {
+		t.Errorf("clean row verdict %+v", verdict)
+	}
+	if !repaired.Equal(content) {
+		t.Error("clean read-back altered")
+	}
+	if r.InTest(a) {
+		t.Error("row still in test after EndTest")
+	}
+}
+
+func TestEndTestDetectsInjectedFailures(t *testing.T) {
+	mod := newCCModule(t)
+	r, _ := NewCopyCompareRegion(mod, 4)
+	a := dram.RowAddress{Bank: 1, Row: 3}
+	content := dram.NewRow(mod.Geometry().ColsPerRow)
+	content.SetBit(5, 1)
+	if err := mod.WriteRow(a, content, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BeginTest(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	// One flip in word 0, two flips in word 2.
+	verdict, repaired, err := r.EndTest(a, []int{7, 128, 129}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict.Clean() {
+		t.Fatal("injected failures not observed")
+	}
+	if verdict.CorrectedWords != 1 {
+		t.Errorf("corrected words = %d, want 1", verdict.CorrectedWords)
+	}
+	if verdict.DetectedWords != 1 {
+		t.Errorf("detected words = %d, want 1", verdict.DetectedWords)
+	}
+	// The single-bit word must have been repaired to the original.
+	if repaired.Bit(7) != content.Bit(7) {
+		t.Error("single-bit failure not repaired")
+	}
+}
+
+func TestBeginTestErrors(t *testing.T) {
+	mod := newCCModule(t)
+	r, _ := NewCopyCompareRegion(mod, 1)
+	a := dram.RowAddress{Bank: 0, Row: 1}
+	b := dram.RowAddress{Bank: 0, Row: 2}
+	if err := r.BeginTest(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.BeginTest(a, 0); err == nil {
+		t.Error("double BeginTest accepted")
+	}
+	// Region of 1 row per bank is now exhausted for bank 0.
+	if err := r.BeginTest(b, 0); err == nil {
+		t.Error("exhausted region accepted new test")
+	}
+	// Other banks are unaffected.
+	if err := r.BeginTest(dram.RowAddress{Bank: 1, Row: 1}, 0); err != nil {
+		t.Errorf("other bank rejected: %v", err)
+	}
+	if got := r.ConcurrentCapacity(0); got != 0 {
+		t.Errorf("capacity bank 0 = %d, want 0", got)
+	}
+}
+
+func TestEndTestWithoutBegin(t *testing.T) {
+	mod := newCCModule(t)
+	r, _ := NewCopyCompareRegion(mod, 2)
+	if _, _, err := r.EndTest(dram.RowAddress{Bank: 0, Row: 5}, nil, 0); err == nil {
+		t.Error("EndTest without BeginTest accepted")
+	}
+}
+
+func TestReservedRowsRecycled(t *testing.T) {
+	mod := newCCModule(t)
+	r, _ := NewCopyCompareRegion(mod, 1)
+	a := dram.RowAddress{Bank: 0, Row: 1}
+	for round := 0; round < 3; round++ {
+		if err := r.BeginTest(a, dram.Nanoseconds(round)); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if _, _, err := r.EndTest(a, nil, dram.Nanoseconds(round)+1); err != nil {
+			t.Fatalf("round %d end: %v", round, err)
+		}
+	}
+	if got := r.ConcurrentCapacity(0); got != 1 {
+		t.Errorf("capacity after recycling = %d, want 1", got)
+	}
+}

@@ -1,0 +1,82 @@
+package softmc
+
+import (
+	"memcon/internal/dram"
+)
+
+// NaiveNeighborTest is the system-level detection approach the paper's
+// §2 shows to be broken: assume a LINEAR mapping from system addresses
+// to physical cells and test each victim row by writing aggressive
+// content into the rows at system addresses r-1 and r+1, the victim's
+// presumed physical neighbours. Because vendors scramble the address
+// space and remap faulty columns, the rows at r±1 are generally NOT the
+// victim's physical neighbours, so the test exercises the wrong
+// aggressors and misses failures that real neighbour content triggers.
+//
+// The returned set is the rows the naive approach flags; comparing it
+// against the model's ground truth quantifies the motivation for
+// MEMCON's content-based approach (see the `motiv` experiment).
+func (t *Tester) NaiveNeighborTest(idle dram.Nanoseconds) map[int]bool {
+	g := t.mod.Geometry()
+	flagged := make(map[int]bool)
+
+	victimCharged := dram.NewRow(g.ColsPerRow)
+	victimCharged.Fill(^uint64(0)) // try to charge true cells
+	victimCharged2 := dram.NewRow(g.ColsPerRow)
+	// all-zero row charges anti cells
+	aggressor := dram.NewRow(g.ColsPerRow)
+	aggressor.Fill(0x5555555555555555)
+	aggressorInv := dram.NewRow(g.ColsPerRow)
+	aggressorInv.Fill(0xAAAAAAAAAAAAAAAA)
+
+	for b := 0; b < g.BanksPerChip; b++ {
+		for r := 0; r < g.RowsPerBank; r++ {
+			victim := dram.RowAddress{Bank: b, Row: r}
+			for phase := 0; phase < 4; phase++ {
+				var vc, ag dram.Row
+				if phase&1 == 0 {
+					vc = victimCharged
+				} else {
+					vc = victimCharged2
+				}
+				if phase&2 == 0 {
+					ag = aggressor
+				} else {
+					ag = aggressorInv
+				}
+				// Write the victim and its PRESUMED neighbours (system
+				// addresses r-1 and r+1 — the linear-mapping assumption).
+				t.mod.WriteRow(victim, vc, t.now)
+				if r > 0 {
+					t.mod.WriteRow(dram.RowAddress{Bank: b, Row: r - 1}, ag, t.now)
+				}
+				if r+1 < g.RowsPerBank {
+					t.mod.WriteRow(dram.RowAddress{Bank: b, Row: r + 1}, ag, t.now)
+				}
+				// Victim idles one window at lowest charge; the presumed
+				// neighbours hold the aggressor pattern throughout.
+				if cells := t.model.FailingCells(t.mod, victim, idle); len(cells) > 0 {
+					flagged[g.RowIndex(victim)] = true
+				}
+			}
+		}
+	}
+	return flagged
+}
+
+// GroundTruthWeakRows returns the rows that can fail with SOME content
+// at the given idle time — what an oracle with physical knowledge would
+// flag.
+func (t *Tester) GroundTruthWeakRows(idle dram.Nanoseconds) map[int]bool {
+	g := t.mod.Geometry()
+	truth := make(map[int]bool)
+	for b := 0; b < g.BanksPerChip; b++ {
+		for r := 0; r < g.RowsPerBank; r++ {
+			a := dram.RowAddress{Bank: b, Row: r}
+			if t.model.RowCanFail(a, idle) {
+				truth[g.RowIndex(a)] = true
+			}
+		}
+	}
+	return truth
+}

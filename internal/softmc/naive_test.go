@@ -1,0 +1,59 @@
+package softmc
+
+import (
+	"testing"
+
+	"memcon/internal/faults"
+)
+
+func TestNaiveNeighborTestMissesFailures(t *testing.T) {
+	tester := newTester(t, 17, 2e-3)
+	idle := faults.CharacterizationIdle
+
+	truth := tester.GroundTruthWeakRows(idle)
+	if len(truth) == 0 {
+		t.Fatal("ground truth empty; population too sparse for this test")
+	}
+	flagged := tester.NaiveNeighborTest(idle)
+
+	missed := 0
+	for row := range truth {
+		if !flagged[row] {
+			missed++
+		}
+	}
+	if missed == 0 {
+		t.Error("naive linear-mapping test caught everything; the scrambler is not scrambling")
+	}
+	missRate := float64(missed) / float64(len(truth))
+	if missRate < 0.2 {
+		t.Errorf("miss rate %.2f, expected substantial misses under scrambling", missRate)
+	}
+	t.Logf("naive test: %d flagged, %d truly weak, %d missed (%.0f%%)",
+		len(flagged), len(truth), missed, 100*missRate)
+}
+
+func TestNaiveNeighborTestFindsSomething(t *testing.T) {
+	// The naive test is broken, not useless: with a dense population it
+	// must still stumble into some failures (the aggressive victim
+	// patterns alone stress cells).
+	tester := newTester(t, 19, 1e-2)
+	flagged := tester.NaiveNeighborTest(2 * faults.CharacterizationIdle)
+	if len(flagged) == 0 {
+		t.Error("naive test flagged nothing even with a dense weak population")
+	}
+}
+
+func TestGroundTruthMonotoneInIdle(t *testing.T) {
+	tester := newTester(t, 23, 2e-3)
+	short := tester.GroundTruthWeakRows(faults.CharacterizationIdle)
+	long := tester.GroundTruthWeakRows(4 * faults.CharacterizationIdle)
+	if len(long) < len(short) {
+		t.Errorf("weak rows decreased with idle time: %d -> %d", len(short), len(long))
+	}
+	for row := range short {
+		if !long[row] {
+			t.Fatalf("row %d weak at short idle but not at long idle", row)
+		}
+	}
+}

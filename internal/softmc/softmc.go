@@ -1,0 +1,287 @@
+// Package softmc provides a programmatic DRAM test harness modelled on
+// the SoftMC FPGA infrastructure the paper uses to characterize real
+// chips. It drives a dram.Module + faults.Model pair through the three
+// canonical characterization steps:
+//
+//  1. fill the array with content (a synthetic data pattern or a dumped
+//     program image),
+//  2. keep the array idle for a chosen refresh interval,
+//  3. read the content back and diff against what was written.
+//
+// The harness only uses the system-facing Module API — like a real
+// memory controller it has no visibility into scrambling or remapping —
+// which is exactly the constraint MEMCON is designed around.
+package softmc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"memcon/internal/dram"
+	"memcon/internal/faults"
+)
+
+// Pattern is a synthetic data pattern used for characterization, in the
+// style of manufacturing test patterns (solid, stripes, checkerboards,
+// walking bits, random).
+type Pattern struct {
+	// Name identifies the pattern in reports.
+	Name string
+	// Fill writes the pattern's content for a given row into dst.
+	// row is the system row index so row-dependent patterns (row
+	// stripes, checkerboards) can alternate.
+	Fill func(dst dram.Row, row int)
+}
+
+// SolidPattern returns a pattern storing the same bit everywhere.
+func SolidPattern(bit int) Pattern {
+	word := uint64(0)
+	if bit == 1 {
+		word = ^uint64(0)
+	}
+	return Pattern{
+		Name: fmt.Sprintf("solid-%d", bit),
+		Fill: func(dst dram.Row, _ int) { dst.Fill(word) },
+	}
+}
+
+// CheckerboardPattern returns the classic 0101/1010 checkerboard;
+// phase selects which of the two alignments is used.
+func CheckerboardPattern(phase int) Pattern {
+	return Pattern{
+		Name: fmt.Sprintf("checker-%d", phase&1),
+		Fill: func(dst dram.Row, row int) {
+			even := uint64(0x5555555555555555)
+			odd := uint64(0xAAAAAAAAAAAAAAAA)
+			if (row+phase)%2 == 0 {
+				dst.Fill(even)
+			} else {
+				dst.Fill(odd)
+			}
+		},
+	}
+}
+
+// RowStripePattern alternates all-ones and all-zero rows; phase selects
+// the alignment.
+func RowStripePattern(phase int) Pattern {
+	return Pattern{
+		Name: fmt.Sprintf("rowstripe-%d", phase&1),
+		Fill: func(dst dram.Row, row int) {
+			if (row+phase)%2 == 0 {
+				dst.Fill(0)
+			} else {
+				dst.Fill(^uint64(0))
+			}
+		},
+	}
+}
+
+// ColStripePattern alternates columns of ones and zeros; phase selects
+// the alignment.
+func ColStripePattern(phase int) Pattern {
+	return Pattern{
+		Name: fmt.Sprintf("colstripe-%d", phase&1),
+		Fill: func(dst dram.Row, _ int) {
+			w := uint64(0x5555555555555555)
+			if phase&1 == 1 {
+				w = 0xAAAAAAAAAAAAAAAA
+			}
+			dst.Fill(w)
+		},
+	}
+}
+
+// WalkingPattern places a walking 1 (bit=1) or walking 0 (bit=0) at the
+// given offset within every 64-bit word.
+func WalkingPattern(bit, offset int) Pattern {
+	w := uint64(1) << (uint(offset) % 64)
+	if bit == 0 {
+		w = ^w
+	}
+	kind := "walk1"
+	if bit == 0 {
+		kind = "walk0"
+	}
+	return Pattern{
+		Name: fmt.Sprintf("%s-%d", kind, offset%64),
+		Fill: func(dst dram.Row, _ int) { dst.Fill(w) },
+	}
+}
+
+// RandomPattern fills rows with pseudo-random bits derived from seed.
+// Each call to Fill is deterministic in (seed, row).
+func RandomPattern(seed int64) Pattern {
+	return Pattern{
+		Name: fmt.Sprintf("random-%d", seed),
+		Fill: func(dst dram.Row, row int) {
+			rng := rand.New(rand.NewSource(seed ^ int64(row)*0x9E3779B9))
+			dst.Randomize(rng)
+		},
+	}
+}
+
+// StandardPatterns returns the n-pattern characterization suite used for
+// the Fig. 3-style experiments: the classic manufacturing patterns first,
+// padded with seeded random patterns up to n.
+func StandardPatterns(n int) []Pattern {
+	ps := []Pattern{
+		SolidPattern(0), SolidPattern(1),
+		CheckerboardPattern(0), CheckerboardPattern(1),
+		RowStripePattern(0), RowStripePattern(1),
+		ColStripePattern(0), ColStripePattern(1),
+	}
+	for i := 0; i < 8 && len(ps) < n; i++ {
+		ps = append(ps, WalkingPattern(1, i*8), WalkingPattern(0, i*8+4))
+	}
+	for s := int64(1); len(ps) < n; s++ {
+		ps = append(ps, RandomPattern(s))
+	}
+	return ps[:n]
+}
+
+// Tester drives characterization runs over one module/fault-model pair.
+type Tester struct {
+	mod   *dram.Module
+	model *faults.Model
+	// now is the harness-local clock.
+	now dram.Nanoseconds
+}
+
+// NewTester creates a tester over the module and fault model, which must
+// share a geometry.
+func NewTester(mod *dram.Module, model *faults.Model) (*Tester, error) {
+	if mod.Geometry() != model.Geometry() {
+		return nil, fmt.Errorf("softmc: module and fault model geometries differ")
+	}
+	return &Tester{mod: mod, model: model}, nil
+}
+
+// Now returns the harness clock.
+func (t *Tester) Now() dram.Nanoseconds { return t.now }
+
+// FillPattern writes the pattern into every row of every bank, fully
+// charging the array.
+func (t *Tester) FillPattern(p Pattern) error {
+	g := t.mod.Geometry()
+	buf := dram.NewRow(g.ColsPerRow)
+	for b := 0; b < g.BanksPerChip; b++ {
+		for r := 0; r < g.RowsPerBank; r++ {
+			p.Fill(buf, r)
+			if err := t.mod.WriteRow(dram.RowAddress{Bank: b, Row: r}, buf, t.now); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FillContent replicates the given content image across the whole module
+// row by row (the paper duplicates each workload's memory footprint
+// across the module so the entire chip holds program content). The image
+// is a slice of rows; it wraps when shorter than the module.
+func (t *Tester) FillContent(image []dram.Row) error {
+	if len(image) == 0 {
+		return fmt.Errorf("softmc: empty content image")
+	}
+	g := t.mod.Geometry()
+	for b := 0; b < g.BanksPerChip; b++ {
+		for r := 0; r < g.RowsPerBank; r++ {
+			src := image[(b*g.RowsPerBank+r)%len(image)]
+			if err := t.mod.WriteRow(dram.RowAddress{Bank: b, Row: r}, src, t.now); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Idle advances the harness clock without touching the array.
+func (t *Tester) Idle(d dram.Nanoseconds) {
+	if d > 0 {
+		t.now += d
+	}
+}
+
+// RowFailure describes the failures observed in one row during ReadBack.
+type RowFailure struct {
+	Addr  dram.RowAddress
+	Cells []int
+}
+
+// ReadBack reads the whole array, returning every row that shows
+// data-dependent failures given how long each row has been idle.
+// Failures are committed to the stored content (the charge is gone) and
+// every row is recharged by the read, just like a real read-back pass.
+func (t *Tester) ReadBack() []RowFailure {
+	g := t.mod.Geometry()
+	var fails []RowFailure
+	for b := 0; b < g.BanksPerChip; b++ {
+		for r := 0; r < g.RowsPerBank; r++ {
+			a := dram.RowAddress{Bank: b, Row: r}
+			idle := t.mod.IdleTime(a, t.now)
+			cells := t.model.FailingCells(t.mod, a, idle)
+			if len(cells) > 0 {
+				t.mod.ApplyFlips(a, cells)
+				fails = append(fails, RowFailure{Addr: a, Cells: cells})
+			}
+			t.mod.Activate(a, t.now)
+		}
+	}
+	return fails
+}
+
+// TestRow checks a single row for failures after its current idle time
+// without committing flips or recharging — the primitive MEMCON's online
+// testing builds on.
+func (t *Tester) TestRow(a dram.RowAddress) []int {
+	idle := t.mod.IdleTime(a, t.now)
+	return t.model.FailingCells(t.mod, a, idle)
+}
+
+// RunPattern performs one full characterization run: fill with the
+// pattern, stay idle for idle, read back. It returns the failing rows.
+func (t *Tester) RunPattern(p Pattern, idle dram.Nanoseconds) ([]RowFailure, error) {
+	if err := t.FillPattern(p); err != nil {
+		return nil, err
+	}
+	t.Idle(idle)
+	return t.ReadBack(), nil
+}
+
+// RunContent performs one full characterization run with a program
+// content image.
+func (t *Tester) RunContent(image []dram.Row, idle dram.Nanoseconds) ([]RowFailure, error) {
+	if err := t.FillContent(image); err != nil {
+		return nil, err
+	}
+	t.Idle(idle)
+	return t.ReadBack(), nil
+}
+
+// FailingRowFraction is a convenience that runs the content image and
+// returns the fraction of module rows with at least one failure.
+func (t *Tester) FailingRowFraction(image []dram.Row, idle dram.Nanoseconds) (float64, error) {
+	fails, err := t.RunContent(image, idle)
+	if err != nil {
+		return 0, err
+	}
+	g := t.mod.Geometry()
+	return float64(len(fails)) / float64(g.TotalRows()), nil
+}
+
+// AllFailFraction returns the fraction of rows that can fail under SOME
+// data pattern at the given idle time — the exhaustive-testing
+// denominator (ALL FAIL in Fig. 4).
+func (t *Tester) AllFailFraction(idle dram.Nanoseconds) float64 {
+	g := t.mod.Geometry()
+	fails := 0
+	for b := 0; b < g.BanksPerChip; b++ {
+		for r := 0; r < g.RowsPerBank; r++ {
+			if t.model.RowCanFail(dram.RowAddress{Bank: b, Row: r}, idle) {
+				fails++
+			}
+		}
+	}
+	return float64(fails) / float64(g.TotalRows())
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// LogHistogram buckets positive values into power-of-two bins, matching
+// the write-interval axes used throughout the MEMCON paper (1 ms, 2 ms,
+// 4 ms, ... 32768 ms). Bucket i covers [Base*2^i, Base*2^(i+1)); values
+// below Base fall into an explicit underflow bucket.
+type LogHistogram struct {
+	// Base is the lower edge of the first regular bucket.
+	Base float64
+	// Buckets is the number of regular power-of-two buckets.
+	Buckets int
+
+	counts    []int64
+	underflow int64
+	overflow  int64
+	total     int64
+	// weight accumulates the sum of the bucketed values themselves so
+	// that time-weighted shares can be derived (Fig. 9 style analysis).
+	weights     []float64
+	underWeight float64
+	overWeight  float64
+	totalWeight float64
+}
+
+// NewLogHistogram creates a log-scaled histogram with the given base and
+// number of power-of-two buckets. It panics when base <= 0 or buckets < 1,
+// which always indicates a programming error at the call site.
+func NewLogHistogram(base float64, buckets int) *LogHistogram {
+	if base <= 0 || buckets < 1 {
+		panic(fmt.Sprintf("stats: invalid log histogram parameters base=%v buckets=%d", base, buckets))
+	}
+	return &LogHistogram{
+		Base:    base,
+		Buckets: buckets,
+		counts:  make([]int64, buckets),
+		weights: make([]float64, buckets),
+	}
+}
+
+// Add records value v (which must be positive; non-positive values are
+// counted as underflow).
+func (h *LogHistogram) Add(v float64) {
+	h.total++
+	h.totalWeight += math.Max(v, 0)
+	if v < h.Base {
+		h.underflow++
+		h.underWeight += math.Max(v, 0)
+		return
+	}
+	idx := int(math.Floor(math.Log2(v / h.Base)))
+	if idx >= h.Buckets {
+		h.overflow++
+		h.overWeight += v
+		return
+	}
+	h.counts[idx]++
+	h.weights[idx] += v
+}
+
+// Total returns the number of recorded values.
+func (h *LogHistogram) Total() int64 { return h.total }
+
+// Count returns the count of regular bucket i.
+func (h *LogHistogram) Count(i int) int64 { return h.counts[i] }
+
+// Underflow returns the number of values below Base.
+func (h *LogHistogram) Underflow() int64 { return h.underflow }
+
+// Overflow returns the number of values at or above Base*2^Buckets.
+func (h *LogHistogram) Overflow() int64 { return h.overflow }
+
+// BucketLow returns the inclusive lower edge of regular bucket i.
+func (h *LogHistogram) BucketLow(i int) float64 {
+	return h.Base * math.Pow(2, float64(i))
+}
+
+// Fraction returns the fraction of all recorded values that fall into
+// regular bucket i. It returns 0 when the histogram is empty.
+func (h *LogHistogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[i]) / float64(h.total)
+}
+
+// FractionAtOrAbove returns the fraction of recorded values >= x,
+// computed exactly from the recorded totals rather than bucket edges
+// would allow; it uses bucket granularity for interior values.
+func (h *LogHistogram) FractionAtOrAbove(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var n int64
+	for i := 0; i < h.Buckets; i++ {
+		if h.BucketLow(i) >= x {
+			n += h.counts[i]
+		}
+	}
+	n += h.overflow
+	return float64(n) / float64(h.total)
+}
+
+// WeightFractionAtOrAbove returns the fraction of the total accumulated
+// weight (sum of values) contributed by values in buckets whose lower
+// edge is >= x. For write intervals this is the share of time spent in
+// intervals at least that long.
+func (h *LogHistogram) WeightFractionAtOrAbove(x float64) float64 {
+	if h.totalWeight == 0 {
+		return 0
+	}
+	var w float64
+	for i := 0; i < h.Buckets; i++ {
+		if h.BucketLow(i) >= x {
+			w += h.weights[i]
+		}
+	}
+	w += h.overWeight
+	return w / h.totalWeight
+}
+
+// String renders the histogram as a fixed-width text table, one row per
+// non-empty bucket, for CLI reporting.
+func (h *LogHistogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s %12s %9s\n", "bucket>=", "count", "percent")
+	if h.underflow > 0 {
+		fmt.Fprintf(&b, "%12s %12d %8.3f%%\n", fmt.Sprintf("<%g", h.Base), h.underflow, 100*float64(h.underflow)/float64(h.total))
+	}
+	for i := 0; i < h.Buckets; i++ {
+		if h.counts[i] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%12g %12d %8.3f%%\n", h.BucketLow(i), h.counts[i], 100*h.Fraction(i))
+	}
+	if h.overflow > 0 {
+		fmt.Fprintf(&b, "%12s %12d %8.3f%%\n", fmt.Sprintf(">=%g", h.BucketLow(h.Buckets)), h.overflow, 100*float64(h.overflow)/float64(h.total))
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+// Package stats provides small statistical utilities shared by the MEMCON
+// simulator: summary statistics, weighted means, linear regression, and
+// logarithmically bucketed histograms used for write-interval analysis.
+//
+// Everything operates on float64 slices and is deterministic; no global
+// state is kept so the package is safe for concurrent use.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned by functions that cannot produce a result from an
+// empty input.
+var ErrNoData = errors.New("stats: no data")
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Stddev float64
+	Sum    float64
+}
+
+// Summarize computes descriptive statistics for xs. It returns ErrNoData
+// when xs is empty.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrNoData
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Stddev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s, nil
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// WeightedMean returns the weighted mean of xs with weights ws.
+// It returns ErrNoData when the slices are empty or the total weight is
+// zero, and an error when the lengths differ.
+func WeightedMean(xs, ws []float64) (float64, error) {
+	if len(xs) != len(ws) {
+		return 0, errors.New("stats: length mismatch between values and weights")
+	}
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	var num, den float64
+	for i, x := range xs {
+		num += x * ws[i]
+		den += ws[i]
+	}
+	if den == 0 {
+		return 0, ErrNoData
+	}
+	return num / den, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. The input need not be
+// sorted; a copy is sorted internally.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range [0,100]")
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if len(cp) == 1 {
+		return cp[0], nil
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return cp[lo], nil
+	}
+	frac := rank - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac, nil
+}
+
+// LinearFit holds the result of an ordinary least-squares line fit
+// y = Slope*x + Intercept.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// FitLine performs an ordinary least-squares fit of ys against xs and
+// reports the coefficient of determination R². At least two points are
+// required.
+func FitLine(xs, ys []float64) (LinearFit, error) {
+	if len(xs) != len(ys) {
+		return LinearFit{}, errors.New("stats: length mismatch between xs and ys")
+	}
+	if len(xs) < 2 {
+		return LinearFit{}, errors.New("stats: need at least two points to fit a line")
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinearFit{}, errors.New("stats: degenerate x values, cannot fit")
+	}
+	fit := LinearFit{}
+	fit.Slope = (n*sxy - sx*sy) / den
+	fit.Intercept = (sy - fit.Slope*sx) / n
+
+	meanY := sy / n
+	var ssTot, ssRes float64
+	for i := range xs {
+		pred := fit.Slope*xs[i] + fit.Intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	if ssTot == 0 {
+		fit.R2 = 1
+	} else {
+		fit.R2 = 1 - ssRes/ssTot
+	}
+	return fit, nil
+}

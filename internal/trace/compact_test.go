@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompactRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteCompact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCompact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Duration != tr.Duration || len(got.Events) != len(tr.Events) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestCompactRejectsInvalidTrace(t *testing.T) {
+	bad := &Trace{Events: []Event{{Page: 1, At: 10}, {Page: 1, At: 5}}}
+	var buf bytes.Buffer
+	if err := bad.WriteCompact(&buf); err == nil {
+		t.Error("unsorted trace written")
+	}
+}
+
+func TestCompactRejectsGarbage(t *testing.T) {
+	if _, err := ReadCompact(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// v1 magic is not v2.
+	var buf bytes.Buffer
+	tr := sampleTrace()
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCompact(&buf); err == nil {
+		t.Error("v1 stream accepted by compact reader")
+	}
+	// Truncation.
+	var c bytes.Buffer
+	tr.WriteCompact(&c)
+	if _, err := ReadCompact(bytes.NewReader(c.Bytes()[:c.Len()-2])); err == nil {
+		t.Error("truncated compact stream accepted")
+	}
+}
+
+func TestCompactSmallerThanV1(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := &Trace{Name: "big"}
+	var at Microseconds
+	for i := 0; i < 20000; i++ {
+		at += Microseconds(rng.Intn(500))
+		tr.Events = append(tr.Events, Event{Page: uint32(rng.Intn(256)), At: at})
+	}
+	tr.Duration = at + 1
+	var v1, v2 bytes.Buffer
+	if err := tr.Write(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCompact(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() >= v1.Len()/2 {
+		t.Errorf("compact format %d bytes, v1 %d bytes; want at least 2x smaller", v2.Len(), v1.Len())
+	}
+}
+
+// Property: compact round-trip preserves arbitrary sorted traces.
+func TestCompactRoundTripProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{Name: "prop"}
+		var at Microseconds
+		for i := 0; i < int(n); i++ {
+			at += Microseconds(rng.Intn(100000))
+			tr.Events = append(tr.Events, Event{Page: uint32(rng.Uint32()), At: at})
+		}
+		tr.Duration = at + 1
+		var buf bytes.Buffer
+		if err := tr.WriteCompact(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCompact(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Duration != tr.Duration || len(got.Events) != len(tr.Events) {
+			return false
+		}
+		for i := range tr.Events {
+			if got.Events[i] != tr.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Trace{Name: "a", Duration: 100, Events: []Event{{Page: 0, At: 10}, {Page: 1, At: 50}}}
+	b := &Trace{Name: "b", Duration: 200, Events: []Event{{Page: 0, At: 20}}}
+	m := Merge("mix", a, b)
+	if m.Duration != 200 {
+		t.Errorf("merged duration = %d, want 200", m.Duration)
+	}
+	if len(m.Events) != 3 {
+		t.Fatalf("merged events = %d, want 3", len(m.Events))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	// b's page 0 must have been offset past a's pages (0 and 1 -> base 2).
+	found := false
+	for _, e := range m.Events {
+		if e.At == 20 && e.Page == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("merged events = %+v, want b's page offset to 2", m.Events)
+	}
+	if m.Pages() != 3 {
+		t.Errorf("merged pages = %d, want 3", m.Pages())
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := &Trace{Duration: 100, Events: []Event{
+		{Page: 1, At: 10}, {Page: 2, At: 40}, {Page: 3, At: 80},
+	}}
+	s := tr.Slice(30, 90)
+	if s.Duration != 60 {
+		t.Errorf("slice duration = %d, want 60", s.Duration)
+	}
+	if len(s.Events) != 2 {
+		t.Fatalf("slice events = %d, want 2", len(s.Events))
+	}
+	if s.Events[0].At != 10 || s.Events[1].At != 50 {
+		t.Errorf("slice timestamps not rebased: %+v", s.Events)
+	}
+}
+
+func TestFilterPages(t *testing.T) {
+	tr := &Trace{Duration: 100, Events: []Event{
+		{Page: 1, At: 10}, {Page: 2, At: 40}, {Page: 1, At: 80},
+	}}
+	f := tr.FilterPages(func(p uint32) bool { return p == 1 })
+	if len(f.Events) != 2 {
+		t.Fatalf("filtered events = %d, want 2", len(f.Events))
+	}
+	for _, e := range f.Events {
+		if e.Page != 1 {
+			t.Errorf("filter leaked page %d", e.Page)
+		}
+	}
+	if f.Duration != tr.Duration {
+		t.Error("filter changed duration")
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestHalveIntervalsEmpty(t *testing.T) {
+	tr := &Trace{Name: "empty", Duration: 1000}
+	h := tr.HalveIntervals()
+	if h.Duration != 500 || len(h.Events) != 0 {
+		t.Errorf("halved empty trace = %+v", h)
+	}
+	if h.Name != "empty-halved" {
+		t.Errorf("name = %q", h.Name)
+	}
+}
+
+func TestIntervalsEmptyAndSingle(t *testing.T) {
+	empty := &Trace{Duration: 100}
+	if got := empty.Intervals(true); len(got) != 0 {
+		t.Errorf("empty trace intervals = %v", got)
+	}
+	single := &Trace{Duration: 5 * Millisecond, Events: []Event{{Page: 1, At: Millisecond}}}
+	closed := single.Intervals(false)
+	if len(closed) != 0 {
+		t.Errorf("single write closed intervals = %v", closed)
+	}
+	open := single.Intervals(true)
+	if len(open) != 1 || open[0] != 4 {
+		t.Errorf("single write trailing interval = %v, want [4]", open)
+	}
+}
+
+func TestIntervalsNoTrailingWhenEventAtEnd(t *testing.T) {
+	tr := &Trace{Duration: 100, Events: []Event{{Page: 1, At: 100}}}
+	if got := tr.Intervals(true); len(got) != 0 {
+		t.Errorf("event at trace end yielded trailing interval %v", got)
+	}
+}
+
+func TestSliceEmptyWindow(t *testing.T) {
+	tr := &Trace{Duration: 100, Events: []Event{{Page: 1, At: 50}}}
+	s := tr.Slice(60, 70)
+	if len(s.Events) != 0 || s.Duration != 10 {
+		t.Errorf("empty-window slice = %+v", s)
+	}
+}
+
+func TestMergeEmptyInputs(t *testing.T) {
+	m := Merge("nothing")
+	if len(m.Events) != 0 || m.Duration != 0 {
+		t.Errorf("merge of nothing = %+v", m)
+	}
+	m2 := Merge("one", &Trace{Duration: 10})
+	if m2.Duration != 10 {
+		t.Errorf("merge of empty trace duration = %d", m2.Duration)
+	}
+}
+
+func TestReadRejectsHugeName(t *testing.T) {
+	// Construct a v1 header with an absurd name length.
+	var buf bytes.Buffer
+	tr := &Trace{Name: "x", Duration: 1}
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Name length lives at offset 8 (after magic+version), little endian.
+	b[8], b[9], b[10], b[11] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Error("huge name length accepted")
+	}
+}
+
+func TestWritesPerPageOrderPreserved(t *testing.T) {
+	tr := &Trace{Duration: 100, Events: []Event{
+		{Page: 1, At: 10}, {Page: 1, At: 10}, {Page: 1, At: 20},
+	}}
+	times := tr.WritesPerPage()[1]
+	if len(times) != 3 || times[0] != 10 || times[1] != 10 || times[2] != 20 {
+		t.Errorf("times = %v", times)
+	}
+}

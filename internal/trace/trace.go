@@ -1,0 +1,235 @@
+// Package trace defines the memory write-trace representation consumed
+// by MEMCON's write-interval analysis and the PRIL predictor. A trace is
+// the stream an HMTT-style bus tracer would produce, reduced to what the
+// paper's analysis needs: (page, timestamp) pairs for every write request
+// reaching DRAM.
+//
+// Timestamps are in microseconds: intra-burst write gaps are tens of
+// microseconds while the intervals MEMCON exploits are hundreds of
+// milliseconds, so microseconds cover both ends comfortably in an int64.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Microseconds is the trace time unit.
+type Microseconds = int64
+
+// Time conversion constants.
+const (
+	Millisecond Microseconds = 1000
+	Second      Microseconds = 1000 * 1000
+)
+
+// Event is a single write request to a page.
+type Event struct {
+	// Page is the written page (one page maps to one DRAM row).
+	Page uint32
+	// At is the event timestamp.
+	At Microseconds
+}
+
+// Trace is a time-ordered sequence of write events.
+type Trace struct {
+	// Name labels the workload that produced the trace.
+	Name string
+	// Duration is the traced execution time; it is at least the last
+	// event timestamp.
+	Duration Microseconds
+	// Events are sorted by At (ties keep insertion order).
+	Events []Event
+}
+
+// Sort orders events by timestamp, preserving the relative order of
+// simultaneous events.
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Events, func(i, j int) bool { return t.Events[i].At < t.Events[j].At })
+}
+
+// Validate checks internal consistency: sorted events, non-negative
+// timestamps, and a duration covering all events.
+func (t *Trace) Validate() error {
+	var prev Microseconds
+	for i, e := range t.Events {
+		if e.At < 0 {
+			return fmt.Errorf("trace: event %d has negative timestamp %d", i, e.At)
+		}
+		if e.At < prev {
+			return fmt.Errorf("trace: event %d out of order (%d after %d)", i, e.At, prev)
+		}
+		prev = e.At
+	}
+	if len(t.Events) > 0 && t.Duration < prev {
+		return fmt.Errorf("trace: duration %d shorter than last event %d", t.Duration, prev)
+	}
+	return nil
+}
+
+// Pages returns the number of distinct pages written in the trace.
+func (t *Trace) Pages() int {
+	seen := make(map[uint32]struct{})
+	for _, e := range t.Events {
+		seen[e.Page] = struct{}{}
+	}
+	return len(seen)
+}
+
+// MaxPage returns the largest page id written, or -1 for an empty trace.
+func (t *Trace) MaxPage() int {
+	max := -1
+	for _, e := range t.Events {
+		if int(e.Page) > max {
+			max = int(e.Page)
+		}
+	}
+	return max
+}
+
+// WritesPerPage returns, for each page, its time-ordered write
+// timestamps.
+func (t *Trace) WritesPerPage() map[uint32][]Microseconds {
+	m := make(map[uint32][]Microseconds)
+	for _, e := range t.Events {
+		m[e.Page] = append(m[e.Page], e.At)
+	}
+	return m
+}
+
+// Intervals returns every write interval in the trace in milliseconds:
+// for each page, the gaps between consecutive writes, plus the final
+// open interval from the last write to the end of the trace (the paper's
+// analysis counts the trailing idle time; it is what MEMCON exploits for
+// pages written once).
+func (t *Trace) Intervals(includeTrailing bool) []float64 {
+	var out []float64
+	for _, times := range t.WritesPerPage() {
+		for i := 1; i < len(times); i++ {
+			out = append(out, float64(times[i]-times[i-1])/float64(Millisecond))
+		}
+		if includeTrailing && t.Duration > times[len(times)-1] {
+			out = append(out, float64(t.Duration-times[len(times)-1])/float64(Millisecond))
+		}
+	}
+	return out
+}
+
+// HalveIntervals returns a copy of the trace with every write interval
+// halved (the Fig. 19 cache-pressure sensitivity transform): for each
+// page, gaps between consecutive writes are scaled by 0.5 while the
+// first write time is kept; the duration is also halved so trailing
+// intervals shrink proportionally.
+func (t *Trace) HalveIntervals() *Trace {
+	perPage := t.WritesPerPage()
+	out := &Trace{Name: t.Name + "-halved", Duration: t.Duration / 2}
+	for page, times := range perPage {
+		at := times[0] / 2
+		out.Events = append(out.Events, Event{Page: page, At: at})
+		for i := 1; i < len(times); i++ {
+			at += (times[i] - times[i-1]) / 2
+			out.Events = append(out.Events, Event{Page: page, At: at})
+		}
+	}
+	out.Sort()
+	if n := len(out.Events); n > 0 && out.Events[n-1].At > out.Duration {
+		out.Duration = out.Events[n-1].At
+	}
+	return out
+}
+
+// magic identifies the binary trace format.
+const magic = uint32(0x4d435452) // "MCTR"
+
+// formatVersion is bumped on incompatible format changes.
+const formatVersion = uint32(1)
+
+// Write serializes the trace in the compact binary format.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := []interface{}{
+		magic,
+		formatVersion,
+		uint32(len(t.Name)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("trace: writing header: %w", err)
+		}
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return fmt.Errorf("trace: writing name: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, t.Duration); err != nil {
+		return fmt.Errorf("trace: writing duration: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.Events))); err != nil {
+		return fmt.Errorf("trace: writing event count: %w", err)
+	}
+	for _, e := range t.Events {
+		if err := binary.Write(bw, binary.LittleEndian, e.Page); err != nil {
+			return fmt.Errorf("trace: writing event: %w", err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, e.At); err != nil {
+			return fmt.Errorf("trace: writing event: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ErrBadFormat indicates the reader input is not a trace stream of a
+// supported version.
+var ErrBadFormat = errors.New("trace: bad format")
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m, version, nameLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, ErrBadFormat
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("trace: reading version: %w", err)
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible name length %d", ErrBadFormat, nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	t := &Trace{Name: string(name)}
+	if err := binary.Read(br, binary.LittleEndian, &t.Duration); err != nil {
+		return nil, fmt.Errorf("trace: reading duration: %w", err)
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("trace: reading event count: %w", err)
+	}
+	if count > 1<<32 {
+		return nil, fmt.Errorf("%w: implausible event count %d", ErrBadFormat, count)
+	}
+	t.Events = make([]Event, count)
+	for i := range t.Events {
+		if err := binary.Read(br, binary.LittleEndian, &t.Events[i].Page); err != nil {
+			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &t.Events[i].At); err != nil {
+			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,192 @@
+// Package memcon is the public facade of the MEMCON reproduction — a
+// memory-content-based detection and mitigation mechanism for
+// data-dependent DRAM failures (Khan et al., MICRO 2017).
+//
+// The library is organized as one package per subsystem under internal/;
+// this package re-exports the types and entry points a downstream user
+// needs:
+//
+//   - Engine / Run: the trace-driven MEMCON engine (PRIL prediction,
+//     online testing, multi-rate refresh accounting).
+//   - System / Chip: the full-fidelity mode against a simulated DRAM
+//     chip with a physically grounded data-dependent failure model.
+//   - Workloads and experiments: the paper's evaluation, regenerable
+//     table by table and figure by figure.
+//
+// # Quick start
+//
+//	app, _ := memcon.AppByName("Netflix")
+//	tr := app.Generate(1, 1.0)
+//	rep, _ := memcon.Run(tr, memcon.DefaultConfig(), nil)
+//	fmt.Printf("refresh reduction: %.1f%%\n", 100*rep.RefreshReduction())
+package memcon
+
+import (
+	"fmt"
+
+	"memcon/internal/core"
+	"memcon/internal/costmodel"
+	"memcon/internal/dram"
+	"memcon/internal/experiments"
+	"memcon/internal/faults"
+	"memcon/internal/softmc"
+	"memcon/internal/trace"
+	"memcon/internal/workload"
+)
+
+// Core engine types.
+type (
+	// Config parameterizes the MEMCON engine (quantum, HI/LO refresh
+	// intervals, test mode, PRIL buffer capacity).
+	Config = core.Config
+	// Report is the outcome of an engine run: refresh operations,
+	// testing costs, LO-REF coverage, prediction accuracy.
+	Report = core.Report
+	// Engine is the event-driven MEMCON engine.
+	Engine = core.Engine
+	// System is the full-fidelity engine bound to a simulated chip.
+	System = core.System
+	// Tester decides online test outcomes (see AlwaysPass).
+	Tester = core.Tester
+	// TesterFunc adapts a function to Tester.
+	TesterFunc = core.TesterFunc
+)
+
+// Trace types.
+type (
+	// Trace is a time-ordered page write stream.
+	Trace = trace.Trace
+	// Event is a single write.
+	Event = trace.Event
+)
+
+// Workload types.
+type (
+	// AppSpec generates a long-running application write trace.
+	AppSpec = workload.AppSpec
+	// ContentSpec generates SPEC-like memory-content images.
+	ContentSpec = workload.ContentSpec
+)
+
+// DRAM and fault-model types.
+type (
+	// Geometry describes a DRAM module.
+	Geometry = dram.Geometry
+	// Module is the system-visible DRAM state.
+	Module = dram.Module
+	// FaultModel decides which cells flip under which content.
+	FaultModel = faults.Model
+	// ChipTester is the SoftMC-style characterization harness.
+	ChipTester = softmc.Tester
+)
+
+// AlwaysPass is the accounting-mode tester: every online test passes.
+var AlwaysPass = core.AlwaysPass
+
+// DefaultConfig returns the paper's primary configuration (1024 ms
+// quantum, HI-REF 16 ms, LO-REF 64 ms, Read-and-Compare).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Run replays a write trace through a fresh MEMCON engine.
+func Run(tr *Trace, cfg Config, tester Tester) (Report, error) {
+	return core.Run(tr, cfg, tester)
+}
+
+// NewEngine builds an incremental engine; feed it events with Observe
+// and close it with Finish.
+func NewEngine(cfg Config, tester Tester) (*Engine, error) {
+	return core.NewEngine(cfg, tester)
+}
+
+// Apps returns the twelve long-running application workload generators
+// (Table 1 analogues).
+func Apps() []AppSpec { return workload.Apps() }
+
+// AppByName returns one application generator by name.
+func AppByName(name string) (AppSpec, error) { return workload.AppByName(name) }
+
+// SPECContents returns the twenty SPEC CPU2006 content synthesizers.
+func SPECContents() []ContentSpec { return workload.SPECContents() }
+
+// Chip bundles a simulated DRAM chip: module, vendor scrambling, fault
+// model, and a characterization tester.
+type Chip struct {
+	Module *Module
+	Model  *FaultModel
+	Tester *ChipTester
+}
+
+// NewChip builds a simulated chip with the given geometry and seed using
+// fault-model parameters scaled to the LO-REF window, ready for use with
+// NewSystem or the softmc characterization flows.
+func NewChip(geom Geometry, seed uint64) (*Chip, error) {
+	scr := dram.NewScrambler(geom, seed, nil)
+	model, err := faults.NewModel(geom, scr, seed, faults.ParamsForRefresh(dram.RefreshWindowDefault))
+	if err != nil {
+		return nil, fmt.Errorf("memcon: building fault model: %w", err)
+	}
+	mod, err := dram.NewModule(geom)
+	if err != nil {
+		return nil, fmt.Errorf("memcon: building module: %w", err)
+	}
+	tester, err := softmc.NewTester(mod, model)
+	if err != nil {
+		return nil, fmt.Errorf("memcon: building tester: %w", err)
+	}
+	return &Chip{Module: mod, Model: model, Tester: tester}, nil
+}
+
+// DefaultGeometry returns a modest chip geometry for experimentation.
+func DefaultGeometry() Geometry { return dram.DefaultGeometry() }
+
+// NewSystem binds the MEMCON engine to a simulated chip for
+// full-fidelity runs (real content, real failures, reliability audit).
+func NewSystem(cfg Config, chip *Chip) (*System, error) {
+	return core.NewSystem(cfg, chip.Module, chip.Model)
+}
+
+// MinWriteInterval returns the minimum interval between writes to a row
+// that amortizes an online test, for the paper's primary configuration
+// (560 ms: Read-and-Compare at 64 ms LO-REF).
+func MinWriteInterval() dram.Nanoseconds {
+	mwi, err := costmodel.DefaultConfig().MinWriteInterval()
+	if err != nil {
+		// The default configuration is statically valid; reaching this
+		// indicates library corruption.
+		panic(err)
+	}
+	return mwi
+}
+
+// Experiment runs one of the paper's evaluation artifacts by id (fig3,
+// fig4, fig6..fig19, table1, table3, minwi) and returns its rendered
+// report. Options zero-value means full scale.
+func Experiment(id string, opts ExperimentOptions) (fmt.Stringer, error) {
+	return experiments.Run(id, opts)
+}
+
+// ExperimentOptions tunes experiment scale and seeds.
+type ExperimentOptions = experiments.Options
+
+// ExperimentIDs lists the available experiment ids.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// ReadSkipAnalysis quantifies the refresh operations a read-aware
+// controller could skip for the given READ trace and refresh interval —
+// the paper's footnote-3 future-work optimization, implemented.
+func ReadSkipAnalysis(reads *Trace, interval dram.Nanoseconds) (core.ReadSkipReport, error) {
+	return core.ReadSkipAnalysis(reads, interval)
+}
+
+// CombinedSavings composes a MEMCON run's refresh reduction with
+// read-aware skipping of the residual refreshes.
+func CombinedSavings(rep Report, rs core.ReadSkipReport) float64 {
+	return core.CombinedSavings(rep, rs)
+}
+
+// NewRepeatingContent builds a content source that rewrites previous
+// content with the given probability — the silent-store workload for
+// System.EnableSilentWriteDetection.
+func NewRepeatingContent(silentProb float64, seed int64) *core.RepeatingContent {
+	return core.NewRepeatingContent(silentProb, seed)
+}
