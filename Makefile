@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: build test race vet bench fuzz ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the whole suite under the race detector. The experiment
+# sweeps, the -all CLI path and AllFailFractionParallel all fan out
+# across goroutines, so this is the tier that catches data races the
+# plain suite cannot. -short skips the slowest golden sweeps; ci runs
+# them in the plain pass.
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# fuzz gives each fuzz target a short budget on top of its checked-in
+# seed corpus.
+fuzz:
+	$(GO) test -fuzz=FuzzMemconsimArgs -fuzztime=10s ./cmd/memconsim
+
+ci:
+	./scripts/ci.sh

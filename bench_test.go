@@ -9,6 +9,8 @@
 package memcon
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"memcon/internal/core"
@@ -150,6 +152,30 @@ func BenchmarkFig18TestingTime(b *testing.B) {
 func BenchmarkFig19HalvedIntervals(b *testing.B) {
 	out := runExperiment(b, "fig19").(*experiments.Fig19Result)
 	b.ReportMetric(out.Full[1]-out.Half[1], "delta-p-at-1024")
+}
+
+// BenchmarkParallelMixes measures the mix-simulation sweep (the
+// hottest experiment path) at increasing worker counts. The workers-1
+// case is the serial baseline; fig15 results are byte-identical across
+// all sub-benchmarks, so the only variable is wall-clock time.
+func BenchmarkParallelMixes(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		w := w
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			opts := benchOpts()
+			opts.Workers = w
+			opts.Mixes = 8
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Run("fig15", opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkCostModel(b *testing.B) {

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllFailParallelInvariant pins the -parallel contract for the
+// row scan: the ALL FAIL fraction is a pure per-row predicate, so the
+// report must be byte-identical for any worker count.
+func TestAllFailParallelInvariant(t *testing.T) {
+	results := make(map[string]string)
+	for _, n := range []string{"1", "4", "8"} {
+		var out strings.Builder
+		if err := run(withFast("-allfail", "-parallel", n), &out); err != nil {
+			t.Fatalf("-allfail -parallel %s: %v", n, err)
+		}
+		results[n] = out.String()
+	}
+	for _, n := range []string{"4", "8"} {
+		if results[n] != results["1"] {
+			t.Errorf("-parallel %s output differs from -parallel 1:\n%q\nvs\n%q",
+				n, results[n], results["1"])
+		}
+	}
+}
+
+func TestBadParallelFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run(withFast("-allfail", "-parallel", "0"), &out); err == nil {
+		t.Error("-parallel 0 accepted")
+	}
+}

@@ -13,10 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"memcon/internal/dram"
 	"memcon/internal/faults"
@@ -47,9 +49,13 @@ func run(args []string, out io.Writer) error {
 		idleMs   = fs.Int64("idle", 328, "idle time in ms (328 ms = paper's 4 s at 45C)")
 		seed     = fs.Int64("seed", 42, "chip seed")
 		rows     = fs.Int("rows", 4096, "rows per bank")
+		nworkers = fs.Int("parallel", runtime.NumCPU(), "worker count for the -allfail row scan (results are identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *nworkers < 1 {
+		return fmt.Errorf("-parallel must be at least 1, got %d", *nworkers)
 	}
 
 	if *patterns {
@@ -86,7 +92,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  false alarms:      %d\n", rep.FalseAlarms)
 		return nil
 	case *allfail:
-		frac := tester.AllFailFraction(idle)
+		frac := tester.AllFailFractionParallel(context.Background(), idle, *nworkers)
 		fmt.Fprintf(out, "rows failing under ANY pattern at %d ms idle: %.2f%%\n", *idleMs, 100*frac)
 		return nil
 	case *pattern != "":

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzMemconsimArgs feeds arbitrary argument vectors to the CLI entry
+// point. Invalid input must come back as an error, never a panic; the
+// flag set may also accept the input, in which case the experiment
+// runs. Overrides appended after the fuzzed args keep accepted runs
+// cheap (flag.Parse takes the last occurrence of a repeated flag).
+func FuzzMemconsimArgs(f *testing.F) {
+	f.Add("-list")
+	f.Add("-exp fig6")
+	f.Add("-exp table1 -csv")
+	f.Add("-exp fig99")
+	f.Add("-all -csv")
+	f.Add("-scale -1")
+	f.Add("-exp fig6 -parallel 0")
+	f.Add("-exp fig6 -parallel -3")
+	f.Add("-seed notanumber")
+	f.Add("--")
+	f.Add("-exp\x00fig6")
+	f.Fuzz(func(t *testing.T, raw string) {
+		if len(raw) > 256 || !utf8.ValidString(raw) {
+			t.Skip()
+		}
+		args := strings.Fields(raw)
+		for _, a := range args {
+			// A fuzzed "-exp fig15 -mixes 9999999" must not turn into a
+			// multi-hour simulation; reject inputs that try to re-raise
+			// the cost knobs after our overrides would be bypassed.
+			if len(a) > 64 {
+				t.Skip()
+			}
+		}
+		args = append(args,
+			"-scale", "0.02", "-simtime", "50000", "-mixes", "1", "-parallel", "2")
+		// Any outcome but a panic is acceptable.
+		_ = run(args, io.Discard)
+	})
+}
+
+// TestCSVRejection pins the -csv error path for experiments that only
+// have a text rendering.
+func TestCSVRejection(t *testing.T) {
+	cases := []struct {
+		id      string
+		wantCSV bool
+	}{
+		{"fig6", true},
+		{"table1", false},
+		{"minwi", false},
+		{"fig3", false},
+	}
+	for _, c := range cases {
+		var out strings.Builder
+		err := run([]string{"-exp", c.id, "-csv", "-scale", "0.04"}, &out)
+		if c.wantCSV {
+			if err != nil {
+				t.Errorf("%s -csv: unexpected error %v", c.id, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s -csv: accepted but has no CSV form", c.id)
+		} else if !strings.Contains(err.Error(), "no CSV form") {
+			t.Errorf("%s -csv: error %q does not explain the CSV gap", c.id, err)
+		}
+	}
+}

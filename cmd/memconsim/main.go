@@ -5,24 +5,33 @@
 // Usage:
 //
 //	memconsim -list
-//	memconsim -exp fig14 [-scale 0.5] [-seed 42]
+//	memconsim -exp fig14 [-scale 0.5] [-seed 42] [-parallel 4]
 //	memconsim -all [-scale 0.2]
 //
 // Performance experiments (fig15, fig16, table3) additionally honour
-// -simtime and -mixes.
+// -simtime and -mixes. -parallel bounds the worker pool used inside
+// each experiment's sweep; results are byte-identical for any value.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
 
 	"memcon/internal/experiments"
+	"memcon/internal/parallel"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "memconsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -30,23 +39,36 @@ func main() {
 
 // run executes the CLI against the given arguments and output stream.
 func run(args []string, out io.Writer) error {
+	return runCtx(context.Background(), args, out)
+}
+
+// runCtx is run with a cancellation context: interrupting the process
+// stops in-flight sweeps at the next work-unit boundary.
+func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("memconsim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		list    = fs.Bool("list", false, "list available experiments")
-		exp     = fs.String("exp", "", "experiment id to run (see -list)")
-		all     = fs.Bool("all", false, "run every experiment")
-		scale   = fs.Float64("scale", 1.0, "workload scale in (0,1]")
-		seed    = fs.Int64("seed", 42, "random seed")
-		simtime = fs.Int64("simtime", 500_000, "performance-simulation time per run (ns)")
-		mixes   = fs.Int("mixes", 30, "multiprogrammed mixes for performance runs")
-		csvOut  = fs.Bool("csv", false, "emit CSV instead of the text table (series experiments)")
+		list     = fs.Bool("list", false, "list available experiments")
+		exp      = fs.String("exp", "", "experiment id to run (see -list)")
+		all      = fs.Bool("all", false, "run every experiment")
+		scale    = fs.Float64("scale", 1.0, "workload scale in (0,1]")
+		seed     = fs.Int64("seed", 42, "random seed")
+		simtime  = fs.Int64("simtime", 500_000, "performance-simulation time per run (ns)")
+		mixes    = fs.Int("mixes", 30, "multiprogrammed mixes for performance runs")
+		csvOut   = fs.Bool("csv", false, "emit CSV instead of the text table (series experiments)")
+		nworkers = fs.Int("parallel", runtime.NumCPU(), "worker count for experiment sweeps (results are identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *nworkers < 1 {
+		return fmt.Errorf("-parallel must be at least 1, got %d", *nworkers)
+	}
 
-	opts := experiments.Options{Scale: *scale, Seed: *seed, SimTimeNs: *simtime, Mixes: *mixes}
+	opts := experiments.Options{
+		Scale: *scale, Seed: *seed, SimTimeNs: *simtime, Mixes: *mixes,
+		Workers: *nworkers, Ctx: ctx,
+	}
 
 	switch {
 	case *list:
@@ -59,18 +81,38 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	case *all:
-		for _, id := range experiments.IDs() {
-			if err := runOne(out, id, opts, *csvOut); err != nil {
-				return err
-			}
-		}
-		return nil
+		return runAll(ctx, out, opts, *csvOut)
 	case *exp != "":
 		return runOne(out, *exp, opts, *csvOut)
 	default:
 		fs.Usage()
 		return fmt.Errorf("one of -list, -exp, or -all is required")
 	}
+}
+
+// runAll executes every experiment. The experiments themselves run
+// concurrently (each rendered to its own buffer) and the reports are
+// printed in registry order, so the output matches a serial -all run
+// byte for byte. Workers inside each experiment are left at 1: the
+// -parallel budget is spent across experiments here, not within them.
+func runAll(ctx context.Context, out io.Writer, opts experiments.Options, asCSV bool) error {
+	ids := experiments.IDs()
+	inner := opts
+	inner.Workers = 1
+	reports, err := parallel.Map(ctx, len(ids), opts.Workers, func(i int) (string, error) {
+		var b strings.Builder
+		if err := runOne(&b, ids[i], inner, asCSV); err != nil {
+			return "", err
+		}
+		return b.String(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range reports {
+		fmt.Fprint(out, r)
+	}
+	return nil
 }
 
 func runOne(out io.Writer, id string, opts experiments.Options, asCSV bool) error {

@@ -1,0 +1,49 @@
+package memcon
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplesSmoke builds and runs every example program and requires
+// a zero exit status and non-empty stdout. The examples double as
+// living documentation; a refactor that silently breaks one should
+// fail the suite, not a reader.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example programs in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) != 5 {
+		t.Fatalf("found %d example dirs %v, want 5", len(names), names)
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), name)
+			build := exec.Command("go", "build", "-o", bin, "./"+filepath.Join("examples", name))
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("building example %s: %v\n%s", name, err, out)
+			}
+			out, err := exec.Command(bin).CombinedOutput()
+			if err != nil {
+				t.Fatalf("running example %s: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Errorf("example %s produced no output", name)
+			}
+		})
+	}
+}

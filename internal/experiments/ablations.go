@@ -54,28 +54,33 @@ type AblBufferRow struct {
 type AblBufferResult struct{ Rows []AblBufferRow }
 
 // RunAblBuffer sweeps the buffer capacity from unbounded down to
-// starvation, measuring the refresh reduction lost to discards.
+// starvation, measuring the refresh reduction lost to discards. The
+// capacities run concurrently against one shared trace — core.Run
+// only reads the trace, so the units share it without copies.
 func RunAblBuffer(opts Options) (fmt.Stringer, error) {
 	tr, err := ablTrace(opts)
 	if err != nil {
 		return nil, err
 	}
-	res := &AblBufferResult{}
-	for _, capacity := range []int{0, 4000, 1000, 200, 50, 8} {
+	capacities := []int{0, 4000, 1000, 200, 50, 8}
+	rows, err := forUnits(opts, len(capacities), func(i int) (AblBufferRow, error) {
 		cfg := core.DefaultConfig()
-		cfg.BufferCap = capacity
+		cfg.BufferCap = capacities[i]
 		rep, err := core.Run(tr, cfg, nil)
 		if err != nil {
-			return nil, err
+			return AblBufferRow{}, err
 		}
-		res.Rows = append(res.Rows, AblBufferRow{
-			Capacity:  capacity,
+		return AblBufferRow{
+			Capacity:  capacities[i],
 			Reduction: rep.RefreshReduction(),
 			Discards:  rep.Pril.Discards,
 			Peak:      rep.Pril.PeakBuffer,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &AblBufferResult{Rows: rows}, nil
 }
 
 // String renders the buffer ablation.

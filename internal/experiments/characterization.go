@@ -58,26 +58,31 @@ type Fig3Result struct {
 
 // RunFig3 tests one chip with the standard pattern suite at the
 // characterization idle time and reports how failure sets vary with
-// content.
+// content. Every pattern run rebuilds the (deterministically seeded)
+// chip from scratch, so the sweep fans out over the worker budget; the
+// per-pattern failure sets merge back in pattern order.
 func RunFig3(opts Options) (fmt.Stringer, error) {
 	geom := charGeometry(opts.Scale * 0.25) // one-bank-scale study
 	geom.BanksPerChip = 1
 	params := faults.DefaultParams()
 	patterns := softmc.StandardPatterns(100)
 
-	counts := make(map[string]int) // cell key -> patterns failed
-	res := &Fig3Result{Patterns: len(patterns)}
-	for _, p := range patterns {
+	fails, err := forUnits(opts, len(patterns), func(i int) ([]softmc.RowFailure, error) {
 		tester, err := newChip(geom, uint64(opts.Seed), params)
 		if err != nil {
 			return nil, err
 		}
-		fails, err := tester.RunPattern(p, faults.CharacterizationIdle)
-		if err != nil {
-			return nil, err
-		}
+		return tester.RunPattern(patterns[i], faults.CharacterizationIdle)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	counts := make(map[string]int) // cell key -> patterns failed
+	res := &Fig3Result{Patterns: len(patterns)}
+	for i, p := range patterns {
 		n := 0
-		for _, f := range fails {
+		for _, f := range fails[i] {
 			for _, c := range f.Cells {
 				counts[fmt.Sprintf("%d:%d:%d", f.Addr.Bank, f.Addr.Row, c)]++
 				n++
@@ -142,7 +147,10 @@ type Fig4Result struct {
 }
 
 // RunFig4 measures per-benchmark failing-row fractions with program
-// content across phases, against the all-pattern denominator.
+// content across phases, against the all-pattern denominator. Each
+// benchmark gets its own chip rebuilt from the same seed — a content
+// run refills the whole module, so per-benchmark results match the
+// old shared-tester loop exactly while the sweep fans out.
 func RunFig4(opts Options) (fmt.Stringer, error) {
 	geom := charGeometry(opts.Scale)
 	params := faults.DefaultParams()
@@ -153,16 +161,22 @@ func RunFig4(opts Options) (fmt.Stringer, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig4Result{AllFail: tester.AllFailFraction(idle)}
+	res := &Fig4Result{AllFail: tester.AllFailFractionParallel(opts.Ctx, idle, opts.Workers)}
 
-	for _, spec := range workload.SPECContents() {
+	specs := workload.SPECContents()
+	rows, err := forUnits(opts, len(specs), func(i int) (Fig4Row, error) {
+		spec := specs[i]
+		tester, err := newChip(geom, uint64(opts.Seed), params)
+		if err != nil {
+			return Fig4Row{}, err
+		}
 		row := Fig4Row{Benchmark: spec.Name, Min: 1}
 		var sum float64
 		for ph := 0; ph < phases; ph++ {
 			img := spec.Image(geom.RowsPerBank, geom.ColsPerRow, ph, opts.Seed)
 			frac, err := tester.FailingRowFraction(img, idle)
 			if err != nil {
-				return nil, err
+				return Fig4Row{}, err
 			}
 			sum += frac
 			if frac < row.Min {
@@ -173,8 +187,12 @@ func RunFig4(opts Options) (fmt.Stringer, error) {
 			}
 		}
 		row.Avg = sum / phases
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	res.RatioMin, res.RatioMax = 1e18, 0
 	for _, r := range res.Rows {
 		if r.Avg <= 0 {

@@ -6,9 +6,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+
+	"memcon/internal/parallel"
 )
 
 // Options tune experiment cost. The defaults reproduce the paper-scale
@@ -22,11 +26,26 @@ type Options struct {
 	SimTimeNs int64
 	// Mixes is the number of multiprogrammed mixes for performance runs.
 	Mixes int
+	// Workers bounds the fan-out of the parallel sweep loops; values
+	// below 1 select runtime.GOMAXPROCS(0). Every experiment produces
+	// byte-identical output for any worker count (per-unit seeds are
+	// derived with parallel.Seed, fan-in is ordered).
+	Workers int
+	// Ctx cancels in-flight sweeps between work units; nil means
+	// context.Background().
+	Ctx context.Context
 }
 
 // DefaultOptions returns full-scale settings.
 func DefaultOptions() Options {
-	return Options{Scale: 1.0, Seed: 42, SimTimeNs: 500_000, Mixes: 30}
+	return Options{
+		Scale:     1.0,
+		Seed:      42,
+		SimTimeNs: 500_000,
+		Mixes:     30,
+		Workers:   runtime.GOMAXPROCS(0),
+		Ctx:       context.Background(),
+	}
 }
 
 // normalize fills zero fields with defaults.
@@ -44,7 +63,21 @@ func (o Options) normalize() Options {
 	if o.Mixes <= 0 {
 		o.Mixes = d.Mixes
 	}
+	if o.Workers < 1 {
+		o.Workers = d.Workers
+	}
+	if o.Ctx == nil {
+		o.Ctx = d.Ctx
+	}
 	return o
+}
+
+// forUnits fans an experiment's independent work units out over the
+// options' worker budget and returns the per-unit results in unit
+// order. Units must not share mutable state; anything they need beyond
+// their index has to be built inside fn or be read-only.
+func forUnits[T any](opts Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	return parallel.Map(opts.Ctx, n, opts.Workers, fn)
 }
 
 // Runner executes one experiment and renders its report.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -48,9 +49,17 @@ func TestOptionsNormalize(t *testing.T) {
 	if n != d {
 		t.Errorf("normalized zero options = %+v, want defaults %+v", n, d)
 	}
-	o := Options{Scale: 0.5, Seed: 7, SimTimeNs: 100, Mixes: 2}
+	o := Options{Scale: 0.5, Seed: 7, SimTimeNs: 100, Mixes: 2, Workers: 3, Ctx: context.Background()}
 	if got := o.normalize(); got != o {
 		t.Errorf("valid options changed by normalize: %+v", got)
+	}
+	// Partially-set options keep what is set and fill the rest.
+	p := (Options{Workers: 2}).normalize()
+	if p.Workers != 2 {
+		t.Errorf("normalize clobbered Workers: %d", p.Workers)
+	}
+	if p.Ctx == nil {
+		t.Error("normalize left Ctx nil")
 	}
 }
 

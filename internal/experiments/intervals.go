@@ -39,13 +39,13 @@ type Fig7App struct {
 type Fig7Result struct{ Apps []Fig7App }
 
 // RunFig7 computes write-interval distributions for the representative
-// workloads.
+// workloads, one independent work unit per workload.
 func RunFig7(opts Options) (fmt.Stringer, error) {
-	res := &Fig7Result{}
-	for _, name := range representativeApps {
+	apps, err := forUnits(opts, len(representativeApps), func(i int) (Fig7App, error) {
+		name := representativeApps[i]
 		tr, err := genTrace(name, opts)
 		if err != nil {
-			return nil, err
+			return Fig7App{}, err
 		}
 		h := stats.NewLogHistogram(1, 16) // 1 ms .. 32768 ms
 		var under, over, n float64
@@ -59,13 +59,16 @@ func RunFig7(opts Options) (fmt.Stringer, error) {
 				over++
 			}
 		}
-		res.Apps = append(res.Apps, Fig7App{
+		return Fig7App{
 			Name: name, Hist: h,
 			Under1ms:   under / n,
 			Over1024ms: over / n,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig7Result{Apps: apps}, nil
 }
 
 // String renders the Fig. 7 report.
@@ -92,22 +95,25 @@ type Fig8Result struct{ Apps []Fig8App }
 // RunFig8 fits Pareto distributions to the interval tails (>= 1 ms, the
 // plotted range) of the representative workloads.
 func RunFig8(opts Options) (fmt.Stringer, error) {
-	res := &Fig8Result{}
-	for _, name := range representativeApps {
+	apps, err := forUnits(opts, len(representativeApps), func(i int) (Fig8App, error) {
+		name := representativeApps[i]
 		tr, err := genTrace(name, opts)
 		if err != nil {
-			return nil, err
+			return Fig8App{}, err
 		}
 		// Fit the heavy tail with automatic threshold selection: the
 		// interval body mixes in light-tailed hot-page pauses, exactly
 		// like real bus traces mix cache-eviction churn with idle tails.
 		fit, err := pareto.FitCCDFTail(tr.Intervals(false), nil, 64)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fitting %s: %w", name, err)
+			return Fig8App{}, fmt.Errorf("experiments: fitting %s: %w", name, err)
 		}
-		res.Apps = append(res.Apps, Fig8App{Name: name, Fit: fit})
+		return Fig8App{Name: name, Fit: fit}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig8Result{Apps: apps}, nil
 }
 
 // String renders the Fig. 8 report.
@@ -143,10 +149,9 @@ type Fig9Result struct {
 // RunFig9 computes the execution-time share of long write intervals for
 // all twelve workloads.
 func RunFig9(opts Options) (fmt.Stringer, error) {
-	res := &Fig9Result{}
-	var sum float64
-	for _, app := range workload.Apps() {
-		tr := app.Generate(opts.Seed, opts.Scale)
+	apps := workload.Apps()
+	rows, err := forUnits(opts, len(apps), func(i int) (Fig9Row, error) {
+		tr := apps[i].Generate(opts.Seed, opts.Scale)
 		var total, long float64
 		for _, iv := range tr.Intervals(true) {
 			total += iv
@@ -158,8 +163,15 @@ func RunFig9(opts Options) (fmt.Stringer, error) {
 		if total > 0 {
 			share = long / total
 		}
-		res.Rows = append(res.Rows, Fig9Row{Name: app.Name, LongShare: share})
-		sum += share
+		return Fig9Row{Name: apps[i].Name, LongShare: share}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{Rows: rows}
+	var sum float64
+	for _, row := range rows {
+		sum += row.LongShare
 	}
 	res.Average = sum / float64(len(res.Rows))
 	return res, nil
@@ -191,16 +203,22 @@ type Fig11Result struct {
 // RunFig11 computes the decreasing-hazard-rate conditionals for all
 // workloads.
 func RunFig11(opts Options) (fmt.Stringer, error) {
-	res := &Fig11Result{CILs: cilGrid}
-	for _, app := range workload.Apps() {
-		tr := app.Generate(opts.Seed, opts.Scale)
+	apps := workload.Apps()
+	rows, err := forUnits(opts, len(apps), func(i int) ([]float64, error) {
+		tr := apps[i].Generate(opts.Seed, opts.Scale)
 		ivs := tr.Intervals(true)
 		row := make([]float64, len(cilGrid))
-		for i, c := range cilGrid {
-			row[i] = pareto.ConditionalExceedEmpirical(ivs, c, 1024)
+		for j, c := range cilGrid {
+			row[j] = pareto.ConditionalExceedEmpirical(ivs, c, 1024)
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig11Result{CILs: cilGrid, P: rows}
+	for _, app := range apps {
 		res.Apps = append(res.Apps, app.Name)
-		res.P = append(res.P, row)
 	}
 	return res, nil
 }
@@ -233,16 +251,22 @@ type Fig12Result struct {
 
 // RunFig12 computes prediction coverage for all workloads.
 func RunFig12(opts Options) (fmt.Stringer, error) {
-	res := &Fig12Result{CILs: cilGrid}
-	for _, app := range workload.Apps() {
-		tr := app.Generate(opts.Seed, opts.Scale)
+	apps := workload.Apps()
+	rows, err := forUnits(opts, len(apps), func(i int) ([]float64, error) {
+		tr := apps[i].Generate(opts.Seed, opts.Scale)
 		ivs := tr.Intervals(true)
 		row := make([]float64, len(cilGrid))
-		for i, c := range cilGrid {
-			row[i] = pareto.CoverageAtCIL(ivs, c)
+		for j, c := range cilGrid {
+			row[j] = pareto.CoverageAtCIL(ivs, c)
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig12Result{CILs: cilGrid, Coverage: rows}
+	for _, app := range apps {
 		res.Apps = append(res.Apps, app.Name)
-		res.Coverage = append(res.Coverage, row)
 	}
 	return res, nil
 }

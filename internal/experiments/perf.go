@@ -6,6 +6,7 @@ import (
 
 	"memcon/internal/dram"
 	"memcon/internal/memctrl"
+	"memcon/internal/parallel"
 	"memcon/internal/sim"
 	"memcon/internal/stats"
 	"memcon/internal/workload"
@@ -41,15 +42,16 @@ func memconMem(d dram.Density, reduction float64, testsPerWindow int, seed int64
 }
 
 // avgSpeedup runs all mixes and returns the mean weighted speedup of
-// scheme over baseline.
-func avgSpeedup(mixes [][]workload.CoreParams, base, scheme memctrl.Config, simTime dram.Nanoseconds, seed int64) (float64, error) {
-	var speedups []float64
-	for i, mix := range mixes {
-		s, err := sim.MixSpeedup(mix, base, scheme, simTime, seed+int64(i))
-		if err != nil {
-			return 0, err
-		}
-		speedups = append(speedups, s)
+// scheme over baseline. The mixes are independent simulations, so they
+// fan out over the options' worker budget; each mix simulates under its
+// own parallel.Seed(opts.Seed, i) stream and the speedups are averaged
+// in mix order, so the result is identical for any worker count.
+func avgSpeedup(opts Options, mixes [][]workload.CoreParams, base, scheme memctrl.Config) (float64, error) {
+	speedups, err := forUnits(opts, len(mixes), func(i int) (float64, error) {
+		return sim.MixSpeedup(mixes[i], base, scheme, opts.SimTimeNs, parallel.Seed(opts.Seed, i))
+	})
+	if err != nil {
+		return 0, err
 	}
 	return stats.Mean(speedups), nil
 }
@@ -79,7 +81,7 @@ func RunFig15(opts Options) (fmt.Stringer, error) {
 				if err != nil {
 					return nil, err
 				}
-				s, err := avgSpeedup(mixes, baselineMem(d, opts.Seed), scheme, opts.SimTimeNs, opts.Seed)
+				s, err := avgSpeedup(opts, mixes, baselineMem(d, opts.Seed), scheme)
 				if err != nil {
 					return nil, err
 				}
@@ -145,7 +147,7 @@ func RunTable3(opts Options) (fmt.Stringer, error) {
 		for _, tests := range []int{256, 512, 1024} {
 			loaded := ideal
 			loaded.TestsPerWindow = tests
-			s, err := avgSpeedup(mixes, ideal, loaded, opts.SimTimeNs, opts.Seed)
+			s, err := avgSpeedup(opts, mixes, ideal, loaded)
 			if err != nil {
 				return nil, err
 			}
@@ -218,7 +220,7 @@ func RunFig16(opts Options) (fmt.Stringer, error) {
 				if err != nil {
 					return nil, err
 				}
-				s, err := avgSpeedup(mixes, base, scheme, opts.SimTimeNs, opts.Seed)
+				s, err := avgSpeedup(opts, mixes, base, scheme)
 				if err != nil {
 					return nil, err
 				}

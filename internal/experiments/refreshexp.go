@@ -40,20 +40,29 @@ type Fig14Result struct {
 }
 
 // RunFig14 measures MEMCON's refresh-operation reduction for all
-// workloads at the three quantum lengths.
+// workloads at the three quantum lengths. Apps are independent work
+// units (each generates its own trace); the min/avg/max fold runs over
+// the fanned-in rows in app order.
 func RunFig14(opts Options) (fmt.Stringer, error) {
-	res := &Fig14Result{UpperBound: 0.75, MinAt1024: 1}
-	var sum float64
-	for _, app := range workload.Apps() {
-		tr := app.Generate(opts.Seed, opts.Scale)
-		row := Fig14Row{Name: app.Name}
+	apps := workload.Apps()
+	rows, err := forUnits(opts, len(apps), func(i int) (Fig14Row, error) {
+		tr := apps[i].Generate(opts.Seed, opts.Scale)
+		row := Fig14Row{Name: apps[i].Name}
 		for _, q := range cilChoices {
 			rep, err := runEngineOn(tr, q)
 			if err != nil {
-				return nil, err
+				return Fig14Row{}, err
 			}
 			row.Reduction = append(row.Reduction, rep.RefreshReduction())
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig14Result{UpperBound: 0.75, MinAt1024: 1, Rows: rows}
+	var sum float64
+	for _, row := range rows {
 		r1024 := row.Reduction[1]
 		sum += r1024
 		if r1024 < res.MinAt1024 {
@@ -62,7 +71,6 @@ func RunFig14(opts Options) (fmt.Stringer, error) {
 		if r1024 > res.MaxAt1024 {
 			res.MaxAt1024 = r1024
 		}
-		res.Rows = append(res.Rows, row)
 	}
 	res.AvgAt1024 = sum / float64(len(res.Rows))
 	return res, nil
@@ -98,20 +106,26 @@ type Fig17Result struct {
 
 // RunFig17 measures the fraction of execution time rows spend at LO-REF.
 func RunFig17(opts Options) (fmt.Stringer, error) {
-	res := &Fig17Result{}
-	var sum float64
-	for _, app := range workload.Apps() {
-		tr := app.Generate(opts.Seed, opts.Scale)
-		row := Fig17Row{Name: app.Name}
+	apps := workload.Apps()
+	rows, err := forUnits(opts, len(apps), func(i int) (Fig17Row, error) {
+		tr := apps[i].Generate(opts.Seed, opts.Scale)
+		row := Fig17Row{Name: apps[i].Name}
 		for _, q := range cilChoices {
 			rep, err := runEngineOn(tr, q)
 			if err != nil {
-				return nil, err
+				return Fig17Row{}, err
 			}
 			row.Coverage = append(row.Coverage, rep.LoRefCoverage())
 		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig17Result{Rows: rows}
+	var sum float64
+	for _, row := range rows {
 		sum += row.Coverage[1]
-		res.Rows = append(res.Rows, row)
 	}
 	res.AvgAt1024 = sum / float64(len(res.Rows))
 	return res, nil
@@ -152,10 +166,9 @@ type Fig18Result struct {
 // RunFig18 measures time spent on refresh and testing under MEMCON,
 // normalized to baseline refresh time.
 func RunFig18(opts Options) (fmt.Stringer, error) {
-	res := &Fig18Result{}
-	var sum float64
-	for _, app := range workload.Apps() {
-		tr := app.Generate(opts.Seed, opts.Scale)
+	apps := workload.Apps()
+	rows, err := forUnits(opts, len(apps), func(i int) (Fig18Row, error) {
+		tr := apps[i].Generate(opts.Seed, opts.Scale)
 		cfg := core.DefaultConfig()
 		cfg.Quantum = 1024 * trace.Millisecond
 		// Model the full module: the workload's written footprint is a
@@ -166,18 +179,24 @@ func RunFig18(opts Options) (fmt.Stringer, error) {
 		cfg.ReadOnlyRows = 9 * (tr.MaxPage() + 1)
 		rep, err := core.Run(tr, cfg, nil)
 		if err != nil {
-			return nil, err
+			return Fig18Row{}, err
 		}
 		base := rep.BaselineRefreshTimeNs()
 		refreshNs := rep.RefreshOps * 39 // tRAS+tRP per op
-		row := Fig18Row{
-			Name:             app.Name,
+		return Fig18Row{
+			Name:             apps[i].Name,
 			RefreshShare:     refreshNs / base,
 			TestCorrectShare: rep.TestingTimeCorrectNs / base,
 			TestMispredShare: rep.TestingTimeMispredNs / base,
-		}
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig18Result{Rows: rows}
+	var sum float64
+	for _, row := range rows {
 		sum += row.TestCorrectShare + row.TestMispredShare
-		res.Rows = append(res.Rows, row)
 	}
 	res.AvgTestingShare = sum / float64(len(res.Rows))
 	return res, nil

@@ -1,0 +1,191 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	for _, n := range []int{0, -1, -100} {
+		if got := Workers(n); got != want {
+			t.Errorf("Workers(%d) = %d, want GOMAXPROCS %d", n, got, want)
+		}
+	}
+}
+
+func TestSeedDeterministicAndDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for unit := 0; unit < 1000; unit++ {
+		s := Seed(42, unit)
+		if s != Seed(42, unit) {
+			t.Fatalf("Seed(42, %d) unstable", unit)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("Seed collision between units %d and %d", prev, unit)
+		}
+		seen[s] = unit
+	}
+	// Different bases give different streams.
+	if Seed(1, 0) == Seed(2, 0) {
+		t.Error("Seed ignores base")
+	}
+	// Unit 0 is mixed too (a plain xor/add scheme would return base).
+	if Seed(42, 0) == 42 {
+		t.Error("Seed(base, 0) returned base unmixed")
+	}
+}
+
+func TestMapOrderedFanIn(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16, 100} {
+		got, err := Map(context.Background(), 50, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapDeterministicUnderLoad re-runs a randomized workload at several
+// worker counts and requires identical results: the core contract the
+// experiment sweeps rely on.
+func TestMapDeterministicUnderLoad(t *testing.T) {
+	run := func(workers int) []float64 {
+		out, err := Map(context.Background(), 200, workers, func(i int) (float64, error) {
+			rng := rand.New(rand.NewSource(Seed(7, i)))
+			var sum float64
+			for k := 0; k < 100+i%17; k++ {
+				sum += rng.Float64()
+			}
+			return sum, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 3, 8, 64} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: unit %d = %v, want %v (serial)", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestForEachLowestErrorWins checks the deterministic error contract:
+// whichever worker count is used, the reported error is the lowest
+// failing unit's.
+func TestForEachLowestErrorWins(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(context.Background(), 64, workers, func(i int) error {
+			if i == 7 || i == 3 || i == 60 {
+				return fmt.Errorf("unit %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "unit 3 failed" {
+			t.Errorf("workers=%d: err = %v, want unit 3's error", workers, err)
+		}
+	}
+}
+
+func TestForEachRunsAllUnitsDespiteError(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(context.Background(), 32, 4, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if ran.Load() != 32 {
+		t.Errorf("ran %d of 32 units; errors must not skip work (determinism)", ran.Load())
+	}
+}
+
+func TestForEachPanicCapture(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), 16, workers, func(i int) error {
+			if i == 5 {
+				panic("boom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Unit != 5 || pe.Value != "boom" {
+			t.Errorf("workers=%d: captured %d/%v, want 5/boom", workers, pe.Unit, pe.Value)
+		}
+		if !strings.Contains(pe.Error(), "boom") || len(pe.Stack) == 0 {
+			t.Error("panic error lost its message or stack")
+		}
+	}
+}
+
+func TestForEachContextCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEach(ctx, 1000, workers, func(i int) error {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 1000 {
+			t.Errorf("workers=%d: cancellation did not stop the sweep (%d units ran)", workers, n)
+		}
+	}
+}
+
+func TestForEachNilContextAndEmptyInput(t *testing.T) {
+	if err := ForEach(nil, 0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+	var ran atomic.Int64
+	if err := ForEach(nil, 3, 0, func(i int) error { ran.Add(1); return nil }); err != nil {
+		t.Errorf("nil ctx: %v", err)
+	}
+	if ran.Load() != 3 {
+		t.Errorf("ran %d of 3 units", ran.Load())
+	}
+}
+
+func TestMapErrorReturnsNil(t *testing.T) {
+	out, err := Map(context.Background(), 4, 2, func(i int) (string, error) {
+		if i == 2 {
+			return "", errors.New("nope")
+		}
+		return "ok", nil
+	})
+	if err == nil || out != nil {
+		t.Errorf("Map error path returned (%v, %v)", out, err)
+	}
+}

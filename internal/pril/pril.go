@@ -61,11 +61,15 @@ func (w writeMap) clear() {
 }
 
 // writeBuffer stores the addresses of pages written exactly once in a
-// quantum. It preserves insertion order so overflow behaviour is
-// deterministic.
+// quantum. It preserves insertion order so overflow behaviour — and the
+// order predictions drain in — is deterministic: a hardware CAM drains
+// oldest-first, and the engine's test queue inherits that order.
 type writeBuffer struct {
 	cap     int
 	members map[uint32]struct{}
+	// order records insertions; entries whose page has since been
+	// removed are skipped (and re-insertions re-appended) at drain.
+	order []uint32
 }
 
 func newWriteBuffer(capacity int) *writeBuffer {
@@ -81,6 +85,7 @@ func (b *writeBuffer) add(p uint32) bool {
 		return false
 	}
 	b.members[p] = struct{}{}
+	b.order = append(b.order, p)
 	return true
 }
 
@@ -93,10 +98,16 @@ func (b *writeBuffer) contains(p uint32) bool {
 
 func (b *writeBuffer) drain() []uint32 {
 	out := make([]uint32, 0, len(b.members))
-	for p := range b.members {
-		out = append(out, p)
+	for _, p := range b.order {
+		if _, ok := b.members[p]; ok {
+			// Deleting as we emit drops the duplicate order entries a
+			// remove-then-re-add sequence leaves behind.
+			delete(b.members, p)
+			out = append(out, p)
+		}
 	}
 	b.members = make(map[uint32]struct{})
+	b.order = b.order[:0]
 	return out
 }
 

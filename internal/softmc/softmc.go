@@ -14,11 +14,13 @@
 package softmc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"memcon/internal/dram"
 	"memcon/internal/faults"
+	"memcon/internal/parallel"
 )
 
 // Pattern is a synthetic data pattern used for characterization, in the
@@ -274,14 +276,45 @@ func (t *Tester) FailingRowFraction(image []dram.Row, idle dram.Nanoseconds) (fl
 // data pattern at the given idle time — the exhaustive-testing
 // denominator (ALL FAIL in Fig. 4).
 func (t *Tester) AllFailFraction(idle dram.Nanoseconds) float64 {
+	return t.AllFailFractionParallel(context.Background(), idle, 1)
+}
+
+// AllFailFractionParallel is AllFailFraction fanned out over up to
+// `workers` goroutines (values below 1 select GOMAXPROCS). RowCanFail
+// only reads the fault model, which Preload makes immutable, so the
+// row scan shards into contiguous row ranges per bank; the total is a
+// count, identical for any worker count.
+func (t *Tester) AllFailFractionParallel(ctx context.Context, idle dram.Nanoseconds, workers int) float64 {
 	g := t.mod.Geometry()
-	fails := 0
-	for b := 0; b < g.BanksPerChip; b++ {
-		for r := 0; r < g.RowsPerBank; r++ {
+	t.model.Preload()
+	counts, err := parallel.Map(ctx, g.BanksPerChip*chunksPerBank, workers, func(u int) (int, error) {
+		b := u / chunksPerBank
+		lo, hi := chunkBounds(g.RowsPerBank, u%chunksPerBank)
+		fails := 0
+		for r := lo; r < hi; r++ {
 			if t.model.RowCanFail(dram.RowAddress{Bank: b, Row: r}, idle) {
 				fails++
 			}
 		}
+		return fails, nil
+	})
+	if err != nil { // only context cancellation can land here
+		return 0
+	}
+	fails := 0
+	for _, c := range counts {
+		fails += c
 	}
 	return float64(fails) / float64(g.TotalRows())
+}
+
+// chunksPerBank splits each bank's row scan so a handful of banks still
+// feeds many workers.
+const chunksPerBank = 8
+
+// chunkBounds returns the [lo, hi) row range of chunk c.
+func chunkBounds(rows, c int) (int, int) {
+	lo := c * rows / chunksPerBank
+	hi := (c + 1) * rows / chunksPerBank
+	return lo, hi
 }

@@ -105,10 +105,14 @@ func (t *Trace) WritesPerPage() map[uint32][]Microseconds {
 // for each page, the gaps between consecutive writes, plus the final
 // open interval from the last write to the end of the trace (the paper's
 // analysis counts the trailing idle time; it is what MEMCON exploits for
-// pages written once).
+// pages written once). Pages are visited in ascending page order so the
+// slice — and everything downstream of it, e.g. float accumulations in
+// the interval experiments — is byte-stable across process runs.
 func (t *Trace) Intervals(includeTrailing bool) []float64 {
+	perPage := t.WritesPerPage()
 	var out []float64
-	for _, times := range t.WritesPerPage() {
+	for _, page := range sortedPages(perPage) {
+		times := perPage[page]
 		for i := 1; i < len(times); i++ {
 			out = append(out, float64(times[i]-times[i-1])/float64(Millisecond))
 		}
@@ -119,6 +123,18 @@ func (t *Trace) Intervals(includeTrailing bool) []float64 {
 	return out
 }
 
+// sortedPages returns the map's keys in ascending order; iterating a
+// Go map directly would leak the runtime's randomized order into
+// results that must be reproducible.
+func sortedPages(m map[uint32][]Microseconds) []uint32 {
+	pages := make([]uint32, 0, len(m))
+	for p := range m {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	return pages
+}
+
 // HalveIntervals returns a copy of the trace with every write interval
 // halved (the Fig. 19 cache-pressure sensitivity transform): for each
 // page, gaps between consecutive writes are scaled by 0.5 while the
@@ -127,7 +143,8 @@ func (t *Trace) Intervals(includeTrailing bool) []float64 {
 func (t *Trace) HalveIntervals() *Trace {
 	perPage := t.WritesPerPage()
 	out := &Trace{Name: t.Name + "-halved", Duration: t.Duration / 2}
-	for page, times := range perPage {
+	for _, page := range sortedPages(perPage) {
+		times := perPage[page]
 		at := times[0] / 2
 		out.Events = append(out.Events, Event{Page: page, At: at})
 		for i := 1; i < len(times); i++ {

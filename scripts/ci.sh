@@ -1,0 +1,26 @@
+#!/bin/sh
+# ci.sh — the checks a change must pass before merging:
+#   1. everything compiles (including examples, which are plain
+#      package-main programs the test suite shells out to),
+#   2. go vet is clean,
+#   3. the full test suite passes,
+#   4. the suite also passes under the race detector (-short trims the
+#      slowest golden sweeps; they already ran race-free in step 3's
+#      process because the experiment sweeps are parallel by default).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "== go test -race -short ./... =="
+go test -race -short ./...
+
+echo "ci: all checks passed"
