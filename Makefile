@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench fuzz ci
+.PHONY: build test race vet bench fuzz ci metrics-demo
 
 build:
 	$(GO) build ./...
@@ -29,3 +29,9 @@ fuzz:
 
 ci:
 	./scripts/ci.sh
+
+# metrics-demo runs a scaled-down sweep with the observability layer
+# attached and prints the human-readable metrics table (counters,
+# histograms, per-phase wall times, worker-pool utilization).
+metrics-demo:
+	$(GO) run ./cmd/memconsim -exp fig14 -scale 0.1 -metrics - -metrics-format table

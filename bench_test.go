@@ -325,6 +325,43 @@ func capName(c int) string {
 	}
 }
 
+// --- Observability overhead ---
+
+// BenchmarkEngineObserverDisabled is the zero-cost baseline: the event
+// path with no observer attached is a nil check per site and must not
+// allocate. Compare against BenchmarkEngineObserverEnabled to see the
+// full price of metrics aggregation.
+func BenchmarkEngineObserverDisabled(b *testing.B) {
+	tr := benchTrace(b)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunWith(tr, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Events)), "events/op")
+}
+
+// BenchmarkEngineObserverEnabled runs the same trace with the metrics
+// aggregator attached, pricing the per-event counter and histogram
+// updates.
+func BenchmarkEngineObserverEnabled(b *testing.B) {
+	tr := benchTrace(b)
+	cfg := DefaultConfig()
+	reg := NewRegistry()
+	m := NewMetrics(reg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunWith(tr, cfg, WithObserver(m)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Events)), "events/op")
+}
+
 // --- Substrate micro-benchmarks ---
 
 func BenchmarkPRILObserve(b *testing.B) {

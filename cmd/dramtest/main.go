@@ -10,6 +10,9 @@
 //	dramtest -allfail [-idle 328]
 //	dramtest -profile [-rounds 2] [-guardband 1.25]
 //	dramtest -patterns        # list pattern names
+//
+// Observability: -metrics/-metrics-format write aggregated row-failure
+// and weak-row counts after the run; -pprof serves live profiles.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 
 	"memcon/internal/dram"
 	"memcon/internal/faults"
+	"memcon/internal/obs"
 	"memcon/internal/profiler"
 	"memcon/internal/softmc"
 	"memcon/internal/workload"
@@ -50,12 +54,27 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 42, "chip seed")
 		rows     = fs.Int("rows", 4096, "rows per bank")
 		nworkers = fs.Int("parallel", runtime.NumCPU(), "worker count for the -allfail row scan (results are identical for any value)")
+		metrics  = fs.String("metrics", "", `write aggregated run metrics to this file ("-" for stdout)`)
+		mformat  = fs.String("metrics-format", "json", "metrics output format: json, prom, or table")
+		pprofOn  = fs.String("pprof", "", "serve net/http/pprof on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *nworkers < 1 {
 		return fmt.Errorf("-parallel must be at least 1, got %d", *nworkers)
+	}
+	format, err := obs.ParseFormat(*mformat)
+	if err != nil {
+		return err
+	}
+	if *pprofOn != "" {
+		bound, stopPprof, err := obs.StartPprof(*pprofOn)
+		if err != nil {
+			return err
+		}
+		defer stopPprof()
+		fmt.Fprintf(os.Stderr, "dramtest: pprof at http://%s/debug/pprof/\n", bound)
 	}
 
 	if *patterns {
@@ -71,57 +90,88 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var reg *obs.Registry
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		tester.SetObserver(obs.NewMetrics(reg))
+	}
 	idle := dram.Nanoseconds(*idleMs) * dram.Millisecond
 
-	switch {
-	case *profile:
-		cfg := profiler.DefaultConfig()
-		cfg.Rounds = *rounds
-		cfg.Guardband = *guard
-		cfg.TargetIdle = idle
-		p, err := profiler.Run(tester, geom, cfg)
-		if err != nil {
-			return err
+	runErr := func() error {
+		switch {
+		case *profile:
+			cfg := profiler.DefaultConfig()
+			cfg.Rounds = *rounds
+			cfg.Guardband = *guard
+			cfg.TargetIdle = idle
+			p, err := profiler.Run(tester, geom, cfg)
+			if err != nil {
+				return err
+			}
+			rep := profiler.Escapes(p, model, idle)
+			fmt.Fprintf(out, "profile: %d runs at %d ms idle (guardband %.2f)\n",
+				p.Runs, p.IdleUsed/dram.Millisecond, *guard)
+			fmt.Fprintf(out, "  flagged weak rows: %d (%.2f%% of module)\n", rep.ProfiledRows, 100*p.WeakRowFraction())
+			fmt.Fprintf(out, "  ground truth:      %d weak rows\n", rep.TrueWeakRows)
+			fmt.Fprintf(out, "  ESCAPES:           %d (%.1f%% of truly weak rows)\n", rep.Escapes, 100*rep.EscapeRate())
+			fmt.Fprintf(out, "  false alarms:      %d\n", rep.FalseAlarms)
+			return nil
+		case *allfail:
+			frac := tester.AllFailFractionParallel(context.Background(), idle, *nworkers)
+			fmt.Fprintf(out, "rows failing under ANY pattern at %d ms idle: %.2f%%\n", *idleMs, 100*frac)
+			return nil
+		case *pattern != "":
+			p, err := findPattern(*pattern)
+			if err != nil {
+				return err
+			}
+			fails, err := tester.RunPattern(p, idle)
+			if err != nil {
+				return err
+			}
+			report(out, geom, fails, *idleMs, p.Name)
+			return nil
+		case *content != "":
+			spec, err := workload.ContentByName(*content)
+			if err != nil {
+				return err
+			}
+			img := spec.Image(geom.RowsPerBank, geom.ColsPerRow, 0, *seed)
+			fails, err := tester.RunContent(img, idle)
+			if err != nil {
+				return err
+			}
+			report(out, geom, fails, *idleMs, "content:"+spec.Name)
+			return nil
+		default:
+			fs.Usage()
+			return fmt.Errorf("one of -patterns, -pattern, -content, -allfail, or -profile is required")
 		}
-		rep := profiler.Escapes(p, model, idle)
-		fmt.Fprintf(out, "profile: %d runs at %d ms idle (guardband %.2f)\n",
-			p.Runs, p.IdleUsed/dram.Millisecond, *guard)
-		fmt.Fprintf(out, "  flagged weak rows: %d (%.2f%% of module)\n", rep.ProfiledRows, 100*p.WeakRowFraction())
-		fmt.Fprintf(out, "  ground truth:      %d weak rows\n", rep.TrueWeakRows)
-		fmt.Fprintf(out, "  ESCAPES:           %d (%.1f%% of truly weak rows)\n", rep.Escapes, 100*rep.EscapeRate())
-		fmt.Fprintf(out, "  false alarms:      %d\n", rep.FalseAlarms)
-		return nil
-	case *allfail:
-		frac := tester.AllFailFractionParallel(context.Background(), idle, *nworkers)
-		fmt.Fprintf(out, "rows failing under ANY pattern at %d ms idle: %.2f%%\n", *idleMs, 100*frac)
-		return nil
-	case *pattern != "":
-		p, err := findPattern(*pattern)
-		if err != nil {
-			return err
-		}
-		fails, err := tester.RunPattern(p, idle)
-		if err != nil {
-			return err
-		}
-		report(out, geom, fails, *idleMs, p.Name)
-		return nil
-	case *content != "":
-		spec, err := workload.ContentByName(*content)
-		if err != nil {
-			return err
-		}
-		img := spec.Image(geom.RowsPerBank, geom.ColsPerRow, 0, *seed)
-		fails, err := tester.RunContent(img, idle)
-		if err != nil {
-			return err
-		}
-		report(out, geom, fails, *idleMs, "content:"+spec.Name)
-		return nil
-	default:
-		fs.Usage()
-		return fmt.Errorf("one of -patterns, -pattern, -content, -allfail, or -profile is required")
+	}()
+	if runErr != nil {
+		return runErr
 	}
+	if reg != nil {
+		return writeMetrics(*metrics, out, reg, format)
+	}
+	return nil
+}
+
+// writeMetrics renders the registry to path ("-" selects the CLI
+// output stream).
+func writeMetrics(path string, out io.Writer, reg *obs.Registry, format obs.Format) error {
+	if path == "-" {
+		return reg.Write(out, format)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating metrics file: %w", err)
+	}
+	if err := reg.Write(f, format); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func buildChip(geom dram.Geometry, seed uint64) (*softmc.Tester, *faults.Model, error) {

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// dramtestMetrics runs the CLI with -metrics and returns the document.
+func dramtestMetrics(t *testing.T, format string, args ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "metrics."+format)
+	full := append(args, "-metrics", path, "-metrics-format", format)
+	var out strings.Builder
+	if err := run(full, &out); err != nil {
+		t.Fatalf("run(%v): %v", full, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading metrics file: %v", err)
+	}
+	return string(data)
+}
+
+// TestMetricsPatternRun checks read-back failures flow into the
+// row-failure counters.
+func TestMetricsPatternRun(t *testing.T) {
+	out := dramtestMetrics(t, "json", withFast("-pattern", "checker-0", "-idle", "656")...)
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v\n%s", err, out)
+	}
+	if doc.Counters["memcon_row_failures_total"] == 0 {
+		t.Errorf("no row failures counted at a 656 ms idle:\n%s", out)
+	}
+	if doc.Counters["memcon_failing_cells_total"] < doc.Counters["memcon_row_failures_total"] {
+		t.Errorf("fewer failing cells than failing rows:\n%s", out)
+	}
+}
+
+// TestMetricsAllFailParallelInvariant checks the weak-row scan feeds
+// the same counts for any worker count: counter aggregation is
+// commutative, so the document is byte-identical.
+func TestMetricsAllFailParallelInvariant(t *testing.T) {
+	base := withFast("-allfail", "-idle", "656")
+	want := dramtestMetrics(t, "json", append(base, "-parallel", "1")...)
+	if !strings.Contains(want, "memcon_weak_rows_total") {
+		t.Fatalf("weak-row counter missing:\n%s", want)
+	}
+	for _, n := range []string{"4", "8"} {
+		got := dramtestMetrics(t, "json", append(base, "-parallel", n)...)
+		if got != want {
+			t.Errorf("metrics differ between -parallel 1 and -parallel %s\n--- 1 ---\n%s\n--- %s ---\n%s", n, want, n, got)
+		}
+	}
+}
+
+func TestMetricsPromFormat(t *testing.T) {
+	out := dramtestMetrics(t, "prom", withFast("-pattern", "solid-0", "-idle", "656")...)
+	if !strings.Contains(out, "# TYPE memcon_row_failures_total counter") {
+		t.Errorf("prometheus output missing TYPE header:\n%s", out)
+	}
+}

@@ -11,6 +11,18 @@
 // Performance experiments (fig15, fig16, table3) additionally honour
 // -simtime and -mixes. -parallel bounds the worker pool used inside
 // each experiment's sweep; results are byte-identical for any value.
+//
+// Observability:
+//
+//	memconsim -exp fig14 -metrics out.json             # aggregated metrics (JSON)
+//	memconsim -all -metrics out.prom -metrics-format prom
+//	memconsim -exp fig15 -pprof localhost:6060         # live pprof while running
+//	memconsim -exp fig15 -trace run.trace              # runtime execution trace
+//
+// The json and prom metric documents contain only deterministic
+// aggregates and are byte-identical for any -parallel value; the table
+// format additionally shows volatile wall-clock data (per-experiment
+// phase timings, per-worker pool utilization).
 package main
 
 import (
@@ -25,6 +37,7 @@ import (
 	"syscall"
 
 	"memcon/internal/experiments"
+	"memcon/internal/obs"
 	"memcon/internal/parallel"
 )
 
@@ -57,6 +70,10 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		mixes    = fs.Int("mixes", 30, "multiprogrammed mixes for performance runs")
 		csvOut   = fs.Bool("csv", false, "emit CSV instead of the text table (series experiments)")
 		nworkers = fs.Int("parallel", runtime.NumCPU(), "worker count for experiment sweeps (results are identical for any value)")
+		metrics  = fs.String("metrics", "", `write aggregated run metrics to this file ("-" for stdout)`)
+		mformat  = fs.String("metrics-format", "json", "metrics output format: json, prom, or table")
+		pprofOn  = fs.String("pprof", "", "serve net/http/pprof on this address while running (e.g. localhost:6060)")
+		traceOut = fs.String("trace", "", "write a runtime execution trace to this file (inspect with go tool trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,30 +81,92 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	if *nworkers < 1 {
 		return fmt.Errorf("-parallel must be at least 1, got %d", *nworkers)
 	}
+	format, err := obs.ParseFormat(*mformat)
+	if err != nil {
+		return err
+	}
+	if *pprofOn != "" {
+		bound, stopPprof, err := obs.StartPprof(*pprofOn)
+		if err != nil {
+			return err
+		}
+		defer stopPprof()
+		fmt.Fprintf(os.Stderr, "memconsim: pprof at http://%s/debug/pprof/\n", bound)
+	}
+	if *traceOut != "" {
+		stopTrace, err := obs.StartTrace(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer stopTrace() //nolint:errcheck // flush error surfaced via the file below
+	}
 
 	opts := experiments.Options{
 		Scale: *scale, Seed: *seed, SimTimeNs: *simtime, Mixes: *mixes,
 		Workers: *nworkers, Ctx: ctx,
 	}
 
-	switch {
-	case *list:
-		for _, id := range experiments.IDs() {
-			desc, err := experiments.Describe(id)
-			if err != nil {
-				return fmt.Errorf("describing %s: %w", id, err)
-			}
-			fmt.Fprintf(out, "%-10s %s\n", id, desc)
-		}
-		return nil
-	case *all:
-		return runAll(ctx, out, opts, *csvOut)
-	case *exp != "":
-		return runOne(out, *exp, opts, *csvOut)
-	default:
-		fs.Usage()
-		return fmt.Errorf("one of -list, -exp, or -all is required")
+	// -metrics attaches the aggregating observer plus the volatile
+	// wall-clock collectors (phase timer, pool utilization). Only the
+	// latter two vary across runs; the json/prom documents exclude them.
+	var reg *obs.Registry
+	var phases *obs.PhaseTimer
+	var pool *parallel.PoolStats
+	if *metrics != "" {
+		reg = obs.NewRegistry()
+		phases = obs.NewPhaseTimer(nil)
+		pool = parallel.NewPoolStats()
+		opts.Observer = obs.NewMetrics(reg)
+		opts.Phases = phases
+		opts.Ctx = parallel.ContextWithStats(ctx, pool)
 	}
+
+	runErr := func() error {
+		switch {
+		case *list:
+			for _, id := range experiments.IDs() {
+				desc, err := experiments.Describe(id)
+				if err != nil {
+					return fmt.Errorf("describing %s: %w", id, err)
+				}
+				fmt.Fprintf(out, "%-10s %s\n", id, desc)
+			}
+			return nil
+		case *all:
+			return runAll(opts.Ctx, out, opts, *csvOut)
+		case *exp != "":
+			return runOne(out, *exp, opts, *csvOut)
+		default:
+			fs.Usage()
+			return fmt.Errorf("one of -list, -exp, or -all is required")
+		}
+	}()
+	if runErr != nil {
+		return runErr
+	}
+	if reg != nil {
+		phases.ExportTo(reg)
+		pool.ExportTo(reg)
+		return writeMetrics(*metrics, out, reg, format)
+	}
+	return nil
+}
+
+// writeMetrics renders the registry to path ("-" selects the CLI
+// output stream).
+func writeMetrics(path string, out io.Writer, reg *obs.Registry, format obs.Format) error {
+	if path == "-" {
+		return reg.Write(out, format)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating metrics file: %w", err)
+	}
+	if err := reg.Write(f, format); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runAll executes every experiment. The experiments themselves run

@@ -26,6 +26,38 @@ func ExampleRun() {
 	// Output: tests: 1, reduction: 67% of upper bound 75%
 }
 
+// Observers receive the engine's structured lifecycle events: attach
+// one with the option-based constructor and watch a page be written,
+// tracked by PRIL, predicted idle, tested, and moved to LO-REF. The
+// KindRunDone event is skipped here because its payload is wall-clock
+// time.
+func ExampleNew_observer() {
+	eng, err := memcon.New(memcon.DefaultConfig(),
+		memcon.WithObserver(memcon.ObserverFunc(func(e memcon.ObserverEvent) {
+			if e.Kind != memcon.KindRunDone {
+				fmt.Println(e)
+			}
+		})))
+	if err != nil {
+		panic(err)
+	}
+	tr := &memcon.Trace{
+		Name:     "demo",
+		Duration: 4 * 1024 * trace.Millisecond, // 4 quanta
+		Events:   []memcon.Event{{Page: 0, At: 0}},
+	}
+	if _, err := eng.Run(tr); err != nil {
+		panic(err)
+	}
+	// Output:
+	// write page=0 at=0 aux=-1
+	// pril_insert page=0 at=0 aux=1
+	// predict page=0 at=2048000 aux=0
+	// test_queued page=0 at=2048000 aux=2112000
+	// test_drained page=0 at=2112000 aux=1
+	// refresh_to_lo page=0 at=2112000 aux=0
+}
+
 // MinWriteInterval exposes the paper's central cost-model result.
 func ExampleMinWriteInterval() {
 	fmt.Printf("%d ms\n", memcon.MinWriteInterval()/1_000_000)

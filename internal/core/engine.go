@@ -22,11 +22,13 @@
 package core
 
 import (
-	"container/heap"
+	"context"
 	"fmt"
+	"time"
 
 	"memcon/internal/costmodel"
 	"memcon/internal/dram"
+	"memcon/internal/obs"
 	"memcon/internal/pril"
 	"memcon/internal/trace"
 )
@@ -196,24 +198,22 @@ func (r Report) BaselineRefreshTimeNs() float64 {
 	return r.BaselineOps * float64(dram.DDR31600().RefreshCost())
 }
 
-// pendingTest is a scheduled test completion.
+// pendingTest is a scheduled test completion. seq is the scheduling
+// order, used as the tie-break so tests that complete at the same
+// instant drain oldest-first (the order a hardware CAM drains in).
 type pendingTest struct {
 	page uint32
 	done trace.Microseconds
+	seq  uint64
 }
 
-type testHeap []pendingTest
-
-func (h testHeap) Len() int            { return len(h) }
-func (h testHeap) Less(i, j int) bool  { return h[i].done < h[j].done }
-func (h testHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *testHeap) Push(x interface{}) { *h = append(*h, x.(pendingTest)) }
-func (h *testHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	*h = old[:n-1]
-	return t
+// lessPendingTest orders the engine's test queue: by completion time,
+// then by scheduling order for equal completion times.
+func lessPendingTest(a, b pendingTest) bool {
+	if a.done != b.done {
+		return a.done < b.done
+	}
+	return a.seq < b.seq
 }
 
 // pageState tracks MEMCON's view of one page/row.
@@ -235,22 +235,86 @@ type Engine struct {
 	tester   Tester
 	pred     *pril.Predictor
 	pages    []pageState
-	tests    testHeap
+	tests    pqueue[pendingTest]
+	seq      uint64
 	mwi      dram.Nanoseconds
 	testCost dram.Nanoseconds
 	now      trace.Microseconds
 	rep      Report
+
+	// obs receives structured lifecycle events; nil disables the event
+	// path entirely (every emission is behind a nil check and events
+	// are value structs, so the disabled engine pays one branch).
+	obs obs.Observer
+	// clock supplies wall time for the run-duration event; injectable
+	// for deterministic tests. Only consulted when obs is set.
+	clock func() time.Time
+	// lastWrite tracks each page's previous write time (µs, -1 before
+	// the first write) for the write-interval event payload. Only
+	// allocated when obs is set.
+	lastWrite []trace.Microseconds
 }
 
-// NewEngine builds an engine over the configuration and tester. A nil
-// tester means AlwaysPass.
-func NewEngine(cfg Config, tester Tester) (*Engine, error) {
+// engineOptions collects the optional engine dependencies.
+type engineOptions struct {
+	tester Tester
+	obs    obs.Observer
+	clock  func() time.Time
+}
+
+// EngineOption customizes engine construction (see New).
+type EngineOption func(*engineOptions)
+
+// WithTester installs the online-test oracle. A nil tester (or no
+// WithTester option at all) selects AlwaysPass, the accounting mode.
+func WithTester(t Tester) EngineOption {
+	return func(o *engineOptions) { o.tester = t }
+}
+
+// WithObserver installs a structured-event observer on the engine
+// lifecycle (writes, predictions, test queue/drain/abort, HI-REF and
+// LO-REF transitions). A nil observer disables observation; the
+// disabled event path costs a nil check and performs no allocation.
+func WithObserver(o obs.Observer) EngineOption {
+	return func(eo *engineOptions) { eo.obs = o }
+}
+
+// WithClock injects the wall-clock source used for the run-duration
+// observability event (obs.KindRunDone). A nil clock selects time.Now.
+// The clock never influences simulation results — simulated time comes
+// exclusively from the trace.
+func WithClock(now func() time.Time) EngineOption {
+	return func(o *engineOptions) { o.clock = now }
+}
+
+// applyEngineOptions folds the options over the defaults.
+func applyEngineOptions(opts []EngineOption) engineOptions {
+	var eo engineOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&eo)
+		}
+	}
+	if eo.tester == nil {
+		eo.tester = AlwaysPass
+	}
+	if eo.clock == nil {
+		eo.clock = time.Now
+	}
+	return eo
+}
+
+// New builds an engine over the configuration with functional options:
+//
+//	eng, err := core.New(cfg, core.WithTester(t), core.WithObserver(o))
+//
+// It is the constructor the public memcon facade wraps; NewEngine is
+// the older positional form.
+func New(cfg Config, opts ...EngineOption) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if tester == nil {
-		tester = AlwaysPass
-	}
+	eo := applyEngineOptions(opts)
 	mwi, err := cfg.costConfig().MinWriteInterval()
 	if err != nil {
 		return nil, err
@@ -265,19 +329,36 @@ func NewEngine(cfg Config, tester Tester) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:      cfg,
-		tester:   tester,
+		tester:   eo.tester,
 		pred:     pred,
 		pages:    make([]pageState, cfg.NumPages),
+		tests:    newPQueue(lessPendingTest),
 		mwi:      mwi,
 		testCost: cfg.costConfig().TestCost(),
+		obs:      eo.obs,
+		clock:    eo.clock,
 	}
 	for i := range e.pages {
 		e.pages[i].testedAt = -1
+	}
+	if e.obs != nil {
+		e.lastWrite = make([]trace.Microseconds, cfg.NumPages)
+		for i := range e.lastWrite {
+			e.lastWrite[i] = -1
+		}
+		pred.SetObserver(e.obs)
 	}
 	e.rep.Pages = cfg.NumPages
 	e.rep.MinWriteInterval = mwi
 	pred.OnPredict(e.onPredict)
 	return e, nil
+}
+
+// NewEngine builds an engine over the configuration and tester. A nil
+// tester means AlwaysPass. New with WithTester is the option-based
+// equivalent and the only form that can attach an observer.
+func NewEngine(cfg Config, tester Tester) (*Engine, error) {
+	return New(cfg, WithTester(tester))
 }
 
 // onPredict is invoked by PRIL at quantum boundaries for pages predicted
@@ -292,13 +373,23 @@ func (e *Engine) onPredict(page uint32, at trace.Microseconds) {
 	st.testing = true
 	e.rep.TestsStarted++
 	done := at + trace.Microseconds(e.cfg.LoRef/dram.Microsecond)
-	heap.Push(&e.tests, pendingTest{page: page, done: done})
+	e.schedule(page, at, done)
+	if e.obs != nil {
+		e.obs.OnEvent(obs.Event{Kind: obs.KindPredict, Page: page, At: int64(at)})
+		e.obs.OnEvent(obs.Event{Kind: obs.KindTestQueued, Page: page, At: int64(at), Aux: int64(done)})
+	}
+}
+
+// schedule enqueues a test completion.
+func (e *Engine) schedule(page uint32, _ trace.Microseconds, done trace.Microseconds) {
+	e.seq++
+	e.tests.Push(pendingTest{page: page, done: done, seq: e.seq})
 }
 
 // drainTests completes every scheduled test up to time now.
 func (e *Engine) drainTests(now trace.Microseconds) {
-	for len(e.tests) > 0 && e.tests[0].done <= now {
-		t := heap.Pop(&e.tests).(pendingTest)
+	for e.tests.Len() > 0 && e.tests.Peek().done <= now {
+		t := e.tests.Pop()
 		st := &e.pages[t.page]
 		if !st.testing {
 			continue // aborted by an intervening write
@@ -309,12 +400,19 @@ func (e *Engine) drainTests(now trace.Microseconds) {
 			st.loRef = true
 			st.loSince = t.done
 			st.testedAt = t.done
+			if e.obs != nil {
+				e.obs.OnEvent(obs.Event{Kind: obs.KindTestDrained, Page: t.page, At: int64(t.done), Aux: 1})
+				e.obs.OnEvent(obs.Event{Kind: obs.KindRefreshToLo, Page: t.page, At: int64(t.done)})
+			}
 		} else {
 			e.rep.TestsFailed++
 			// Mitigation: the row stays at HI-REF. The test itself was
 			// still a correct prediction cost-wise if the page stays
 			// idle; count it via testedAt as well.
 			st.testedAt = t.done
+			if e.obs != nil {
+				e.obs.OnEvent(obs.Event{Kind: obs.KindTestDrained, Page: t.page, At: int64(t.done), Aux: 0})
+			}
 		}
 	}
 }
@@ -335,6 +433,15 @@ func (e *Engine) Observe(ev trace.Event) error {
 	e.drainTests(ev.At)
 	e.now = ev.At
 
+	if e.obs != nil {
+		gap := int64(-1)
+		if prev := e.lastWrite[ev.Page]; prev >= 0 {
+			gap = int64(ev.At - prev)
+		}
+		e.lastWrite[ev.Page] = ev.At
+		e.obs.OnEvent(obs.Event{Kind: obs.KindWrite, Page: ev.Page, At: int64(ev.At), Aux: gap})
+	}
+
 	st := &e.pages[ev.Page]
 	// A write to an in-test row aborts the test: the content changed.
 	if st.testing {
@@ -342,11 +449,17 @@ func (e *Engine) Observe(ev trace.Event) error {
 		e.rep.TestsAborted++
 		e.rep.TestingTimeMispredNs += float64(e.testCost)
 		e.rep.TestingTimeAbortedNs += float64(e.testCost)
+		if e.obs != nil {
+			e.obs.OnEvent(obs.Event{Kind: obs.KindTestAborted, Page: ev.Page, At: int64(ev.At), Aux: 0})
+		}
 	}
 	// A write to a LO-REF row pulls it back to HI-REF until re-tested.
 	if st.loRef {
 		st.loRef = false
 		e.rep.LoRefTime += float64(ev.At - st.loSince)
+		if e.obs != nil {
+			e.obs.OnEvent(obs.Event{Kind: obs.KindRefreshToHi, Page: ev.Page, At: int64(ev.At), Aux: int64(ev.At - st.loSince)})
+		}
 	}
 	// Misprediction accounting for the last completed test.
 	if st.testedAt >= 0 {
@@ -385,26 +498,68 @@ func (e *Engine) Retest(page uint32, at trace.Microseconds) error {
 		st.testing = false
 		e.rep.TestsAborted++
 		e.rep.TestingTimeAbortedNs += float64(e.testCost)
+		if e.obs != nil {
+			e.obs.OnEvent(obs.Event{Kind: obs.KindTestAborted, Page: page, At: int64(at), Aux: 1})
+		}
 	}
 	if st.loRef {
 		st.loRef = false
 		e.rep.LoRefTime += float64(at - st.loSince)
+		if e.obs != nil {
+			e.obs.OnEvent(obs.Event{Kind: obs.KindRefreshToHi, Page: page, At: int64(at), Aux: int64(at - st.loSince)})
+		}
 	}
 	st.testedAt = -1
 	st.testing = true
 	e.rep.TestsStarted++
-	heap.Push(&e.tests, pendingTest{page: page, done: at + trace.Microseconds(e.cfg.LoRef/dram.Microsecond)})
+	done := at + trace.Microseconds(e.cfg.LoRef/dram.Microsecond)
+	e.schedule(page, at, done)
+	if e.obs != nil {
+		e.obs.OnEvent(obs.Event{Kind: obs.KindTestQueued, Page: page, At: int64(at), Aux: int64(done)})
+	}
 	return nil
 }
 
-// Run replays a whole trace and returns the report.
+// ctxCheckStride bounds how many events RunContext processes between
+// context polls — the same between-units cancellation granularity the
+// internal/parallel pool provides for sweeps.
+const ctxCheckStride = 4096
+
+// Run replays a whole trace and returns the report. It is RunContext
+// with a background context.
 func (e *Engine) Run(tr *trace.Trace) (Report, error) {
-	for _, ev := range tr.Events {
+	return e.RunContext(context.Background(), tr)
+}
+
+// RunContext replays a whole trace, checking ctx between event batches
+// so a cancelled run stops promptly (the engine is left mid-run and
+// should be discarded). A nil ctx means context.Background().
+func (e *Engine) RunContext(ctx context.Context, tr *trace.Trace) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var start time.Time
+	if e.obs != nil {
+		start = e.clock()
+	}
+	for i, ev := range tr.Events {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return Report{}, err
+			}
+		}
 		if err := e.Observe(ev); err != nil {
 			return Report{}, err
 		}
 	}
-	return e.Finish(tr.Duration)
+	rep, err := e.Finish(tr.Duration)
+	if err != nil {
+		return Report{}, err
+	}
+	if e.obs != nil {
+		e.obs.OnEvent(obs.Event{Kind: obs.KindRunDone, At: int64(tr.Duration), Aux: e.clock().Sub(start).Nanoseconds()})
+	}
+	return rep, nil
 }
 
 // Finish flushes predictor quanta and pending tests up to end and
@@ -476,12 +631,23 @@ func (e *Engine) Finish(end trace.Microseconds) (Report, error) {
 // Run is the batch entry point: it sizes the engine to the trace,
 // replays it, and returns the report.
 func Run(tr *trace.Trace, cfg Config, tester Tester) (Report, error) {
+	return RunWith(tr, cfg, WithTester(tester))
+}
+
+// RunWith is the option-based batch entry point: it sizes the engine
+// to the trace, replays it, and returns the report.
+func RunWith(tr *trace.Trace, cfg Config, opts ...EngineOption) (Report, error) {
+	return RunContext(context.Background(), tr, cfg, opts...)
+}
+
+// RunContext is RunWith under a cancellation context.
+func RunContext(ctx context.Context, tr *trace.Trace, cfg Config, opts ...EngineOption) (Report, error) {
 	if max := tr.MaxPage(); max >= cfg.NumPages {
 		cfg.NumPages = max + 1
 	}
-	e, err := NewEngine(cfg, tester)
+	e, err := New(cfg, opts...)
 	if err != nil {
 		return Report{}, err
 	}
-	return e.Run(tr)
+	return e.RunContext(ctx, tr)
 }

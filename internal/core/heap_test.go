@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"memcon/internal/trace"
+)
+
+// TestPQueueOrdering pushes shuffled values and requires sorted pops.
+func TestPQueueOrdering(t *testing.T) {
+	q := newPQueue(func(a, b int) bool { return a < b })
+	rng := rand.New(rand.NewSource(7))
+	values := rng.Perm(1000)
+	for _, v := range values {
+		q.Push(v)
+	}
+	if q.Len() != len(values) {
+		t.Fatalf("Len = %d, want %d", q.Len(), len(values))
+	}
+	sort.Ints(values)
+	for i, want := range values {
+		if got := q.Peek(); got != want {
+			t.Fatalf("Peek %d = %d, want %d", i, got, want)
+		}
+		if got := q.Pop(); got != want {
+			t.Fatalf("Pop %d = %d, want %d", i, got, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue not empty after draining: %d", q.Len())
+	}
+}
+
+// TestPendingTestFIFOTieBreak pins the engine's drain order for tests
+// completing at the same instant: first-queued pops first (the seq
+// tie-break), matching a hardware CAM draining oldest-first. The old
+// container/heap implementation left equal-done order unspecified.
+func TestPendingTestFIFOTieBreak(t *testing.T) {
+	q := newPQueue(lessPendingTest)
+	done := trace.Microseconds(5000)
+	for seq, page := range []uint32{9, 3, 7, 1} {
+		q.Push(pendingTest{page: page, done: done, seq: uint64(seq)})
+	}
+	// An earlier-done test pushed last must still pop first.
+	q.Push(pendingTest{page: 42, done: 1000, seq: 99})
+	wantPages := []uint32{42, 9, 3, 7, 1}
+	for i, want := range wantPages {
+		if got := q.Pop().page; got != want {
+			t.Errorf("pop %d = page %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestPQueueInterleaved alternates pushes and pops to exercise sift-down
+// over partially drained heaps.
+func TestPQueueInterleaved(t *testing.T) {
+	q := newPQueue(func(a, b int) bool { return a < b })
+	q.Push(5)
+	q.Push(1)
+	q.Push(3)
+	if got := q.Pop(); got != 1 {
+		t.Fatalf("Pop = %d, want 1", got)
+	}
+	q.Push(2)
+	q.Push(0)
+	for _, want := range []int{0, 2, 3, 5} {
+		if got := q.Pop(); got != want {
+			t.Errorf("Pop = %d, want %d", got, want)
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"memcon/internal/dram"
 	"memcon/internal/faults"
+	"memcon/internal/obs"
 	"memcon/internal/remap"
 	"memcon/internal/trace"
 )
@@ -89,6 +91,10 @@ type System struct {
 	neighborRetest bool
 	retests        int64
 
+	// obs receives system-level events (silent writes, neighbour
+	// retests, remap activity) on top of the engine's own stream.
+	obs obs.Observer
+
 	// remapPolicy, when set, remaps rows that repeatedly fail tests to
 	// spare rows in a manufacturing-screened reliable region — the third
 	// mitigation of the paper's triad (high refresh / ECC / remapping).
@@ -150,8 +156,10 @@ func (s *System) NeighborRetests() int64 { return s.retests }
 
 // NewSystem builds a full-fidelity MEMCON system. The module and fault
 // model must share a geometry; pages beyond the module capacity are
-// rejected at run time.
-func NewSystem(cfg Config, mod *dram.Module, model *faults.Model) (*System, error) {
+// rejected at run time. Options apply to the embedded engine; the
+// system supplies its own silicon-backed tester, so a WithTester option
+// is overridden.
+func NewSystem(cfg Config, mod *dram.Module, model *faults.Model, opts ...EngineOption) (*System, error) {
 	if mod.Geometry() != model.Geometry() {
 		return nil, fmt.Errorf("core: module and fault model geometries differ")
 	}
@@ -166,7 +174,8 @@ func NewSystem(cfg Config, mod *dram.Module, model *faults.Model) (*System, erro
 		geom:  mod.Geometry(),
 		rng:   rand.New(rand.NewSource(int64(cfg.Quantum) ^ 0x5eed)),
 	}
-	eng, err := NewEngine(cfg, TesterFunc(s.test))
+	s.obs = applyEngineOptions(opts).obs
+	eng, err := New(cfg, append(opts, WithTester(TesterFunc(s.test)))...)
 	if err != nil {
 		return nil, err
 	}
@@ -198,6 +207,9 @@ func (s *System) test(page uint32, at trace.Microseconds) bool {
 	if s.remapped[page] {
 		// Already backed by a screened spare: any content is safe there.
 		s.mod.Activate(addr, nsOf(at))
+		if s.obs != nil {
+			s.obs.OnEvent(obs.Event{Kind: obs.KindRemapHit, Page: page, At: int64(at), Aux: 0})
+		}
 		return true
 	}
 	idle := s.cfg.LoRef // the engine kept the row idle one LO-REF window
@@ -211,6 +223,9 @@ func (s *System) test(page uint32, at trace.Microseconds) bool {
 				// The row's content now lives in a screened spare row;
 				// it can safely run at LO-REF.
 				s.remapped[page] = true
+				if s.obs != nil {
+					s.obs.OnEvent(obs.Event{Kind: obs.KindRemapHit, Page: page, At: int64(at), Aux: 1})
+				}
 				return true
 			}
 		}
@@ -229,13 +244,28 @@ func nsOf(at trace.Microseconds) dram.Nanoseconds {
 // Run replays the trace with real content supplied by the content
 // source (fresh random bits per write by default — program stores
 // change bits and randomness exercises the data-dependence). The
-// reliability audit runs at every write and at the end.
+// reliability audit runs at every write and at the end. It is
+// RunContext with a background context.
 func (s *System) Run(tr *trace.Trace) (Report, error) {
+	return s.RunContext(context.Background(), tr)
+}
+
+// RunContext is Run under a cancellation context, checked between
+// event batches. A nil ctx means context.Background().
+func (s *System) RunContext(ctx context.Context, tr *trace.Trace) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if s.source == nil {
 		s.source = randomContent{rng: s.rng}
 	}
 	buf := dram.NewRow(s.geom.ColsPerRow)
-	for _, ev := range tr.Events {
+	for i, ev := range tr.Events {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return Report{}, err
+			}
+		}
 		addr, err := s.rowOf(ev.Page)
 		if err != nil {
 			return Report{}, err
@@ -250,6 +280,9 @@ func (s *System) Run(tr *trace.Trace) (Report, error) {
 			// the row.
 			s.mod.Activate(addr, nsOf(ev.At))
 			s.silentWrites++
+			if s.obs != nil {
+				s.obs.OnEvent(obs.Event{Kind: obs.KindSilentWrite, Page: ev.Page, At: int64(ev.At)})
+			}
 			continue
 		}
 		if err := s.mod.WriteRow(addr, buf, nsOf(ev.At)); err != nil {
@@ -266,6 +299,9 @@ func (s *System) Run(tr *trace.Trace) (Report, error) {
 						return Report{}, err
 					}
 					s.retests++
+					if s.obs != nil {
+						s.obs.OnEvent(obs.Event{Kind: obs.KindNeighborRetest, Page: ev.Page, At: int64(ev.At), Aux: int64(page)})
+					}
 				}
 			}
 		}

@@ -66,7 +66,7 @@ func RunAblBuffer(opts Options) (fmt.Stringer, error) {
 	rows, err := forUnits(opts, len(capacities), func(i int) (AblBufferRow, error) {
 		cfg := core.DefaultConfig()
 		cfg.BufferCap = capacities[i]
-		rep, err := core.Run(tr, cfg, nil)
+		rep, err := core.RunContext(opts.Ctx, tr, cfg, core.WithObserver(opts.Observer))
 		if err != nil {
 			return AblBufferRow{}, err
 		}

@@ -88,7 +88,7 @@ func RunClosedLoop(opts Options) (fmt.Stringer, error) {
 	// quantum (the statistics, not the wall-clock, are what matter).
 	cfg := core.DefaultConfig()
 	cfg.Quantum = 256 * trace.Millisecond
-	rep, err := core.Run(writes, cfg, nil)
+	rep, err := core.RunContext(opts.Ctx, writes, cfg, core.WithObserver(opts.Observer))
 	if err != nil {
 		return nil, err
 	}

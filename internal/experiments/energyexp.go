@@ -55,7 +55,7 @@ func RunEnergy(opts Options) (fmt.Stringer, error) {
 	cfg := core.DefaultConfig()
 	cfg.Quantum = 1024 * trace.Millisecond
 	cfg.ReadOnlyRows = 9 * (tr.MaxPage() + 1)
-	rep, err := core.Run(tr, cfg, nil)
+	rep, err := core.RunContext(opts.Ctx, tr, cfg, core.WithObserver(opts.Observer))
 	if err != nil {
 		return nil, err
 	}

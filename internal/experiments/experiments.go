@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"memcon/internal/obs"
 	"memcon/internal/parallel"
 )
 
@@ -34,6 +35,15 @@ type Options struct {
 	// Ctx cancels in-flight sweeps between work units; nil means
 	// context.Background().
 	Ctx context.Context
+	// Observer, when set, receives the structured lifecycle events of
+	// every engine an experiment runs. Sweeps may invoke it from
+	// multiple goroutines, so install only observers safe for
+	// concurrent use (obs.Metrics aggregates commutatively and keeps
+	// sink output deterministic for any worker count).
+	Observer obs.Observer
+	// Phases, when set, records per-experiment wall time: the
+	// dispatcher wraps each run in Phases.Start(id).
+	Phases *obs.PhaseTimer
 }
 
 // DefaultOptions returns full-scale settings.
@@ -133,7 +143,11 @@ func Run(id string, opts Options) (fmt.Stringer, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
 	}
-	return e.runner(opts.normalize())
+	opts = opts.normalize()
+	if opts.Phases != nil {
+		defer opts.Phases.Start(id)()
+	}
+	return e.runner(opts)
 }
 
 // table is a tiny fixed-width text table builder shared by the reports.

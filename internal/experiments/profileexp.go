@@ -136,7 +136,7 @@ func RunAblRemap(opts Options) (fmt.Stringer, error) {
 		if err != nil {
 			return core.Report{}, 0, err
 		}
-		sys, err := core.NewSystem(core.DefaultConfig(), mod, model)
+		sys, err := core.NewSystem(core.DefaultConfig(), mod, model, core.WithObserver(opts.Observer))
 		if err != nil {
 			return core.Report{}, 0, err
 		}

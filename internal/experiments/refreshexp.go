@@ -15,11 +15,11 @@ import (
 var cilChoices = []trace.Microseconds{512 * trace.Millisecond, 1024 * trace.Millisecond, 2048 * trace.Millisecond}
 
 // runEngineOn replays one generated trace through the MEMCON engine at
-// the given quantum.
-func runEngineOn(tr *trace.Trace, quantum trace.Microseconds) (core.Report, error) {
+// the given quantum, forwarding the options' observer.
+func runEngineOn(opts Options, tr *trace.Trace, quantum trace.Microseconds) (core.Report, error) {
 	cfg := core.DefaultConfig()
 	cfg.Quantum = quantum
-	return core.Run(tr, cfg, nil)
+	return core.RunContext(opts.Ctx, tr, cfg, core.WithObserver(opts.Observer))
 }
 
 // Fig14Row is one application's refresh reduction per CIL.
@@ -49,7 +49,7 @@ func RunFig14(opts Options) (fmt.Stringer, error) {
 		tr := apps[i].Generate(opts.Seed, opts.Scale)
 		row := Fig14Row{Name: apps[i].Name}
 		for _, q := range cilChoices {
-			rep, err := runEngineOn(tr, q)
+			rep, err := runEngineOn(opts, tr, q)
 			if err != nil {
 				return Fig14Row{}, err
 			}
@@ -111,7 +111,7 @@ func RunFig17(opts Options) (fmt.Stringer, error) {
 		tr := apps[i].Generate(opts.Seed, opts.Scale)
 		row := Fig17Row{Name: apps[i].Name}
 		for _, q := range cilChoices {
-			rep, err := runEngineOn(tr, q)
+			rep, err := runEngineOn(opts, tr, q)
 			if err != nil {
 				return Fig17Row{}, err
 			}
@@ -177,7 +177,7 @@ func RunFig18(opts Options) (fmt.Stringer, error) {
 		// what makes testing time minuscule against the module-wide
 		// refresh bill in the paper's Fig. 18.
 		cfg.ReadOnlyRows = 9 * (tr.MaxPage() + 1)
-		rep, err := core.Run(tr, cfg, nil)
+		rep, err := core.RunContext(opts.Ctx, tr, cfg, core.WithObserver(opts.Observer))
 		if err != nil {
 			return Fig18Row{}, err
 		}

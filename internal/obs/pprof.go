@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime/trace"
+)
+
+// StartPprof serves the net/http/pprof profile endpoints on addr
+// (e.g. "localhost:6060") until the returned stop function is called.
+// It returns the bound address so callers can log it (":0" picks a
+// free port).
+func StartPprof(addr string) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: pprof listen on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns on Close.
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// StartTrace writes a runtime execution trace to path until the
+// returned stop function is called. Inspect the capture with
+// `go tool trace <path>`.
+func StartTrace(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: trace output: %w", err)
+	}
+	if err := trace.Start(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: starting runtime trace: %w", err)
+	}
+	return func() error {
+		trace.Stop()
+		return f.Close()
+	}, nil
+}

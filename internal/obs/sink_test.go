@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// populate builds a registry with one of each metric class.
+func populate(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("b_total", "second counter").Add(7)
+	reg.Counter("a_total", "first counter").Add(3)
+	reg.Gauge("peak", "stable gauge", false).Max(12)
+	reg.Gauge("wall_ns", "volatile gauge", true).Set(999)
+	h := reg.Histogram("lat_us", "latency", 1000, 4)
+	h.Observe(1500)
+	h.Observe(3000)
+	h.Observe(500)
+	h.Observe(1 << 30)
+	return reg
+}
+
+func TestWriteJSON(t *testing.T) {
+	reg := populate(t)
+	var a, b strings.Builder
+	if err := reg.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("two JSON renders differ")
+	}
+
+	var doc struct {
+		Counters   map[string]int64         `json:"counters"`
+		Gauges     map[string]float64       `json:"gauges"`
+		Histograms map[string]jsonHistogram `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(a.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, a.String())
+	}
+	if doc.Counters["a_total"] != 3 || doc.Counters["b_total"] != 7 {
+		t.Errorf("counters = %v", doc.Counters)
+	}
+	if _, leaked := doc.Gauges["wall_ns"]; leaked {
+		t.Errorf("volatile gauge leaked into JSON")
+	}
+	if doc.Gauges["peak"] != 12 {
+		t.Errorf("gauges = %v", doc.Gauges)
+	}
+	h := doc.Histograms["lat_us"]
+	if h.Count != 4 || h.Underflow != 1 || h.Overflow != 1 || h.Buckets[0] != 1 || h.Buckets[1] != 1 {
+		t.Errorf("histogram = %+v", h)
+	}
+	if h.Sum != 500+1500+3000+(1<<30) {
+		t.Errorf("histogram sum = %d", h.Sum)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	reg := populate(t)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# TYPE a_total counter",
+		"a_total 3",
+		"# TYPE peak gauge",
+		"peak 12",
+		"# TYPE lat_us histogram",
+		`lat_us_bucket{le="2000"} 2`, // underflow + bucket 0, cumulative
+		`lat_us_bucket{le="4000"} 3`,
+		`lat_us_bucket{le="+Inf"} 4`,
+		"lat_us_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "wall_ns") {
+		t.Errorf("volatile gauge leaked into Prometheus output:\n%s", out)
+	}
+	// a_total must precede b_total: output is name-sorted.
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Errorf("prometheus output not sorted by name:\n%s", out)
+	}
+	// Every non-comment line is "name value" or "name{labels} value".
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	reg := populate(t)
+	var sb strings.Builder
+	if err := reg.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"a_total", "counter", "wall_ns", "gauge (volatile)", "lat_us (histogram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, ok := range []string{"json", "prom", "table"} {
+		if _, err := ParseFormat(ok); err != nil {
+			t.Errorf("ParseFormat(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Errorf("ParseFormat accepted unknown format")
+	}
+}
+
+func TestRegistryWriteDispatch(t *testing.T) {
+	reg := populate(t)
+	for _, f := range []Format{FormatJSON, FormatProm, FormatTable} {
+		var sb strings.Builder
+		if err := reg.Write(&sb, f); err != nil {
+			t.Errorf("Write(%s): %v", f, err)
+		}
+		if sb.Len() == 0 {
+			t.Errorf("Write(%s) produced no output", f)
+		}
+	}
+	if err := reg.Write(&strings.Builder{}, Format("bogus")); err == nil {
+		t.Errorf("Write accepted bogus format")
+	}
+}

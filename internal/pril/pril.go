@@ -16,6 +16,7 @@ package pril
 import (
 	"fmt"
 
+	"memcon/internal/obs"
 	"memcon/internal/trace"
 )
 
@@ -154,6 +155,7 @@ type Predictor struct {
 	stats        Stats
 
 	onPredict func(page uint32, at trace.Microseconds)
+	obs       obs.Observer
 }
 
 // New creates a predictor.
@@ -176,6 +178,11 @@ func New(cfg Config) (*Predictor, error) {
 func (p *Predictor) OnPredict(fn func(page uint32, at trace.Microseconds)) {
 	p.onPredict = fn
 }
+
+// SetObserver installs an observer notified of buffer activity
+// (inserts, evictions, capacity discards). A nil observer — the
+// default — keeps the event path free of any extra work.
+func (p *Predictor) SetObserver(o obs.Observer) { p.obs = o }
 
 // Config returns the predictor configuration.
 func (p *Predictor) Config() Config { return p.cfg }
@@ -206,20 +213,32 @@ func (p *Predictor) Observe(e trace.Event) error {
 			if p.curBuf.len() > p.stats.PeakBuffer {
 				p.stats.PeakBuffer = p.curBuf.len()
 			}
+			if p.obs != nil {
+				p.obs.OnEvent(obs.Event{Kind: obs.KindPrilInsert, Page: e.Page, At: int64(e.At), Aux: int64(p.curBuf.len())})
+			}
 		} else {
 			p.stats.Discards++
+			if p.obs != nil {
+				p.obs.OnEvent(obs.Event{Kind: obs.KindPrilDiscard, Page: e.Page, At: int64(e.At), Aux: int64(p.cfg.BufferCap)})
+			}
 		}
 	} else if p.curBuf.contains(e.Page) {
 		// Second write within the quantum: interval is clearly shorter
 		// than a quantum (step 2).
 		p.curBuf.remove(e.Page)
 		p.stats.MultiWriteRemovals++
+		if p.obs != nil {
+			p.obs.OnEvent(obs.Event{Kind: obs.KindPrilEvict, Page: e.Page, At: int64(e.At), Aux: 0})
+		}
 	}
 	// Any write in the current quantum disqualifies a previous-quantum
 	// candidate (step 3).
 	if p.prevBuf.contains(e.Page) {
 		p.prevBuf.remove(e.Page)
 		p.stats.PrevQuantumRemovals++
+		if p.obs != nil {
+			p.obs.OnEvent(obs.Event{Kind: obs.KindPrilEvict, Page: e.Page, At: int64(e.At), Aux: 1})
+		}
 	}
 	return nil
 }

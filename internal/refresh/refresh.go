@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"memcon/internal/dram"
+	"memcon/internal/obs"
 )
 
 // Counter accumulates refresh operations for a set of rows whose refresh
@@ -25,6 +26,7 @@ type Counter struct {
 	since    []dram.Nanoseconds
 	ops      float64
 	finished bool
+	obs      obs.Observer
 }
 
 // NewCounter creates a counter for rows rows, all starting at the given
@@ -45,6 +47,11 @@ func NewCounter(rows int, interval dram.Nanoseconds) (*Counter, error) {
 	}
 	return c, nil
 }
+
+// SetObserver installs an observer notified of every rate switch
+// (obs.KindRefreshRateSet, Aux = the new interval in nanoseconds).
+// A nil observer — the default — adds no work to SetInterval.
+func (c *Counter) SetObserver(o obs.Observer) { c.obs = o }
 
 // Rows returns the number of tracked rows.
 func (c *Counter) Rows() int { return len(c.interval) }
@@ -68,6 +75,14 @@ func (c *Counter) SetInterval(row int, interval, now dram.Nanoseconds) error {
 	c.ops += float64(now-c.since[row]) / float64(c.interval[row])
 	c.since[row] = now
 	c.interval[row] = interval
+	if c.obs != nil {
+		c.obs.OnEvent(obs.Event{
+			Kind: obs.KindRefreshRateSet,
+			Page: uint32(row),
+			At:   int64(now / dram.Microsecond),
+			Aux:  int64(interval),
+		})
+	}
 	return nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"memcon/internal/dram"
+	"memcon/internal/obs"
 )
 
 func TestNewCounterErrors(t *testing.T) {
@@ -175,5 +176,49 @@ func TestRAIDROps(t *testing.T) {
 		FixedRateOps(50, dram.Second, 64*dram.Millisecond)
 	if math.Abs(got-want) > 1e-9 {
 		t.Errorf("ops = %v, want %v", got, want)
+	}
+}
+
+// TestCounterObserver checks SetInterval reports every rate switch as
+// KindRefreshRateSet (Page = row, At in µs, Aux = new interval in ns),
+// that failed switches emit nothing, and that the observer never
+// perturbs the accounting.
+func TestCounterObserver(t *testing.T) {
+	var rec obs.Recorder
+	c, err := NewCounter(8, 16*dram.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetObserver(&rec)
+	if err := c.SetInterval(3, 64*dram.Millisecond, 32*dram.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetInterval(3, 16*dram.Millisecond, 96*dram.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetInterval(99, 64*dram.Millisecond, 0); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	want := []obs.Event{
+		{Kind: obs.KindRefreshRateSet, Page: 3, At: 32000, Aux: int64(64 * dram.Millisecond)},
+		{Kind: obs.KindRefreshRateSet, Page: 3, At: 96000, Aux: int64(16 * dram.Millisecond)},
+	}
+	got := rec.Events()
+	if len(got) != len(want) {
+		t.Fatalf("recorded %d events, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// The observed counter must account identically to a bare one.
+	bare, _ := NewCounter(8, 16*dram.Millisecond)
+	bare.SetInterval(3, 64*dram.Millisecond, 32*dram.Millisecond)
+	bare.SetInterval(3, 16*dram.Millisecond, 96*dram.Millisecond)
+	end := dram.Nanoseconds(dram.Second)
+	if a, b := c.Finish(end), bare.Finish(end); a != b {
+		t.Errorf("observer changed accounting: %v vs %v", a, b)
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"memcon/internal/dram"
 	"memcon/internal/faults"
+	"memcon/internal/obs"
 	"memcon/internal/parallel"
 )
 
@@ -148,6 +149,11 @@ type Tester struct {
 	model *faults.Model
 	// now is the harness-local clock.
 	now dram.Nanoseconds
+	// obs receives per-row characterization events. During parallel
+	// scans it is invoked from multiple goroutines, so only observers
+	// safe for concurrent use (obs.Metrics, obs.Recorder) should be
+	// installed when workers > 1.
+	obs obs.Observer
 }
 
 // NewTester creates a tester over the module and fault model, which must
@@ -158,6 +164,12 @@ func NewTester(mod *dram.Module, model *faults.Model) (*Tester, error) {
 	}
 	return &Tester{mod: mod, model: model}, nil
 }
+
+// SetObserver installs an observer notified of row failures seen by
+// ReadBack (obs.KindRowFailure, Aux = failing cells) and weak rows
+// found by the exhaustive scan (obs.KindRowWeak). A nil observer — the
+// default — adds no work to either path.
+func (t *Tester) SetObserver(o obs.Observer) { t.obs = o }
 
 // Now returns the harness clock.
 func (t *Tester) Now() dram.Nanoseconds { return t.now }
@@ -226,6 +238,14 @@ func (t *Tester) ReadBack() []RowFailure {
 			if len(cells) > 0 {
 				t.mod.ApplyFlips(a, cells)
 				fails = append(fails, RowFailure{Addr: a, Cells: cells})
+				if t.obs != nil {
+					t.obs.OnEvent(obs.Event{
+						Kind: obs.KindRowFailure,
+						Page: uint32(g.RowIndex(a)),
+						At:   int64(t.now / dram.Microsecond),
+						Aux:  int64(len(cells)),
+					})
+				}
 			}
 			t.mod.Activate(a, t.now)
 		}
@@ -292,8 +312,16 @@ func (t *Tester) AllFailFractionParallel(ctx context.Context, idle dram.Nanoseco
 		lo, hi := chunkBounds(g.RowsPerBank, u%chunksPerBank)
 		fails := 0
 		for r := lo; r < hi; r++ {
-			if t.model.RowCanFail(dram.RowAddress{Bank: b, Row: r}, idle) {
+			a := dram.RowAddress{Bank: b, Row: r}
+			if t.model.RowCanFail(a, idle) {
 				fails++
+				if t.obs != nil {
+					t.obs.OnEvent(obs.Event{
+						Kind: obs.KindRowWeak,
+						Page: uint32(g.RowIndex(a)),
+						At:   int64(t.now / dram.Microsecond),
+					})
+				}
 			}
 		}
 		return fails, nil

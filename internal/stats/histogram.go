@@ -63,6 +63,33 @@ func (h *LogHistogram) Add(v float64) {
 	h.weights[idx] += v
 }
 
+// AddBucket merges count pre-bucketed values totalling weight into
+// regular bucket i. It lets externally aggregated histograms (such as
+// the obs package's atomic-integer histograms) materialize as a
+// LogHistogram and reuse its rendering and fraction analysis.
+func (h *LogHistogram) AddBucket(i int, count int64, weight float64) {
+	h.counts[i] += count
+	h.weights[i] += weight
+	h.total += count
+	h.totalWeight += weight
+}
+
+// AddUnderflow merges count below-base values totalling weight.
+func (h *LogHistogram) AddUnderflow(count int64, weight float64) {
+	h.underflow += count
+	h.underWeight += weight
+	h.total += count
+	h.totalWeight += weight
+}
+
+// AddOverflow merges count above-range values totalling weight.
+func (h *LogHistogram) AddOverflow(count int64, weight float64) {
+	h.overflow += count
+	h.overWeight += weight
+	h.total += count
+	h.totalWeight += weight
+}
+
 // Total returns the number of recorded values.
 func (h *LogHistogram) Total() int64 { return h.total }
 

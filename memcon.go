@@ -22,13 +22,16 @@
 package memcon
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"memcon/internal/core"
 	"memcon/internal/costmodel"
 	"memcon/internal/dram"
 	"memcon/internal/experiments"
 	"memcon/internal/faults"
+	"memcon/internal/obs"
 	"memcon/internal/softmc"
 	"memcon/internal/trace"
 	"memcon/internal/workload"
@@ -80,6 +83,79 @@ type (
 	ChipTester = softmc.Tester
 )
 
+// Observability types, re-exported from internal/obs. An Observer
+// receives the engine's structured lifecycle events; a Registry plus
+// Metrics aggregates them into counters, gauges and log-scale
+// histograms ready for JSON or Prometheus exposition.
+type (
+	// Observer receives structured engine lifecycle events.
+	Observer = obs.Observer
+	// ObserverFunc adapts a function to Observer.
+	ObserverFunc = obs.ObserverFunc
+	// ObserverEvent is one structured lifecycle event. (The name Event
+	// is taken by the trace event type above.)
+	ObserverEvent = obs.Event
+	// EventKind discriminates ObserverEvent payloads.
+	EventKind = obs.Kind
+	// Registry holds named metrics and renders them as JSON,
+	// Prometheus text exposition, or a human table.
+	Registry = obs.Registry
+	// Metrics is an Observer that aggregates events into a Registry.
+	Metrics = obs.Metrics
+	// Recorder is an Observer that retains every event, for tests.
+	Recorder = obs.Recorder
+)
+
+// Event kinds (see the internal/obs package documentation for each
+// payload's Page/At/Aux semantics).
+const (
+	KindWrite          = obs.KindWrite
+	KindPredict        = obs.KindPredict
+	KindTestQueued     = obs.KindTestQueued
+	KindTestDrained    = obs.KindTestDrained
+	KindTestAborted    = obs.KindTestAborted
+	KindRefreshToLo    = obs.KindRefreshToLo
+	KindRefreshToHi    = obs.KindRefreshToHi
+	KindRefreshRateSet = obs.KindRefreshRateSet
+	KindPrilInsert     = obs.KindPrilInsert
+	KindPrilEvict      = obs.KindPrilEvict
+	KindPrilDiscard    = obs.KindPrilDiscard
+	KindRemapHit       = obs.KindRemapHit
+	KindSilentWrite    = obs.KindSilentWrite
+	KindNeighborRetest = obs.KindNeighborRetest
+	KindRowFailure     = obs.KindRowFailure
+	KindRowWeak        = obs.KindRowWeak
+	KindRunDone        = obs.KindRunDone
+)
+
+// NewRegistry creates an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// NewMetrics creates the aggregating observer over reg, registering
+// the full memcon_* metric family eagerly so sinks always render a
+// complete document.
+func NewMetrics(reg *Registry) *Metrics { return obs.NewMetrics(reg) }
+
+// TeeObservers fans events out to every non-nil observer; it returns
+// nil when all are nil.
+func TeeObservers(os ...Observer) Observer { return obs.Tee(os...) }
+
+// Option customizes engine construction (see New).
+type Option = core.EngineOption
+
+// WithTester installs the online-test oracle. A nil tester (or no
+// WithTester option at all) selects AlwaysPass, the accounting mode.
+func WithTester(t Tester) Option { return core.WithTester(t) }
+
+// WithObserver installs a structured-event observer on the engine
+// lifecycle. A nil observer disables observation; the disabled event
+// path costs a nil check and performs no allocation.
+func WithObserver(o Observer) Option { return core.WithObserver(o) }
+
+// WithClock injects the wall-clock source used for the run-duration
+// event (KindRunDone). It never influences simulation results.
+func WithClock(now func() time.Time) Option { return core.WithClock(now) }
+
 // AlwaysPass is the accounting-mode tester: every online test passes.
 var AlwaysPass = core.AlwaysPass
 
@@ -92,8 +168,32 @@ func Run(tr *Trace, cfg Config, tester Tester) (Report, error) {
 	return core.Run(tr, cfg, tester)
 }
 
+// RunWith replays a write trace through a fresh MEMCON engine built
+// with the given options — the observable form of Run:
+//
+//	reg := memcon.NewRegistry()
+//	rep, err := memcon.RunWith(tr, cfg, memcon.WithObserver(memcon.NewMetrics(reg)))
+func RunWith(tr *Trace, cfg Config, opts ...Option) (Report, error) {
+	return core.RunWith(tr, cfg, opts...)
+}
+
+// RunContext is RunWith under a cancellation context, checked between
+// event batches.
+func RunContext(ctx context.Context, tr *Trace, cfg Config, opts ...Option) (Report, error) {
+	return core.RunContext(ctx, tr, cfg, opts...)
+}
+
+// New builds an incremental engine with functional options; feed it
+// events with Observe and close it with Finish.
+func New(cfg Config, opts ...Option) (*Engine, error) {
+	return core.New(cfg, opts...)
+}
+
 // NewEngine builds an incremental engine; feed it events with Observe
 // and close it with Finish.
+//
+// Deprecated: Use New with WithTester, which also accepts WithObserver
+// and WithClock. NewEngine(cfg, t) is exactly New(cfg, WithTester(t)).
 func NewEngine(cfg Config, tester Tester) (*Engine, error) {
 	return core.NewEngine(cfg, tester)
 }
@@ -141,8 +241,10 @@ func DefaultGeometry() Geometry { return dram.DefaultGeometry() }
 
 // NewSystem binds the MEMCON engine to a simulated chip for
 // full-fidelity runs (real content, real failures, reliability audit).
-func NewSystem(cfg Config, chip *Chip) (*System, error) {
-	return core.NewSystem(cfg, chip.Module, chip.Model)
+// Options apply to the embedded engine; the system supplies its own
+// silicon-backed tester, so WithTester is overridden.
+func NewSystem(cfg Config, chip *Chip, opts ...Option) (*System, error) {
+	return core.NewSystem(cfg, chip.Module, chip.Model, opts...)
 }
 
 // MinWriteInterval returns the minimum interval between writes to a row

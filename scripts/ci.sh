@@ -1,15 +1,24 @@
 #!/bin/sh
 # ci.sh — the checks a change must pass before merging:
-#   1. everything compiles (including examples, which are plain
+#   1. every file is gofmt-clean,
+#   2. everything compiles (including examples, which are plain
 #      package-main programs the test suite shells out to),
-#   2. go vet is clean,
-#   3. the full test suite passes,
-#   4. the suite also passes under the race detector (-short trims the
-#      slowest golden sweeps; they already ran race-free in step 3's
+#   3. go vet is clean,
+#   4. the full test suite passes,
+#   5. the suite also passes under the race detector (-short trims the
+#      slowest golden sweeps; they already ran race-free in step 4's
 #      process because the experiment sweeps are parallel by default).
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go build ./... =="
 go build ./...
