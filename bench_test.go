@@ -10,6 +10,7 @@ package memcon
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"testing"
 
@@ -391,6 +392,84 @@ func BenchmarkFaultEvaluation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		model.FailingCells(mod, dram.RowAddress{Bank: 0, Row: i % geom.RowsPerBank}, faults.CharacterizationIdle)
+	}
+}
+
+// fillBenchRandom stores deterministic random content in every module
+// row.
+func fillBenchRandom(b *testing.B, mod *dram.Module, seed int64) {
+	b.Helper()
+	g := mod.Geometry()
+	rng := rand.New(rand.NewSource(seed))
+	buf := dram.NewRow(g.ColsPerRow)
+	for bank := 0; bank < g.BanksPerChip; bank++ {
+		for r := 0; r < g.RowsPerBank; r++ {
+			buf.Randomize(rng)
+			if err := mod.WriteRow(dram.RowAddress{Bank: bank, Row: r}, buf, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFailingCells prices one fault-model row query on the default
+// geometry with random content — the kernel under every read-back and
+// online test. scripts/bench.sh records this in BENCH_hotpath.json.
+func BenchmarkFailingCells(b *testing.B) {
+	geom := dram.DefaultGeometry()
+	scr := dram.NewScrambler(geom, 42, nil)
+	model, err := faults.NewModel(geom, scr, 42, faults.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := dram.NewModule(geom)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fillBenchRandom(b, mod, 1)
+	model.Preload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.FailingCells(mod, geom.AddressOfIndex(i%geom.TotalRows()), faults.CharacterizationIdle)
+	}
+}
+
+// BenchmarkReadBack prices one full-array read-back scan on the default
+// geometry after a checkerboard fill and one characterization idle, at
+// several worker counts (results are byte-identical at all of them).
+// scripts/bench.sh records workers-1 in BENCH_hotpath.json.
+func BenchmarkReadBack(b *testing.B) {
+	geom := dram.DefaultGeometry()
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			scr := dram.NewScrambler(geom, 42, nil)
+			model, err := faults.NewModel(geom, scr, 42, faults.DefaultParams())
+			if err != nil {
+				b.Fatal(err)
+			}
+			mod, err := dram.NewModule(geom)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tester, err := softmc.NewTester(mod, model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tester.SetParallelism(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := tester.FillPattern(softmc.CheckerboardPattern(0)); err != nil {
+					b.Fatal(err)
+				}
+				tester.Idle(faults.CharacterizationIdle)
+				b.StartTimer()
+				tester.ReadBack()
+			}
+		})
 	}
 }
 

@@ -25,6 +25,41 @@ func TestAllFailParallelInvariant(t *testing.T) {
 	}
 }
 
+// TestReadBackParallelInvariant pins the -parallel contract for the
+// pattern and content read-back scans: ReadBack evaluates against
+// frozen content and commits flips in a sequential pass, so the full
+// failure report must be byte-identical for any worker count.
+func TestReadBackParallelInvariant(t *testing.T) {
+	scans := [][]string{
+		{"-pattern", "checker-0", "-idle", "656"},
+		{"-pattern", "rowstripe-0", "-idle", "656"},
+		{"-content", "mcf", "-idle", "656"},
+	}
+	for _, scan := range scans {
+		scan := scan
+		t.Run(strings.Join(scan[:2], ""), func(t *testing.T) {
+			results := make(map[string]string)
+			for _, n := range []string{"1", "4", "8"} {
+				var out strings.Builder
+				args := withFast(append(append([]string{}, scan...), "-parallel", n)...)
+				if err := run(args, &out); err != nil {
+					t.Fatalf("%v -parallel %s: %v", scan, n, err)
+				}
+				results[n] = out.String()
+			}
+			if !strings.Contains(results["1"], "failing rows") {
+				t.Fatalf("unexpected report shape:\n%s", results["1"])
+			}
+			for _, n := range []string{"4", "8"} {
+				if results[n] != results["1"] {
+					t.Errorf("%v -parallel %s output differs from -parallel 1:\n%q\nvs\n%q",
+						scan, n, results[n], results["1"])
+				}
+			}
+		})
+	}
+}
+
 func TestBadParallelFlag(t *testing.T) {
 	var out strings.Builder
 	if err := run(withFast("-allfail", "-parallel", "0"), &out); err == nil {

@@ -53,7 +53,7 @@ func run(args []string, out io.Writer) error {
 		idleMs   = fs.Int64("idle", 328, "idle time in ms (328 ms = paper's 4 s at 45C)")
 		seed     = fs.Int64("seed", 42, "chip seed")
 		rows     = fs.Int("rows", 4096, "rows per bank")
-		nworkers = fs.Int("parallel", runtime.NumCPU(), "worker count for the -allfail row scan (results are identical for any value)")
+		nworkers = fs.Int("parallel", runtime.NumCPU(), "worker count for the -allfail, -pattern, and -content scans (results are identical for any value)")
 		metrics  = fs.String("metrics", "", `write aggregated run metrics to this file ("-" for stdout)`)
 		mformat  = fs.String("metrics-format", "json", "metrics output format: json, prom, or table")
 		pprofOn  = fs.String("pprof", "", "serve net/http/pprof on this address while running")
@@ -90,6 +90,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	tester.SetParallelism(*nworkers)
 	var reg *obs.Registry
 	if *metrics != "" {
 		reg = obs.NewRegistry()
@@ -117,7 +118,10 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  false alarms:      %d\n", rep.FalseAlarms)
 			return nil
 		case *allfail:
-			frac := tester.AllFailFractionParallel(context.Background(), idle, *nworkers)
+			frac, err := tester.AllFailFractionParallel(context.Background(), idle, *nworkers)
+			if err != nil {
+				return err
+			}
 			fmt.Fprintf(out, "rows failing under ANY pattern at %d ms idle: %.2f%%\n", *idleMs, 100*frac)
 			return nil
 		case *pattern != "":

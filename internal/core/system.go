@@ -106,6 +106,10 @@ type System struct {
 	// audit bookkeeping
 	undetected int
 	detected   int
+
+	// cellBuf is reused across FailingCells queries on the online-test
+	// and audit hot paths; System is single-goroutine by contract.
+	cellBuf []int
 }
 
 // SetContentSource installs a content source (must be called before
@@ -213,7 +217,8 @@ func (s *System) test(page uint32, at trace.Microseconds) bool {
 		return true
 	}
 	idle := s.cfg.LoRef // the engine kept the row idle one LO-REF window
-	cells := s.model.FailingCells(s.mod, addr, idle)
+	s.cellBuf = s.model.AppendFailingCells(s.cellBuf[:0], s.mod, addr, idle)
+	cells := s.cellBuf
 	// The read-back recharges the row either way.
 	s.mod.Activate(addr, nsOf(at))
 	if len(cells) > 0 {
@@ -338,8 +343,9 @@ func (s *System) auditRow(page uint32, addr dram.RowAddress, now dram.Nanosecond
 	// The row is refreshed every `interval`; its content is therefore
 	// never idle longer than that. If the current content would flip
 	// cells within one interval, MEMCON failed to protect it.
-	if cells := s.model.FailingCells(s.mod, addr, interval); len(cells) > 0 {
-		s.undetected += len(cells)
+	s.cellBuf = s.model.AppendFailingCells(s.cellBuf[:0], s.mod, addr, interval)
+	if len(s.cellBuf) > 0 {
+		s.undetected += len(s.cellBuf)
 	}
 	_ = now
 }

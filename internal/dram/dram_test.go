@@ -137,6 +137,60 @@ func TestRowDiffBits(t *testing.T) {
 	}
 }
 
+func TestRowAppendDiffBits(t *testing.T) {
+	a := NewRow(128)
+	b := NewRow(128)
+	a.SetBit(5, 1)
+	a.SetBit(100, 1)
+	b.SetBit(70, 1)
+	// Appending into a prefilled slice keeps the prefix.
+	got := a.AppendDiffBits([]int{-1}, b)
+	want := []int{-1, 5, 70, 100}
+	if len(got) != len(want) {
+		t.Fatalf("AppendDiffBits = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AppendDiffBits = %v, want %v", got, want)
+		}
+	}
+	// Reusing a capacious buffer must not allocate.
+	buf := make([]int, 0, 128)
+	allocs := testing.AllocsPerRun(10, func() {
+		buf = a.AppendDiffBits(buf[:0], b)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendDiffBits allocated %.1f times with a reused buffer", allocs)
+	}
+	// Identical rows diff to nothing.
+	if d := a.AppendDiffBits(nil, a.Clone()); len(d) != 0 {
+		t.Errorf("self-diff = %v, want empty", d)
+	}
+}
+
+func TestModuleRowAtAliasesRowRef(t *testing.T) {
+	g := DefaultGeometry()
+	g.RowsPerBank = 64
+	m, err := NewModule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RowAddress{Bank: g.BanksPerChip - 1, Row: 13}
+	content := NewRow(g.ColsPerRow)
+	content.SetBit(7, 1)
+	if err := m.WriteRow(a, content, 0); err != nil {
+		t.Fatal(err)
+	}
+	byRef := m.RowRef(a)
+	byIdx := m.RowAt(g.RowIndex(a))
+	if &byRef[0] != &byIdx[0] {
+		t.Error("RowAt and RowRef return different backing storage for the same row")
+	}
+	if byIdx.Bit(7) != 1 {
+		t.Error("RowAt content does not reflect the write")
+	}
+}
+
 func TestRowFillAndRandomize(t *testing.T) {
 	r := NewRow(256)
 	r.Fill(^uint64(0))

@@ -76,10 +76,14 @@ func (g Geometry) ValidAddress(a RowAddress) bool {
 
 // RowIndex flattens a row address into a dense index in
 // [0, TotalRows()). It panics on an out-of-range address, which indicates
-// a programming error in the caller.
+// a programming error in the caller. The bounds check folds the sign and
+// range tests into two unsigned comparisons and the panic message is a
+// constant so RowIndex stays within the inlining budget — it sits under
+// every per-row operation of the read-back and fault-evaluation hot
+// paths.
 func (g Geometry) RowIndex(a RowAddress) int {
-	if !g.ValidAddress(a) {
-		panic(fmt.Sprintf("dram: row address %+v outside geometry", a))
+	if uint(a.Bank) >= uint(g.BanksPerChip) || uint(a.Row) >= uint(g.RowsPerBank) {
+		panic("dram: row address outside geometry")
 	}
 	return a.Bank*g.RowsPerBank + a.Row
 }

@@ -48,16 +48,24 @@ func (r Row) Equal(o Row) bool {
 // DiffBits returns the cell indices at which r and o differ. Rows must be
 // the same length.
 func (r Row) DiffBits(o Row) []int {
-	var diffs []int
+	return r.AppendDiffBits(nil, o)
+}
+
+// AppendDiffBits appends the cell indices at which r and o differ to
+// dst and returns the extended slice — the allocation-free form of
+// DiffBits for callers that diff many rows through one reusable buffer.
+// The comparison works a packed 64-cell word at a time. Rows must be
+// the same length.
+func (r Row) AppendDiffBits(dst []int, o Row) []int {
 	for w := range r {
 		x := r[w] ^ o[w]
 		for x != 0 {
 			b := bits.TrailingZeros64(x)
-			diffs = append(diffs, w*64+b)
+			dst = append(dst, w*64+b)
 			x &= x - 1
 		}
 	}
-	return diffs
+	return dst
 }
 
 // OnesCount returns the number of set cells in the row.
@@ -151,6 +159,12 @@ func (m *Module) PeekRow(a RowAddress) (Row, error) {
 func (m *Module) RowRef(a RowAddress) Row {
 	return m.rows[m.geom.RowIndex(a)]
 }
+
+// RowAt returns the module's internal row storage at flat index idx
+// (Geometry.RowIndex order) without address re-validation — the
+// silicon-side fast path the faults kernel uses for neighbour reads.
+// Same aliasing rules as RowRef.
+func (m *Module) RowAt(idx int) Row { return m.rows[idx] }
 
 // LastCharge returns the time the addressed row was last activated or
 // refreshed.

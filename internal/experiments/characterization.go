@@ -161,7 +161,11 @@ func RunFig4(opts Options) (fmt.Stringer, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig4Result{AllFail: tester.AllFailFractionParallel(opts.Ctx, idle, opts.Workers)}
+	allFail, err := tester.AllFailFractionParallel(opts.Ctx, idle, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{AllFail: allFail}
 
 	specs := workload.SPECContents()
 	rows, err := forUnits(opts, len(specs), func(i int) (Fig4Row, error) {

@@ -66,6 +66,10 @@ func RunProfile(opts Options) (fmt.Stringer, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The guardband sweep is serial, so the tester's read-back scans
+		// get the whole worker budget (ReadBack output is identical for
+		// any parallelism).
+		tester.SetParallelism(opts.Workers)
 		cfg := profiler.DefaultConfig()
 		cfg.Guardband = guard
 		p, err := profiler.Run(tester, geom, cfg)

@@ -39,6 +39,10 @@ import (
 	"memcon/internal/dram"
 )
 
+// neverFails is the per-row retention sentinel for rows without mapped
+// weak cells: no finite idle time exceeds it.
+const neverFails = dram.Nanoseconds(math.MaxInt64)
+
 // Params configures the failure model.
 type Params struct {
 	// WeakCellFraction is the probability that a cell is weak
@@ -110,7 +114,8 @@ func (p Params) Validate() error {
 }
 
 // weakCell holds the silicon attributes of one weak cell at a physical
-// location.
+// location. It is the sampling-time representation; query paths run on
+// the precomputed flatCell kernel instead.
 type weakCell struct {
 	physRow, physCol int
 	baseRetention    dram.Nanoseconds
@@ -119,27 +124,84 @@ type weakCell struct {
 	w [4]float64
 }
 
+// neighborRef is one precomputed neighbour of a weak cell: everything
+// the stress evaluation needs to read the neighbour's current bit and
+// decide whether it aggresses, resolved once at model build time.
+type neighborRef struct {
+	// w is the coupling weight the neighbour contributes when
+	// discharged.
+	w float64
+	// rowIdx is the flat module row index (Geometry.RowIndex order) of
+	// the system row holding the neighbour, or -1 when the neighbour's
+	// physical column has no mapped system column (its stored bit is
+	// constant 0).
+	rowIdx int32
+	// col is the neighbour's system column (valid when rowIdx >= 0).
+	col int32
+	// chargedBit is the logical bit value that stores charge at the
+	// neighbour's physical row (1 for true cells, 0 for anti cells).
+	chargedBit uint8
+}
+
+// flatCell is one weak cell with every address resolution and
+// pattern-independent quantity precomputed, so the per-query work is a
+// handful of packed-word bit reads and one float compare.
+type flatCell struct {
+	baseRetention dram.Nanoseconds
+	// worstRetention is the effective retention under the worst
+	// achievable stress (every existing neighbour aggressing) — the
+	// pattern-independent bound RowCanFail tests against, and a cheap
+	// per-cell reject for FailingCells (content stress never exceeds
+	// the worst case, so idle <= worstRetention means "cannot fail").
+	worstRetention   dram.Nanoseconds
+	physRow, physCol int32
+	// sysCol is the cell's mapped system column (cells on unmapped
+	// physical columns store no data and are excluded from the kernel).
+	sysCol int32
+	// chargedBit is the logical bit value that charges this cell.
+	chargedBit uint8
+	// nbCount is the number of valid entries in nb.
+	nbCount uint8
+	// nb lists the in-array neighbours in the fixed left, right, up,
+	// down evaluation order (out-of-array neighbours are dropped).
+	nb [4]neighborRef
+}
+
 // Model is the failure model for one chip. It is deterministic in
-// (geometry, seed, params). Model is not safe for concurrent mutation
-// but becomes read-only after warm-up, so concurrent FailingCells calls
-// after Preload are safe.
+// (geometry, seed, params). All per-bank state is built eagerly by
+// NewModel, so a Model is immutable afterwards and safe for concurrent
+// readers without any warm-up call.
 type Model struct {
 	geom   dram.Geometry
 	scr    *dram.Scrambler
 	seed   uint64
 	params Params
 
-	// Per-bank physical structures, built lazily.
+	// banks holds the flat per-bank fault kernels.
 	banks []*bankFaults
-	// sysRowOfPhys caches the inverse row permutation per bank.
+	// sysRowOfPhys is the inverse row permutation per bank.
 	sysRowOfPhys [][]int
+	// physRowOfSys is the forward row permutation per bank, cached so
+	// queries skip the scrambler's cycle-walking permutation.
+	physRowOfSys [][]int32
 	sysColOfPhys []int
 }
 
+// bankFaults is one bank's weak-cell population in CSR form: the
+// mapped weak cells of physical row pr are cells[offsets[pr]:offsets[pr+1]],
+// sorted by physical column.
 type bankFaults struct {
-	// byPhysRow indexes the bank's weak cells by physical row.
-	byPhysRow map[int][]weakCell
-	count     int
+	offsets []int32
+	cells   []flatCell
+	// minWorstBySysRow[r] is the minimum worstRetention over the mapped
+	// weak cells of the physical row SYSTEM row r maps to (neverFails
+	// when that row has none). Indexing by system row makes RowCanFail a
+	// single comparison and keeps full-array scans walking this table
+	// sequentially instead of through the scrambled row permutation.
+	minWorstBySysRow []dram.Nanoseconds
+	// count is the sampled weak-cell total, including cells on
+	// unmapped physical columns that never store data.
+	count int
 }
 
 // NewModel builds a failure model over the given geometry. The scrambler
@@ -159,6 +221,7 @@ func NewModel(geom dram.Geometry, scr *dram.Scrambler, seed uint64, params Param
 		params:       params,
 		banks:        make([]*bankFaults, geom.BanksPerChip),
 		sysRowOfPhys: make([][]int, geom.BanksPerChip),
+		physRowOfSys: make([][]int32, geom.BanksPerChip),
 	}
 	// Inverse column table (shared by all banks).
 	m.sysColOfPhys = make([]int, geom.PhysCols())
@@ -168,30 +231,46 @@ func NewModel(geom dram.Geometry, scr *dram.Scrambler, seed uint64, params Param
 	for c := 0; c < geom.ColsPerRow; c++ {
 		m.sysColOfPhys[scr.PhysCol(c)] = c
 	}
+	// Build every bank eagerly: the flat kernel is cheap to construct
+	// (the population is sparse), and an immutable model removes the
+	// lazy-initialization race first concurrent queries used to hit.
+	for b := 0; b < geom.BanksPerChip; b++ {
+		m.buildRowMaps(b)
+		m.banks[b] = m.buildBank(b)
+	}
 	return m, nil
 }
 
-// Preload forces construction of all per-bank fault state, making
-// subsequent queries read-only (and therefore safe for concurrent use).
-func (m *Model) Preload() {
-	for b := 0; b < m.geom.BanksPerChip; b++ {
-		m.bank(b)
-		m.invRows(b)
+// Preload is a no-op kept for API compatibility: NewModel now builds
+// all per-bank state eagerly, so a Model is always safe for concurrent
+// readers.
+func (m *Model) Preload() {}
+
+// buildRowMaps computes the forward and inverse row permutations of a
+// bank.
+func (m *Model) buildRowMaps(b int) {
+	fwd := make([]int32, m.geom.RowsPerBank)
+	inv := make([]int, m.geom.RowsPerBank)
+	for r := 0; r < m.geom.RowsPerBank; r++ {
+		pr := m.scr.PhysRow(b, r)
+		fwd[r] = int32(pr)
+		inv[pr] = r
 	}
+	m.physRowOfSys[b] = fwd
+	m.sysRowOfPhys[b] = inv
 }
 
-// bank lazily builds the weak-cell population of a bank. The population
-// is sampled without per-cell hashing: the expected number of weak cells
-// is drawn and distinct positions are placed uniformly, all from a
-// deterministic per-bank RNG.
-func (m *Model) bank(b int) *bankFaults {
-	if m.banks[b] != nil {
-		return m.banks[b]
-	}
+// buildBank samples the weak-cell population of a bank and compiles it
+// into the flat CSR kernel. The population is sampled without per-cell
+// hashing: the expected number of weak cells is drawn and distinct
+// positions are placed uniformly, all from a deterministic per-bank RNG
+// (the exact sampling sequence of the original map-based model, so
+// populations are identical seed-for-seed).
+func (m *Model) buildBank(b int) *bankFaults {
 	rng := rand.New(rand.NewSource(int64(m.seed ^ uint64(b)*0x9e3779b97f4a7c15)))
 	cells := m.geom.RowsPerBank * m.geom.PhysCols()
 	n := int(math.Round(float64(cells) * m.params.WeakCellFraction))
-	bf := &bankFaults{byPhysRow: make(map[int][]weakCell), count: n}
+	raw := make([]weakCell, 0, n)
 	seen := make(map[int]bool, n)
 	for len(seen) < n {
 		pos := rng.Intn(cells)
@@ -201,16 +280,93 @@ func (m *Model) bank(b int) *bankFaults {
 		seen[pos] = true
 		pr := pos / m.geom.PhysCols()
 		pc := pos % m.geom.PhysCols()
-		wc := m.makeWeakCell(rng, pr, pc)
-		bf.byPhysRow[pr] = append(bf.byPhysRow[pr], wc)
+		raw = append(raw, m.makeWeakCell(rng, pr, pc))
 	}
-	for pr := range bf.byPhysRow {
-		row := bf.byPhysRow[pr]
-		sort.Slice(row, func(i, j int) bool { return row[i].physCol < row[j].physCol })
+	sort.Slice(raw, func(i, j int) bool {
+		if raw[i].physRow != raw[j].physRow {
+			return raw[i].physRow < raw[j].physRow
+		}
+		return raw[i].physCol < raw[j].physCol
+	})
+
+	rows := m.geom.RowsPerBank
+	bf := &bankFaults{
+		offsets:          make([]int32, rows+1),
+		minWorstBySysRow: make([]dram.Nanoseconds, rows),
+		count:            n,
 	}
-	m.banks[b] = bf
+	minByPhysRow := make([]dram.Nanoseconds, rows)
+	for pr := range minByPhysRow {
+		minByPhysRow[pr] = neverFails
+	}
+	bf.cells = make([]flatCell, 0, len(raw))
+	next := 0 // next physical row whose offset is unset
+	for _, wc := range raw {
+		sysCol := m.sysColOfPhys[wc.physCol]
+		if sysCol < 0 {
+			continue // faulty/unused column: no data stored there
+		}
+		for next <= wc.physRow {
+			bf.offsets[next] = int32(len(bf.cells))
+			next++
+		}
+		fc := m.compileCell(b, wc, sysCol)
+		bf.cells = append(bf.cells, fc)
+		if fc.worstRetention < minByPhysRow[wc.physRow] {
+			minByPhysRow[wc.physRow] = fc.worstRetention
+		}
+	}
+	for ; next <= rows; next++ {
+		bf.offsets[next] = int32(len(bf.cells))
+	}
+	for r := 0; r < rows; r++ {
+		bf.minWorstBySysRow[r] = minByPhysRow[m.physRowOfSys[b][r]]
+	}
 	return bf
 }
+
+// compileCell resolves one mapped weak cell into its flat kernel form:
+// charge orientation, per-neighbour (system row, system column)
+// resolutions, and the pattern-independent worst-case retention.
+func (m *Model) compileCell(b int, wc weakCell, sysCol int) flatCell {
+	fc := flatCell{
+		baseRetention: wc.baseRetention,
+		physRow:       int32(wc.physRow),
+		physCol:       int32(wc.physCol),
+		sysCol:        int32(sysCol),
+	}
+	if m.trueCell(wc.physRow) {
+		fc.chargedBit = 1
+	}
+	// Worst-case stress sums the weights of neighbours that physically
+	// exist, accumulated in neighbour order so the float result matches
+	// a direct per-query evaluation bit for bit.
+	var worst float64
+	for i, n := range neighborOffsets {
+		pr := wc.physRow + n.dr
+		pc := wc.physCol + n.dc
+		if pr < 0 || pr >= m.geom.RowsPerBank || pc < 0 || pc >= m.geom.PhysCols() {
+			continue // outside the array: the weight is wasted
+		}
+		worst += wc.w[i]
+		ref := neighborRef{w: wc.w[i], rowIdx: -1}
+		if m.trueCell(pr) {
+			ref.chargedBit = 1
+		}
+		if nsc := m.sysColOfPhys[pc]; nsc >= 0 {
+			ref.rowIdx = int32(m.geom.RowIndex(dram.RowAddress{Bank: b, Row: m.sysRowOfPhys[b][pr]}))
+			ref.col = int32(nsc)
+		}
+		fc.nb[fc.nbCount] = ref
+		fc.nbCount++
+	}
+	fc.worstRetention = dram.Nanoseconds(float64(wc.baseRetention) * (1 - m.params.MaxStress*worst))
+	return fc
+}
+
+// neighborOffsets is the fixed left, right, up, down neighbour order of
+// the stress evaluation.
+var neighborOffsets = [4]struct{ dr, dc int }{{0, -1}, {0, 1}, {-1, 0}, {1, 0}}
 
 func (m *Model) makeWeakCell(rng *rand.Rand, pr, pc int) weakCell {
 	// Log-uniform base retention in [floor, ceil].
@@ -233,19 +389,6 @@ func (m *Model) makeWeakCell(rng *rand.Rand, pr, pc int) weakCell {
 	return weakCell{physRow: pr, physCol: pc, baseRetention: base, w: w}
 }
 
-// invRows lazily builds the inverse row permutation of a bank.
-func (m *Model) invRows(b int) []int {
-	if m.sysRowOfPhys[b] != nil {
-		return m.sysRowOfPhys[b]
-	}
-	inv := make([]int, m.geom.RowsPerBank)
-	for r := 0; r < m.geom.RowsPerBank; r++ {
-		inv[m.scr.PhysRow(b, r)] = r
-	}
-	m.sysRowOfPhys[b] = inv
-	return inv
-}
-
 // trueCell reports whether the physical cell stores logical 1 as charge.
 // Orientation alternates in pairs of physical rows, offset per chip.
 func (m *Model) trueCell(physRow int) bool {
@@ -262,49 +405,30 @@ func (m *Model) charged(physRow, bit int) bool {
 	return bit == 0
 }
 
-// bitAtPhys returns the logical bit stored at a physical location of the
-// bank, reading through the module's system-addressed content. Cells
-// without a mapped system column (unused redundant or remapped-away
-// faulty columns) read as 0.
-func (m *Model) bitAtPhys(mod *dram.Module, bank, physRow, physCol int) int {
-	if physRow < 0 || physRow >= m.geom.RowsPerBank || physCol < 0 || physCol >= m.geom.PhysCols() {
-		return -1 // outside the array
-	}
-	sysCol := m.sysColOfPhys[physCol]
-	if sysCol < 0 {
-		return 0
-	}
-	sysRow := m.invRows(bank)[physRow]
-	return mod.RowRef(dram.RowAddress{Bank: bank, Row: sysRow}).Bit(sysCol)
+// rowCells returns the flat kernel cells of one physical row of a bank.
+func (m *Model) rowCells(bank, physRow int) []flatCell {
+	bf := m.banks[bank]
+	return bf.cells[bf.offsets[physRow]:bf.offsets[physRow+1]]
 }
 
-// stress computes the interference stress on a weak cell from its four
-// physical neighbours given current module content. Neighbours outside
-// the array contribute nothing (their weight is wasted), matching edge
-// cells being less exposed.
-func (m *Model) stress(mod *dram.Module, bank int, wc weakCell) float64 {
-	type nb struct{ dr, dc int }
-	neighbours := [4]nb{{0, -1}, {0, 1}, {-1, 0}, {1, 0}}
+// contentStress computes the interference stress on a flat cell from
+// its precomputed neighbours under the module's current content.
+// Neighbours on unmapped physical columns store a constant 0; neighbours
+// outside the array were dropped at compile time (their weight is
+// wasted, matching edge cells being less exposed).
+func (m *Model) contentStress(mod *dram.Module, fc *flatCell) float64 {
 	var s float64
-	for i, n := range neighbours {
-		pr := wc.physRow + n.dr
-		pc := wc.physCol + n.dc
-		bit := m.bitAtPhys(mod, bank, pr, pc)
-		if bit < 0 {
-			continue
+	for k := 0; k < int(fc.nbCount); k++ {
+		nb := &fc.nb[k]
+		bit := uint8(0)
+		if nb.rowIdx >= 0 {
+			bit = uint8(mod.RowAt(int(nb.rowIdx)).Bit(int(nb.col)))
 		}
-		if !m.charged(pr, bit) {
-			s += wc.w[i]
+		if bit != nb.chargedBit {
+			s += nb.w
 		}
 	}
 	return s
-}
-
-// EffectiveRetention returns the retention of the weak cell under the
-// current content, before comparing with idle time.
-func (m *Model) effectiveRetention(mod *dram.Module, bank int, wc weakCell) dram.Nanoseconds {
-	s := m.stress(mod, bank, wc)
-	return dram.Nanoseconds(float64(wc.baseRetention) * (1 - m.params.MaxStress*s))
 }
 
 // FailingCells returns the system-column indices of cells in the
@@ -312,65 +436,44 @@ func (m *Model) effectiveRetention(mod *dram.Module, bank int, wc weakCell) dram
 // the given time, under the module's current content. The module content
 // is not modified; callers decide whether to commit the flips.
 func (m *Model) FailingCells(mod *dram.Module, a dram.RowAddress, idle dram.Nanoseconds) []int {
-	bf := m.bank(a.Bank)
-	physRow := m.scr.PhysRow(a.Bank, a.Row)
-	cells := bf.byPhysRow[physRow]
-	if len(cells) == 0 {
-		return nil
+	return m.AppendFailingCells(nil, mod, a, idle)
+}
+
+// AppendFailingCells is FailingCells appending into dst, so steady-state
+// callers (the online-test and audit hot paths) can reuse one buffer
+// instead of allocating per query.
+func (m *Model) AppendFailingCells(dst []int, mod *dram.Module, a dram.RowAddress, idle dram.Nanoseconds) []int {
+	bf := m.banks[a.Bank]
+	if idle <= bf.minWorstBySysRow[a.Row] {
+		return dst // no cell of this row fails even under worst-case stress
 	}
-	var failing []int
-	for _, wc := range cells {
-		sysCol := m.sysColOfPhys[wc.physCol]
-		if sysCol < 0 {
-			continue // faulty/unused column: no data stored there
+	pr := m.physRowOfSys[a.Bank][a.Row]
+	row := mod.RowRef(a)
+	for i := bf.offsets[pr]; i < bf.offsets[pr+1]; i++ {
+		fc := &bf.cells[i]
+		if idle <= fc.worstRetention {
+			continue // cannot fail at this idle time under any content
 		}
-		bit := mod.RowRef(a).Bit(sysCol)
-		if !m.charged(wc.physRow, bit) {
+		if uint8(row.Bit(int(fc.sysCol))) != fc.chargedBit {
 			continue // discharged cells cannot leak
 		}
-		if idle > m.effectiveRetention(mod, a.Bank, wc) {
-			failing = append(failing, sysCol)
+		s := m.contentStress(mod, fc)
+		if idle > dram.Nanoseconds(float64(fc.baseRetention)*(1-m.params.MaxStress*s)) {
+			dst = append(dst, int(fc.sysCol))
 		}
 	}
-	return failing
+	return dst
 }
 
 // RowCanFail reports whether the addressed row contains at least one weak
 // cell that could fail under SOME data pattern at the given idle time —
 // the "ALL FAIL" denominator of Fig. 4. A cell can fail under some
 // pattern iff idle > base*(1-MaxStress*maxAchievableStress), where the
-// worst pattern charges the victim and discharges every neighbour.
+// worst pattern charges the victim and discharges every neighbour; that
+// bound is precomputed per cell and cached as a system-row-indexed
+// minimum, so the query is one comparison with no permutation lookup.
 func (m *Model) RowCanFail(a dram.RowAddress, idle dram.Nanoseconds) bool {
-	bf := m.bank(a.Bank)
-	physRow := m.scr.PhysRow(a.Bank, a.Row)
-	for _, wc := range bf.byPhysRow[physRow] {
-		if m.sysColOfPhys[wc.physCol] < 0 {
-			continue
-		}
-		maxStress := m.maxAchievableStress(wc)
-		eff := dram.Nanoseconds(float64(wc.baseRetention) * (1 - m.params.MaxStress*maxStress))
-		if idle > eff {
-			return true
-		}
-	}
-	return false
-}
-
-// maxAchievableStress sums the weights of neighbours that physically
-// exist (edge cells lose the out-of-array weight).
-func (m *Model) maxAchievableStress(wc weakCell) float64 {
-	type nb struct{ dr, dc int }
-	neighbours := [4]nb{{0, -1}, {0, 1}, {-1, 0}, {1, 0}}
-	var s float64
-	for i, n := range neighbours {
-		pr := wc.physRow + n.dr
-		pc := wc.physCol + n.dc
-		if pr < 0 || pr >= m.geom.RowsPerBank || pc < 0 || pc >= m.geom.PhysCols() {
-			continue
-		}
-		s += wc.w[i]
-	}
-	return s
+	return idle > m.banks[a.Bank].minWorstBySysRow[a.Row]
 }
 
 // NeighborSysRows returns the system addresses of the rows that are
@@ -380,8 +483,8 @@ func (m *Model) maxAchievableStress(wc weakCell) float64 {
 // to model a DRAM-internal adjacency hint (in the spirit of target-row
 // refresh), never the DRAM-transparent engine itself.
 func (m *Model) NeighborSysRows(a dram.RowAddress) []dram.RowAddress {
-	inv := m.invRows(a.Bank)
-	pr := m.scr.PhysRow(a.Bank, a.Row)
+	inv := m.sysRowOfPhys[a.Bank]
+	pr := int(m.physRowOfSys[a.Bank][a.Row])
 	var out []dram.RowAddress
 	if pr-1 >= 0 {
 		out = append(out, dram.RowAddress{Bank: a.Bank, Row: inv[pr-1]})
@@ -392,8 +495,61 @@ func (m *Model) NeighborSysRows(a dram.RowAddress) []dram.RowAddress {
 	return out
 }
 
+// AffectedNeighborRows returns the system rows (always in the same
+// bank) holding a weak cell whose interference stress depends on any of
+// the given cells of row a — the rows whose FailingCells verdict can
+// change once those cells flip. A read-back pass that evaluated rows
+// against pre-flip content re-evaluates exactly these rows after
+// committing flips, which keeps batched evaluation bit-identical to a
+// strictly sequential commit-as-you-go scan.
+func (m *Model) AffectedNeighborRows(a dram.RowAddress, flipped []int) []dram.RowAddress {
+	bf := m.banks[a.Bank]
+	inv := m.sysRowOfPhys[a.Bank]
+	pr := int(m.physRowOfSys[a.Bank][a.Row])
+	var out []dram.RowAddress
+	appendRow := func(sysRow int) {
+		addr := dram.RowAddress{Bank: a.Bank, Row: sysRow}
+		for _, seen := range out {
+			if seen == addr {
+				return
+			}
+		}
+		out = append(out, addr)
+	}
+	// A weak cell at physical (qr, qc) reads the flipped cell at
+	// (pr, pc) as a neighbour iff qr==pr, |qc-pc|==1 (bitline) or
+	// qc==pc, |qr-pr|==1 (wordline).
+	hasWeakAt := func(qr, qc int) bool {
+		if qr < 0 || qr >= m.geom.RowsPerBank || qc < 0 || qc >= m.geom.PhysCols() {
+			return false
+		}
+		for i := bf.offsets[qr]; i < bf.offsets[qr+1]; i++ {
+			switch c := int(bf.cells[i].physCol); {
+			case c == qc:
+				return true
+			case c > qc:
+				return false // cells are sorted by physical column
+			}
+		}
+		return false
+	}
+	for _, c := range flipped {
+		pc := m.scr.PhysCol(c)
+		if hasWeakAt(pr, pc-1) || hasWeakAt(pr, pc+1) {
+			appendRow(inv[pr])
+		}
+		if hasWeakAt(pr-1, pc) {
+			appendRow(inv[pr-1])
+		}
+		if hasWeakAt(pr+1, pc) {
+			appendRow(inv[pr+1])
+		}
+	}
+	return out
+}
+
 // WeakCellCount returns the number of weak cells in the bank.
-func (m *Model) WeakCellCount(bank int) int { return m.bank(bank).count }
+func (m *Model) WeakCellCount(bank int) int { return m.banks[bank].count }
 
 // Geometry returns the model's geometry.
 func (m *Model) Geometry() dram.Geometry { return m.geom }

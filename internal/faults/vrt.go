@@ -120,26 +120,23 @@ func (v *VRTModel) RetentionScaleAt(bank, physRow, physCol int) float64 {
 // the VRT retention scaling applied per cell: a cell in the degraded
 // state fails at proportionally shorter idle times.
 func (v *VRTModel) FailingCellsVRT(mod *dram.Module, a dram.RowAddress, idle dram.Nanoseconds) []int {
-	bf := v.bank(a.Bank)
-	physRow := v.scr.PhysRow(a.Bank, a.Row)
-	cells := bf.byPhysRow[physRow]
+	pr := int(v.physRowOfSys[a.Bank][a.Row])
+	cells := v.rowCells(a.Bank, pr)
 	if len(cells) == 0 {
 		return nil
 	}
+	row := mod.RowRef(a)
 	var failing []int
-	for _, wc := range cells {
-		sysCol := v.sysColOfPhys[wc.physCol]
-		if sysCol < 0 {
+	for i := range cells {
+		fc := &cells[i]
+		if uint8(row.Bit(int(fc.sysCol))) != fc.chargedBit {
 			continue
 		}
-		bit := mod.RowRef(a).Bit(sysCol)
-		if !v.charged(wc.physRow, bit) {
-			continue
-		}
-		scale := v.RetentionScaleAt(a.Bank, wc.physRow, wc.physCol)
-		eff := dram.Nanoseconds(float64(v.effectiveRetention(mod, a.Bank, wc)) * scale)
-		if idle > eff {
-			failing = append(failing, sysCol)
+		scale := v.RetentionScaleAt(a.Bank, int(fc.physRow), int(fc.physCol))
+		s := v.contentStress(mod, fc)
+		static := dram.Nanoseconds(float64(fc.baseRetention) * (1 - v.Model.params.MaxStress*s))
+		if idle > dram.Nanoseconds(float64(static)*scale) {
+			failing = append(failing, int(fc.sysCol))
 		}
 	}
 	return failing

@@ -96,9 +96,13 @@ func ColStripePattern(phase int) Pattern {
 }
 
 // WalkingPattern places a walking 1 (bit=1) or walking 0 (bit=0) at the
-// given offset within every 64-bit word.
+// given offset within every 64-bit word. The offset wraps modulo 64 with
+// a non-negative result, and the same normalized value appears in the
+// pattern name, so WalkingPattern(1, -8) both walks bit 56 and is named
+// walk1-56.
 func WalkingPattern(bit, offset int) Pattern {
-	w := uint64(1) << (uint(offset) % 64)
+	offset = ((offset % 64) + 64) % 64
+	w := uint64(1) << uint(offset)
 	if bit == 0 {
 		w = ^w
 	}
@@ -107,7 +111,7 @@ func WalkingPattern(bit, offset int) Pattern {
 		kind = "walk0"
 	}
 	return Pattern{
-		Name: fmt.Sprintf("%s-%d", kind, offset%64),
+		Name: fmt.Sprintf("%s-%d", kind, offset),
 		Fill: func(dst dram.Row, _ int) { dst.Fill(w) },
 	}
 }
@@ -149,10 +153,14 @@ type Tester struct {
 	model *faults.Model
 	// now is the harness-local clock.
 	now dram.Nanoseconds
+	// workers is the fan-out ReadBack uses; results are byte-identical
+	// at any value (see ReadBackParallel). Default 1.
+	workers int
 	// obs receives per-row characterization events. During parallel
 	// scans it is invoked from multiple goroutines, so only observers
 	// safe for concurrent use (obs.Metrics, obs.Recorder) should be
-	// installed when workers > 1.
+	// installed when workers > 1. ReadBack is the exception: its events
+	// are emitted from the sequential commit pass regardless of workers.
 	obs obs.Observer
 }
 
@@ -162,8 +170,13 @@ func NewTester(mod *dram.Module, model *faults.Model) (*Tester, error) {
 	if mod.Geometry() != model.Geometry() {
 		return nil, fmt.Errorf("softmc: module and fault model geometries differ")
 	}
-	return &Tester{mod: mod, model: model}, nil
+	return &Tester{mod: mod, model: model, workers: 1}, nil
 }
+
+// SetParallelism sets the worker count ReadBack (and the runs built on
+// it) fans out to. Values below 1 select GOMAXPROCS. The output is
+// byte-identical at any setting; the default is 1.
+func (t *Tester) SetParallelism(n int) { t.workers = n }
 
 // SetObserver installs an observer notified of row failures seen by
 // ReadBack (obs.KindRowFailure, Aux = failing cells) and weak rows
@@ -227,14 +240,76 @@ type RowFailure struct {
 // data-dependent failures given how long each row has been idle.
 // Failures are committed to the stored content (the charge is gone) and
 // every row is recharged by the read, just like a real read-back pass.
+// The scan fans out over the tester's configured parallelism (see
+// SetParallelism); the result is byte-identical at any worker count.
 func (t *Tester) ReadBack() []RowFailure {
+	fails, err := t.ReadBackParallel(context.Background(), t.workers)
+	if err != nil {
+		// A background context cannot be cancelled, so only a worker
+		// panic (repackaged by parallel.Map) lands here.
+		panic(err)
+	}
+	return fails
+}
+
+// ReadBackParallel is ReadBack fanned out over up to `workers`
+// goroutines (values below 1 select GOMAXPROCS), cancellable through
+// ctx. Determinism contract: the scan first evaluates every row against
+// the FROZEN pre-read content in sharded per-bank row chunks (pure
+// reads), then a single sequential commit pass walks rows in global
+// (bank, row) order, committing flips and recharging. A committed flip
+// discharges a cell, which can only add interference stress to weak
+// cells that read it as a neighbour — so any later row a flip could
+// influence is re-evaluated against the then-current content
+// (Model.AffectedNeighborRows names exactly those rows). The result is
+// byte-identical to a strictly sequential commit-as-you-go scan at any
+// worker count, and observer events fire from the commit pass in scan
+// order.
+func (t *Tester) ReadBackParallel(ctx context.Context, workers int) ([]RowFailure, error) {
 	g := t.mod.Geometry()
-	var fails []RowFailure
-	for b := 0; b < g.BanksPerChip; b++ {
-		for r := 0; r < g.RowsPerBank; r++ {
+	frozen, err := parallel.Map(ctx, g.BanksPerChip*chunksPerBank, workers, func(u int) ([]RowFailure, error) {
+		b := u / chunksPerBank
+		lo, hi := chunkBounds(g.RowsPerBank, u%chunksPerBank)
+		var fails []RowFailure
+		var scratch []int
+		for r := lo; r < hi; r++ {
 			a := dram.RowAddress{Bank: b, Row: r}
 			idle := t.mod.IdleTime(a, t.now)
-			cells := t.model.FailingCells(t.mod, a, idle)
+			scratch = t.model.AppendFailingCells(scratch[:0], t.mod, a, idle)
+			if len(scratch) > 0 {
+				fails = append(fails, RowFailure{Addr: a, Cells: append([]int(nil), scratch...)})
+			}
+		}
+		return fails, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Commit pass: sequential, in global row order. The chunk units are
+	// ordered by (bank, row range), so their frozen results concatenate
+	// into scan order and a cursor replaces any per-row index structure.
+	var fails []RowFailure
+	cu, ci := 0, 0 // cursor into frozen[cu][ci]
+	for b := 0; b < g.BanksPerChip; b++ {
+		// dirty marks rows of THIS bank whose frozen verdict may
+		// under-report (physical neighbours never cross banks); nil
+		// until a committed flip actually lands next to a weak cell.
+		var dirty map[int]bool
+		for r := 0; r < g.RowsPerBank; r++ {
+			a := dram.RowAddress{Bank: b, Row: r}
+			var cells []int
+			for cu < len(frozen) && ci >= len(frozen[cu]) {
+				cu, ci = cu+1, 0
+			}
+			if cu < len(frozen) && frozen[cu][ci].Addr == a {
+				cells = frozen[cu][ci].Cells
+				ci++
+			}
+			if dirty[r] {
+				// An earlier committed flip may have added stress here;
+				// the frozen verdict can under-report, never over-report.
+				cells = t.model.FailingCells(t.mod, a, t.mod.IdleTime(a, t.now))
+			}
 			if len(cells) > 0 {
 				t.mod.ApplyFlips(a, cells)
 				fails = append(fails, RowFailure{Addr: a, Cells: cells})
@@ -246,11 +321,22 @@ func (t *Tester) ReadBack() []RowFailure {
 						Aux:  int64(len(cells)),
 					})
 				}
+				for _, nb := range t.model.AffectedNeighborRows(a, cells) {
+					// Rows at or before the scan cursor were evaluated
+					// before these flips existed, exactly as a
+					// sequential scan would have.
+					if nb.Row > r {
+						if dirty == nil {
+							dirty = make(map[int]bool)
+						}
+						dirty[nb.Row] = true
+					}
+				}
 			}
 			t.mod.Activate(a, t.now)
 		}
 	}
-	return fails
+	return fails, nil
 }
 
 // TestRow checks a single row for failures after its current idle time
@@ -296,17 +382,24 @@ func (t *Tester) FailingRowFraction(image []dram.Row, idle dram.Nanoseconds) (fl
 // data pattern at the given idle time — the exhaustive-testing
 // denominator (ALL FAIL in Fig. 4).
 func (t *Tester) AllFailFraction(idle dram.Nanoseconds) float64 {
-	return t.AllFailFractionParallel(context.Background(), idle, 1)
+	frac, err := t.AllFailFractionParallel(context.Background(), idle, 1)
+	if err != nil {
+		// A background context cannot be cancelled, so only a worker
+		// panic (repackaged by parallel.Map) lands here.
+		panic(err)
+	}
+	return frac
 }
 
 // AllFailFractionParallel is AllFailFraction fanned out over up to
 // `workers` goroutines (values below 1 select GOMAXPROCS). RowCanFail
-// only reads the fault model, which Preload makes immutable, so the
-// row scan shards into contiguous row ranges per bank; the total is a
-// count, identical for any worker count.
-func (t *Tester) AllFailFractionParallel(ctx context.Context, idle dram.Nanoseconds, workers int) float64 {
+// only reads the immutable fault model, so the row scan shards into
+// contiguous row ranges per bank; the total is a count, identical for
+// any worker count. A cancelled context surfaces as a non-nil error —
+// never as a silent zero fraction, which would be indistinguishable
+// from "no weak rows".
+func (t *Tester) AllFailFractionParallel(ctx context.Context, idle dram.Nanoseconds, workers int) (float64, error) {
 	g := t.mod.Geometry()
-	t.model.Preload()
 	counts, err := parallel.Map(ctx, g.BanksPerChip*chunksPerBank, workers, func(u int) (int, error) {
 		b := u / chunksPerBank
 		lo, hi := chunkBounds(g.RowsPerBank, u%chunksPerBank)
@@ -326,14 +419,14 @@ func (t *Tester) AllFailFractionParallel(ctx context.Context, idle dram.Nanoseco
 		}
 		return fails, nil
 	})
-	if err != nil { // only context cancellation can land here
-		return 0
+	if err != nil {
+		return 0, err
 	}
 	fails := 0
 	for _, c := range counts {
 		fails += c
 	}
-	return float64(fails) / float64(g.TotalRows())
+	return float64(fails) / float64(g.TotalRows()), nil
 }
 
 // chunksPerBank splits each bank's row scan so a handful of banks still

@@ -1,11 +1,15 @@
 package softmc
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"memcon/internal/dram"
 	"memcon/internal/faults"
+	"memcon/internal/obs"
 )
 
 func testGeometry() dram.Geometry {
@@ -270,5 +274,211 @@ func TestTestRowDoesNotMutate(t *testing.T) {
 	again := tester.TestRow(addr)
 	if len(again) != len(cells) {
 		t.Errorf("TestRow mutated state: first %v then %v", cells, again)
+	}
+}
+
+func TestWalkingPatternOffsetNormalization(t *testing.T) {
+	// The shift and the name must agree on the normalized offset for
+	// negative and >= 64 inputs (the old code shifted by uint(offset)%64
+	// but named the pattern with the signed remainder).
+	cases := []struct {
+		offset  int
+		wantBit int
+	}{
+		{0, 0},
+		{3, 3},
+		{63, 63},
+		{64, 0},
+		{72, 8},
+		{-1, 63},
+		{-8, 56},
+		{-64, 0},
+		{-65, 63},
+	}
+	for _, c := range cases {
+		p := WalkingPattern(1, c.offset)
+		wantName := fmt.Sprintf("walk1-%d", c.wantBit)
+		if p.Name != wantName {
+			t.Errorf("WalkingPattern(1, %d).Name = %q, want %q", c.offset, p.Name, wantName)
+		}
+		row := dram.NewRow(64)
+		p.Fill(row, 0)
+		if row.OnesCount() != 1 || row.Bit(c.wantBit) != 1 {
+			t.Errorf("WalkingPattern(1, %d) set bits %v, want only bit %d", c.offset, row, c.wantBit)
+		}
+		p0 := WalkingPattern(0, c.offset)
+		wantName0 := fmt.Sprintf("walk0-%d", c.wantBit)
+		if p0.Name != wantName0 {
+			t.Errorf("WalkingPattern(0, %d).Name = %q, want %q", c.offset, p0.Name, wantName0)
+		}
+		p0.Fill(row, 0)
+		if row.OnesCount() != 63 || row.Bit(c.wantBit) != 0 {
+			t.Errorf("WalkingPattern(0, %d) cleared wrong bit, want only bit %d clear", c.offset, c.wantBit)
+		}
+	}
+}
+
+func TestAllFailFractionParallelCancelled(t *testing.T) {
+	tester := newTester(t, 17, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	frac, err := tester.AllFailFractionParallel(ctx, faults.CharacterizationIdle, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled scan returned err = %v, want context.Canceled", err)
+	}
+	if frac != 0 {
+		t.Errorf("cancelled scan returned fraction %v alongside the error", frac)
+	}
+	// The same tester must still produce the real answer afterwards.
+	good, err := tester.AllFailFractionParallel(context.Background(), faults.CharacterizationIdle, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good <= 0 {
+		t.Error("AllFailFraction is zero; default calibration should make some rows vulnerable")
+	}
+}
+
+func TestReadBackParallelCancelled(t *testing.T) {
+	tester := newTester(t, 17, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tester.ReadBackParallel(ctx, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled read-back returned err = %v, want context.Canceled", err)
+	}
+}
+
+// sequentialReadBack is the seed implementation of ReadBack — a strict
+// commit-as-you-go scan — kept as the oracle for the parallel path.
+func sequentialReadBack(t *Tester) []RowFailure {
+	g := t.mod.Geometry()
+	var fails []RowFailure
+	for b := 0; b < g.BanksPerChip; b++ {
+		for r := 0; r < g.RowsPerBank; r++ {
+			a := dram.RowAddress{Bank: b, Row: r}
+			idle := t.mod.IdleTime(a, t.now)
+			cells := t.model.FailingCells(t.mod, a, idle)
+			if len(cells) > 0 {
+				t.mod.ApplyFlips(a, cells)
+				fails = append(fails, RowFailure{Addr: a, Cells: cells})
+			}
+			t.mod.Activate(a, t.now)
+		}
+	}
+	return fails
+}
+
+func moduleSnapshot(t *testing.T, mod *dram.Module) []dram.Row {
+	t.Helper()
+	g := mod.Geometry()
+	rows := make([]dram.Row, g.TotalRows())
+	for b := 0; b < g.BanksPerChip; b++ {
+		for r := 0; r < g.RowsPerBank; r++ {
+			a := dram.RowAddress{Bank: b, Row: r}
+			row, err := mod.PeekRow(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows[g.RowIndex(a)] = row
+		}
+	}
+	return rows
+}
+
+func equalFailures(a, b []RowFailure) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Addr != b[i].Addr || len(a[i].Cells) != len(b[i].Cells) {
+			return false
+		}
+		for j := range a[i].Cells {
+			if a[i].Cells[j] != b[i].Cells[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestReadBackParallelMatchesSequential is the differential test for the
+// sharded read-back: at every worker count the failure list AND the
+// post-scan module content must be byte-identical to the seed's strictly
+// sequential commit-as-you-go scan. The weak-cell population is dense
+// enough that physically adjacent weak cells occur, exercising the
+// dirty-row re-evaluation in the commit pass.
+func TestReadBackParallelMatchesSequential(t *testing.T) {
+	const weakFraction = 2e-2
+	idle := 2 * faults.CharacterizationIdle
+	prep := func(seed uint64, p Pattern) *Tester {
+		tester := newTester(t, seed, weakFraction)
+		if err := tester.FillPattern(p); err != nil {
+			t.Fatal(err)
+		}
+		tester.Idle(idle)
+		return tester
+	}
+	for _, seed := range []uint64{5, 23} {
+		for _, p := range []Pattern{CheckerboardPattern(0), RandomPattern(int64(seed))} {
+			refTester := prep(seed, p)
+			want := sequentialReadBack(refTester)
+			wantContent := moduleSnapshot(t, refTester.mod)
+			if len(want) == 0 {
+				t.Fatalf("seed %d pattern %s: oracle found no failures; test has no teeth", seed, p.Name)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				tester := prep(seed, p)
+				got, err := tester.ReadBackParallel(context.Background(), workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !equalFailures(got, want) {
+					t.Fatalf("seed %d pattern %s workers %d: failure list diverges from sequential scan (%d vs %d rows)",
+						seed, p.Name, workers, len(got), len(want))
+				}
+				gotContent := moduleSnapshot(t, tester.mod)
+				for i := range wantContent {
+					if !gotContent[i].Equal(wantContent[i]) {
+						t.Fatalf("seed %d pattern %s workers %d: module content diverges at row index %d",
+							seed, p.Name, workers, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReadBackEventsOrderedAcrossWorkers pins the observer contract: the
+// KindRowFailure event stream is emitted from the sequential commit pass
+// in scan order, identical at every worker count.
+func TestReadBackEventsOrderedAcrossWorkers(t *testing.T) {
+	idle := 2 * faults.CharacterizationIdle
+	run := func(workers int) []obs.Event {
+		tester := newTester(t, 5, 2e-2)
+		rec := &obs.Recorder{}
+		tester.SetObserver(rec)
+		tester.SetParallelism(workers)
+		if err := tester.FillPattern(CheckerboardPattern(0)); err != nil {
+			t.Fatal(err)
+		}
+		tester.Idle(idle)
+		tester.ReadBack()
+		return rec.Events()
+	}
+	want := run(1)
+	if len(want) == 0 {
+		t.Fatal("no events recorded; test has no teeth")
+	}
+	for _, workers := range []int{4, 8} {
+		got := run(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers %d: %d events, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers %d: event %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
 	}
 }

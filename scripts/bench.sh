@@ -1,0 +1,52 @@
+#!/bin/sh
+# bench.sh — regenerate BENCH_hotpath.json, the before/after evidence
+# for the flat-array fault-model kernel and the parallel ReadBack path.
+#
+# Runs BenchmarkFailingCells and BenchmarkReadBack (workers 1/4/8) on
+# the default geometry and rewrites BENCH_hotpath.json. The "baseline"
+# block is pinned to the numbers measured at commit 41aed67 (map-based
+# lazy fault model, sequential commit-as-you-go ReadBack) on the same
+# machine class; re-measure it by checking out that commit and running
+# these benchmarks there.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=$(go test -run '^$' -bench 'BenchmarkFailingCells|BenchmarkReadBack' \
+	-benchmem -benchtime=2s .)
+echo "$out"
+
+echo "$out" | awk '
+function emit(name, line,    f) {
+	split(line, f, /[ \t]+/)
+	# fields: name iters ns/op "ns/op" B/op "B/op" allocs/op "allocs/op"
+	printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+		name, f[3], f[5], f[7]
+}
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^go/ { }
+/^BenchmarkFailingCells/        { fc = $0 }
+/^BenchmarkReadBack\/workers-1/ { rb1 = $0 }
+/^BenchmarkReadBack\/workers-4/ { rb4 = $0 }
+/^BenchmarkReadBack\/workers-8/ { rb8 = $0 }
+END {
+	print "{"
+	print "  \"benchmarks\": \"go test -run ^$ -bench BenchmarkFailingCells|BenchmarkReadBack -benchmem -benchtime=2s .\","
+	print "  \"geometry\": \"DefaultGeometry (1 rank, 8 chips, 8 banks, 4096x1024, 32 redundant cols)\","
+	print "  \"baseline\": {"
+	print "    \"commit\": \"41aed67\","
+	print "    \"cpu\": \"Intel(R) Xeon(R) Processor @ 2.10GHz (1 core)\","
+	print "    \"BenchmarkFailingCells\": {\"ns_per_op\": 106.5, \"bytes_per_op\": 0, \"allocs_per_op\": 0},"
+	print "    \"BenchmarkReadBack/workers-1\": {\"ns_per_op\": 3475589, \"bytes_per_op\": 169072, \"allocs_per_op\": 1690}"
+	print "  },"
+	print "  \"after\": {"
+	printf "    \"cpu\": \"%s\",\n", cpu
+	emit("BenchmarkFailingCells", fc); printf ",\n"
+	emit("BenchmarkReadBack/workers-1", rb1); printf ",\n"
+	emit("BenchmarkReadBack/workers-4", rb4); printf ",\n"
+	emit("BenchmarkReadBack/workers-8", rb8); printf "\n"
+	print "  }"
+	print "}"
+}' >BENCH_hotpath.json
+
+echo "bench: BENCH_hotpath.json updated"

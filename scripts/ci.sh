@@ -7,7 +7,9 @@
 #   4. the full test suite passes,
 #   5. the suite also passes under the race detector (-short trims the
 #      slowest golden sweeps; they already ran race-free in step 4's
-#      process because the experiment sweeps are parallel by default).
+#      process because the experiment sweeps are parallel by default),
+#   6. the hot-path benchmarks still run (single iteration smoke; see
+#      scripts/bench.sh for real measurements).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -31,5 +33,12 @@ go test ./...
 
 echo "== go test -race -short ./... =="
 go test -race -short ./...
+
+# Smoke-run the hot-path benchmarks (one iteration each): catches
+# compile or runtime breakage in the bench harness without spending
+# CI time on stable measurements. Real numbers come from
+# scripts/bench.sh, which rewrites BENCH_hotpath.json.
+echo "== bench smoke =="
+go test -run '^$' -bench 'BenchmarkReadBack|BenchmarkFailingCells' -benchtime=1x .
 
 echo "ci: all checks passed"
