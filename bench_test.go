@@ -9,6 +9,7 @@
 package memcon
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -607,4 +608,121 @@ type countingWriter struct{ n int64 }
 func (w *countingWriter) Write(p []byte) (int, error) {
 	w.n += int64(len(p))
 	return len(p), nil
+}
+
+// --- Engine hot-loop benchmarks (recorded in BENCH_engine.json) ---
+
+// benchSystemTrace builds a small deterministic trace confined to the
+// given page space, for full-silicon System runs.
+func benchSystemTrace(pages int) *trace.Trace {
+	rng := rand.New(rand.NewSource(42))
+	tr := &trace.Trace{Name: "bench-system"}
+	at := trace.Microseconds(0)
+	for i := 0; i < 20_000; i++ {
+		at += trace.Microseconds(rng.Intn(400) + 10)
+		tr.Events = append(tr.Events, trace.Event{Page: uint32(rng.Intn(pages)), At: at})
+	}
+	tr.Duration = at + trace.Second
+	return tr
+}
+
+// BenchmarkEngineRun is the end-to-end engine benchmark scripts/bench.sh
+// records in BENCH_engine.json:
+//
+//   - accounting: fresh engine per run on the Netflix trace — the
+//     figure-generation path (compare BenchmarkEngineObserverDisabled
+//     at the pre-flat-state baseline).
+//   - steady: one engine recycled with Reset between runs — the sweep
+//     path; must be allocation-free after warm-up.
+//   - stream: the same trace replayed from in-memory compact bytes
+//     through trace.Stream, pricing the streaming decode on top of the
+//     engine loop.
+//   - system: full-silicon mode (module + fault model + online tests)
+//     on a small geometry.
+func BenchmarkEngineRun(b *testing.B) {
+	tr := benchTrace(b)
+	events := float64(len(tr.Events))
+
+	b.Run("accounting", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.RunWith(tr, core.DefaultConfig()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(events, "events/op")
+	})
+
+	b.Run("steady", func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		if max := tr.MaxPage(); max >= cfg.NumPages {
+			cfg.NumPages = max + 1
+		}
+		e, err := core.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(tr); err != nil { // warm internal buffers
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Reset()
+			if _, err := e.Run(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(events, "events/op")
+	})
+
+	b.Run("stream", func(b *testing.B) {
+		var buf bytes.Buffer
+		if err := tr.WriteCompact(&buf); err != nil {
+			b.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		if max := tr.MaxPage(); max >= cfg.NumPages {
+			cfg.NumPages = max + 1
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s, err := trace.NewStream(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.RunSource(nil, s, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(buf.Len()))
+		b.ReportMetric(events, "events/op")
+	})
+
+	b.Run("system", func(b *testing.B) {
+		geom := dram.Geometry{Ranks: 1, ChipsPerRank: 1, BanksPerChip: 2, RowsPerBank: 256, ColsPerRow: 512, RedundantCols: 16}
+		scr := dram.NewScrambler(geom, 42, nil)
+		model, err := faults.NewModel(geom, scr, 42, faults.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mod, err := dram.NewModule(geom)
+		if err != nil {
+			b.Fatal(err)
+		}
+		str := benchSystemTrace(geom.TotalRows())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys, err := core.NewSystem(core.DefaultConfig(), mod, model)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.Run(str); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(str.Events)), "events/op")
+	})
 }

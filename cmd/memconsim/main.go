@@ -7,6 +7,11 @@
 //	memconsim -list
 //	memconsim -exp fig14 [-scale 0.5] [-seed 42] [-parallel 4]
 //	memconsim -all [-scale 0.2]
+//	memconsim -replay trace.bin
+//
+// -replay runs a tracegen-written trace file through the MEMCON engine:
+// compact (v2) files stream at I/O speed with O(pages) memory, v1 files
+// are materialized; the printed report is identical either way.
 //
 // Performance experiments (fig15, fig16, table3) additionally honour
 // -simtime and -mixes. -parallel bounds the worker pool used inside
@@ -26,6 +31,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -36,9 +42,11 @@ import (
 	"strings"
 	"syscall"
 
+	"memcon/internal/core"
 	"memcon/internal/experiments"
 	"memcon/internal/obs"
 	"memcon/internal/parallel"
+	"memcon/internal/trace"
 )
 
 func main() {
@@ -70,6 +78,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		mixes    = fs.Int("mixes", 30, "multiprogrammed mixes for performance runs")
 		csvOut   = fs.Bool("csv", false, "emit CSV instead of the text table (series experiments)")
 		nworkers = fs.Int("parallel", runtime.NumCPU(), "worker count for experiment sweeps (results are identical for any value)")
+		replay   = fs.String("replay", "", "replay a trace file (tracegen output, v1 or compact) through the MEMCON engine and print its report")
 		metrics  = fs.String("metrics", "", `write aggregated run metrics to this file ("-" for stdout)`)
 		mformat  = fs.String("metrics-format", "json", "metrics output format: json, prom, or table")
 		pprofOn  = fs.String("pprof", "", "serve net/http/pprof on this address while running (e.g. localhost:6060)")
@@ -136,9 +145,11 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 			return runAll(opts.Ctx, out, opts, *csvOut)
 		case *exp != "":
 			return runOne(out, *exp, opts, *csvOut)
+		case *replay != "":
+			return runReplay(opts.Ctx, out, *replay)
 		default:
 			fs.Usage()
-			return fmt.Errorf("one of -list, -exp, or -all is required")
+			return fmt.Errorf("one of -list, -exp, -all, or -replay is required")
 		}
 	}()
 	if runErr != nil {
@@ -149,6 +160,60 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		pool.ExportTo(reg)
 		return writeMetrics(*metrics, out, reg, format)
 	}
+	return nil
+}
+
+// runReplay replays a trace file through the MEMCON engine under the
+// default configuration and prints the deterministic report summary.
+// Compact (v2) files replay through trace.Stream without materializing
+// the event slice — O(pages) memory at I/O speed; v1 files are
+// materialized. Both paths print the identical summary for the same
+// logical trace.
+func runReplay(ctx context.Context, out io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	format, err := trace.DetectFormat(br)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	var name string
+	var rep core.Report
+	switch format {
+	case trace.FormatCompact:
+		s, err := trace.NewStream(br)
+		if err != nil {
+			return err
+		}
+		name = s.Name()
+		if rep, err = core.RunSource(ctx, s, cfg); err != nil {
+			return err
+		}
+	case trace.FormatV1:
+		tr, err := trace.Read(br)
+		if err != nil {
+			return err
+		}
+		name = tr.Name
+		if rep, err = core.RunContext(ctx, tr, cfg); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%s: not a trace file (unknown magic)", path)
+	}
+	fmt.Fprintf(out, "trace %s: %d writes over %.2f s, %d pages\n",
+		name, rep.Pril.Writes, float64(rep.Duration)/float64(trace.Second), rep.Pages)
+	fmt.Fprintf(out, "  refresh reduction   %.4f (upper bound %.4f)\n",
+		rep.RefreshReduction(), rep.UpperBoundReduction())
+	fmt.Fprintf(out, "  lo-ref coverage     %.4f\n", rep.LoRefCoverage())
+	fmt.Fprintf(out, "  tests               started %d, completed %d, aborted %d\n",
+		rep.TestsStarted, rep.TestsCompleted, rep.TestsAborted)
+	fmt.Fprintf(out, "  predictions         %d (correct %d, mispredicted %d)\n",
+		rep.Pril.Predictions, rep.CorrectTests, rep.MispredictedTests)
 	return nil
 }
 

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"memcon/internal/workload"
+)
+
+// writeReplayTraces generates one small workload trace and writes it
+// in both on-disk formats, returning the two paths.
+func writeReplayTraces(t *testing.T) (v1Path, compactPath string) {
+	t.Helper()
+	spec, err := workload.AppByName("BlurMotion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := spec.Generate(7, 0.02)
+	dir := t.TempDir()
+	v1Path = filepath.Join(dir, "v1.trace")
+	compactPath = filepath.Join(dir, "v2.trace")
+	for path, write := range map[string]func(io.Writer) error{
+		v1Path:      tr.Write,
+		compactPath: tr.WriteCompact,
+	} {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := write(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v1Path, compactPath
+}
+
+// TestReplayFormatsAgree pins the streaming path against the
+// materializing one end to end: replaying the same logical trace from
+// a v1 file and a compact file must print byte-identical reports.
+func TestReplayFormatsAgree(t *testing.T) {
+	v1Path, compactPath := writeReplayTraces(t)
+	var v1Out, v2Out strings.Builder
+	if err := run([]string{"-replay", v1Path}, &v1Out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-replay", compactPath}, &v2Out); err != nil {
+		t.Fatal(err)
+	}
+	if v1Out.String() != v2Out.String() {
+		t.Fatalf("replay reports differ between formats:\n--- v1 ---\n%s--- compact ---\n%s",
+			v1Out.String(), v2Out.String())
+	}
+	for _, want := range []string{"BlurMotion", "refresh reduction", "lo-ref coverage", "predictions"} {
+		if !strings.Contains(v1Out.String(), want) {
+			t.Errorf("replay report missing %q:\n%s", want, v1Out.String())
+		}
+	}
+}
+
+func TestReplayRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk")
+	if err := os.WriteFile(path, []byte("this is not a trace file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-replay", path}, &out); err == nil {
+		t.Error("garbage file accepted by -replay")
+	}
+	if err := run([]string{"-replay", filepath.Join(dir, "missing")}, &out); err == nil {
+		t.Error("missing file accepted by -replay")
+	}
+}
+
+// TestReplayTruncatedCompact checks the positioned decode error
+// reaches the CLI user instead of a silent short report.
+func TestReplayTruncatedCompact(t *testing.T) {
+	_, compactPath := writeReplayTraces(t)
+	raw, err := os.ReadFile(compactPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncPath := compactPath + ".trunc"
+	if err := os.WriteFile(truncPath, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err = run([]string{"-replay", truncPath}, &out)
+	if err == nil {
+		t.Fatal("truncated compact trace accepted")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error %q does not carry the decode position", err)
+	}
+}

@@ -5,9 +5,15 @@
 //	tracegen -list
 //	tracegen -app Netflix -out netflix.trace [-scale 1.0] [-seed 1] [-compact] [-reads]
 //	tracegen -inspect netflix.trace
+//	tracegen -head 10 netflix.trace
+//
+// -head streams the first N events of a trace file without
+// materializing it — compact (v2) files decode incrementally, so
+// peeking at a multi-GB trace touches only its leading bytes.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -38,6 +44,7 @@ func run(args []string, out io.Writer) error {
 		seed    = fs.Int64("seed", 1, "random seed")
 		compact = fs.Bool("compact", false, "write the delta/varint v2 format")
 		reads   = fs.Bool("reads", false, "generate the READ trace instead of writes")
+		head    = fs.Int("head", 0, "print the first N events of the trace file argument (streams; no materialization)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,23 +93,68 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("opening %s: %w", *inspect, err)
 		}
 		defer f.Close()
-		tr, err := trace.Read(f)
+		tr, err := trace.ReadAuto(f)
 		if err != nil {
-			// Fall back to the compact v2 format.
-			if _, serr := f.Seek(0, 0); serr != nil {
-				return fmt.Errorf("rewinding %s: %w", *inspect, serr)
-			}
-			tr, err = trace.ReadCompact(f)
-			if err != nil {
-				return fmt.Errorf("reading trace (both formats): %w", err)
-			}
+			return fmt.Errorf("reading trace: %w", err)
 		}
 		describe(out, tr)
 		return nil
+	case *head > 0:
+		if fs.NArg() != 1 {
+			return fmt.Errorf("-head needs exactly one trace file argument")
+		}
+		return printHead(out, fs.Arg(0), *head)
 	default:
 		fs.Usage()
-		return fmt.Errorf("one of -list, -app, or -inspect is required")
+		return fmt.Errorf("one of -list, -app, -inspect, or -head is required")
 	}
+}
+
+// printHead prints the first n events of a trace file. Compact files
+// decode through trace.Stream, so only the leading bytes are read; v1
+// files are materialized (their fixed-width layout is cheap anyway).
+func printHead(out io.Writer, path string, n int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("opening %s: %w", path, err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	format, err := trace.DetectFormat(br)
+	if err != nil {
+		return err
+	}
+	var src trace.Source
+	var total int
+	switch format {
+	case trace.FormatCompact:
+		s, err := trace.NewStream(br)
+		if err != nil {
+			return err
+		}
+		src, total = s, int(s.Events())
+	case trace.FormatV1:
+		tr, err := trace.Read(br)
+		if err != nil {
+			return err
+		}
+		src, total = tr.Source(), len(tr.Events)
+	default:
+		return fmt.Errorf("%s: not a trace file (unknown magic)", path)
+	}
+	fmt.Fprintf(out, "trace %q: %.1f s, %d events\n",
+		src.Name(), float64(src.Duration())/float64(trace.Second), total)
+	for i := 0; i < n; i++ {
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%10d µs  page %d\n", ev.At, ev.Page)
+	}
+	return nil
 }
 
 func describe(out io.Writer, tr *trace.Trace) {

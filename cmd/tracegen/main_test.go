@@ -69,3 +69,38 @@ func TestErrors(t *testing.T) {
 		t.Error("empty invocation accepted")
 	}
 }
+
+func TestHeadStreamsCompact(t *testing.T) {
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "v1.trace")
+	v2 := filepath.Join(dir, "v2.trace")
+	var out strings.Builder
+	if err := run([]string{"-app", "BlurMotion", "-scale", "0.02", "-out", v1}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-app", "BlurMotion", "-scale", "0.02", "-compact", "-out", v2}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var h1, h2 strings.Builder
+	if err := run([]string{"-head", "5", v1}, &h1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-head", "5", v2}, &h2); err != nil {
+		t.Fatal(err)
+	}
+	if h1.String() != h2.String() {
+		t.Fatalf("-head differs between formats:\n--- v1 ---\n%s--- compact ---\n%s", h1.String(), h2.String())
+	}
+	if got := strings.Count(h1.String(), "page "); got != 5 {
+		t.Errorf("-head 5 printed %d events:\n%s", got, h1.String())
+	}
+	if !strings.Contains(h1.String(), "BlurMotion") {
+		t.Errorf("-head missing trace header:\n%s", h1.String())
+	}
+	if err := run([]string{"-head", "5"}, &h1); err == nil {
+		t.Error("-head without a file argument accepted")
+	}
+	if err := run([]string{"-head", "5", v1, v2}, &h1); err == nil {
+		t.Error("-head with two file arguments accepted")
+	}
+}

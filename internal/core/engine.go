@@ -24,6 +24,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"memcon/internal/costmodel"
@@ -216,17 +217,26 @@ func lessPendingTest(a, b pendingTest) bool {
 	return a.seq < b.seq
 }
 
-// pageState tracks MEMCON's view of one page/row.
+// pageState tracks MEMCON's view of one page/row. Entries are
+// epoch-stamped: an entry whose epoch differs from the engine's is
+// logically in the initial state (HI-REF, no test, no history), so
+// Reset invalidates the whole array in O(1) by bumping the engine
+// epoch, and stateOf normalizes stale entries lazily on first touch.
 type pageState struct {
+	// epoch is the engine epoch this entry was last written under.
+	epoch uint32
 	// loRef is true while the row runs at the relaxed rate.
 	loRef bool
-	// loSince is when the row entered LO-REF (valid when loRef).
-	loSince trace.Microseconds
 	// testing is true while a test is in flight.
 	testing bool
+	// loSince is when the row entered LO-REF (valid when loRef).
+	loSince trace.Microseconds
 	// testedAt is the completion time of the last clean test (for
 	// misprediction accounting); negative when unset.
 	testedAt trace.Microseconds
+	// lastWrite is the page's previous write time (-1 before the first
+	// write), feeding the write-interval observability payload.
+	lastWrite trace.Microseconds
 }
 
 // Engine is the trace-driven MEMCON engine.
@@ -235,6 +245,7 @@ type Engine struct {
 	tester   Tester
 	pred     *pril.Predictor
 	pages    []pageState
+	epoch    uint32
 	tests    pqueue[pendingTest]
 	seq      uint64
 	mwi      dram.Nanoseconds
@@ -249,10 +260,6 @@ type Engine struct {
 	// clock supplies wall time for the run-duration event; injectable
 	// for deterministic tests. Only consulted when obs is set.
 	clock func() time.Time
-	// lastWrite tracks each page's previous write time (µs, -1 before
-	// the first write) for the write-interval event payload. Only
-	// allocated when obs is set.
-	lastWrite []trace.Microseconds
 }
 
 // engineOptions collects the optional engine dependencies.
@@ -332,26 +339,82 @@ func New(cfg Config, opts ...EngineOption) (*Engine, error) {
 		tester:   eo.tester,
 		pred:     pred,
 		pages:    make([]pageState, cfg.NumPages),
+		epoch:    1, // zero-valued entries carry epoch 0, i.e. stale
 		tests:    newPQueue(lessPendingTest),
 		mwi:      mwi,
 		testCost: cfg.costConfig().TestCost(),
 		obs:      eo.obs,
 		clock:    eo.clock,
 	}
-	for i := range e.pages {
-		e.pages[i].testedAt = -1
-	}
 	if e.obs != nil {
-		e.lastWrite = make([]trace.Microseconds, cfg.NumPages)
-		for i := range e.lastWrite {
-			e.lastWrite[i] = -1
-		}
 		pred.SetObserver(e.obs)
 	}
 	e.rep.Pages = cfg.NumPages
 	e.rep.MinWriteInterval = mwi
 	pred.OnPredict(e.onPredict)
 	return e, nil
+}
+
+// stateOf returns the current-epoch state for page, normalizing an
+// entry left stale by Reset (or never touched since New) to the
+// initial state.
+func (e *Engine) stateOf(page uint32) *pageState {
+	st := &e.pages[page]
+	if st.epoch != e.epoch {
+		*st = pageState{epoch: e.epoch, testedAt: -1, lastWrite: -1}
+	}
+	return st
+}
+
+// pageStatus reports whether page currently runs at LO-REF and whether
+// a test is in flight, without materializing state: stale-epoch (or
+// out-of-range) entries read as the initial HI-REF/idle state. It is
+// the read-only probe System uses on its neighbour-retest and audit
+// paths.
+func (e *Engine) pageStatus(page uint32) (loRef, testing bool) {
+	if int(page) >= len(e.pages) {
+		return false, false
+	}
+	st := &e.pages[page]
+	if st.epoch != e.epoch {
+		return false, false
+	}
+	return st.loRef, st.testing
+}
+
+// grow extends the engine's page space to at least pages, preserving
+// all state; the streaming replay calls it as the source reveals its
+// page space. New entries arrive stale and normalize on first touch.
+func (e *Engine) grow(pages int) {
+	if pages <= len(e.pages) {
+		return
+	}
+	e.pages = append(e.pages, make([]pageState, pages-len(e.pages))...)
+	e.pred.Grow(pages)
+	e.cfg.NumPages = pages
+	e.rep.Pages = pages
+}
+
+// Reset returns the engine to its initial state while keeping every
+// allocation: the page array is invalidated in O(1) by bumping the
+// epoch (stale entries normalize lazily), the test queue keeps its
+// backing array, and the predictor resets in place. One engine can
+// replay trace after trace with zero steady-state allocations.
+func (e *Engine) Reset() {
+	e.epoch++
+	if e.epoch == 0 {
+		// The 32-bit epoch wrapped: old stamps would be ambiguous, so
+		// pay one eager clear and restart at epoch 1.
+		for i := range e.pages {
+			e.pages[i] = pageState{}
+		}
+		e.epoch = 1
+	}
+	e.tests.Reset()
+	e.seq = 0
+	e.now = 0
+	e.rep = Report{Pages: e.cfg.NumPages, MinWriteInterval: e.mwi}
+	e.pred.Reset()
 }
 
 // NewEngine builds an engine over the configuration and tester. A nil
@@ -366,7 +429,7 @@ func NewEngine(cfg Config, tester Tester) (*Engine, error) {
 // test occupies one LO-REF window (the row is deliberately kept idle so
 // victims are tested at lowest charge, §3.2).
 func (e *Engine) onPredict(page uint32, at trace.Microseconds) {
-	st := &e.pages[page]
+	st := e.stateOf(page)
 	if st.testing || st.loRef {
 		return // already under test or already relaxed
 	}
@@ -390,7 +453,7 @@ func (e *Engine) schedule(page uint32, _ trace.Microseconds, done trace.Microsec
 func (e *Engine) drainTests(now trace.Microseconds) {
 	for e.tests.Len() > 0 && e.tests.Peek().done <= now {
 		t := e.tests.Pop()
-		st := &e.pages[t.page]
+		st := e.stateOf(t.page)
 		if !st.testing {
 			continue // aborted by an intervening write
 		}
@@ -433,16 +496,16 @@ func (e *Engine) Observe(ev trace.Event) error {
 	e.drainTests(ev.At)
 	e.now = ev.At
 
+	st := e.stateOf(ev.Page)
 	if e.obs != nil {
 		gap := int64(-1)
-		if prev := e.lastWrite[ev.Page]; prev >= 0 {
+		if prev := st.lastWrite; prev >= 0 {
 			gap = int64(ev.At - prev)
 		}
-		e.lastWrite[ev.Page] = ev.At
+		st.lastWrite = ev.At
 		e.obs.OnEvent(obs.Event{Kind: obs.KindWrite, Page: ev.Page, At: int64(ev.At), Aux: gap})
 	}
 
-	st := &e.pages[ev.Page]
 	// A write to an in-test row aborts the test: the content changed.
 	if st.testing {
 		st.testing = false
@@ -489,7 +552,7 @@ func (e *Engine) Retest(page uint32, at trace.Microseconds) error {
 	if at < e.now {
 		return fmt.Errorf("core: retest at %d before engine time %d", at, e.now)
 	}
-	st := &e.pages[page]
+	st := e.stateOf(page)
 	if !st.loRef && !st.testing {
 		st.testedAt = -1
 		return nil
@@ -573,9 +636,13 @@ func (e *Engine) Finish(end trace.Microseconds) (Report, error) {
 	e.now = end
 
 	// Close LO-REF segments and settle outstanding test verdicts: a
-	// page that stayed idle to the end amortized its test.
+	// page that stayed idle to the end amortized its test. Stale-epoch
+	// entries are pages never touched this run — nothing to settle.
 	for i := range e.pages {
 		st := &e.pages[i]
+		if st.epoch != e.epoch {
+			continue
+		}
 		if st.loRef {
 			e.rep.LoRefTime += float64(end - st.loSince)
 			st.loRef = false
@@ -650,4 +717,62 @@ func RunContext(ctx context.Context, tr *trace.Trace, cfg Config, opts ...Engine
 		return Report{}, err
 	}
 	return e.RunContext(ctx, tr)
+}
+
+// RunSource replays a streaming event source through the engine,
+// growing the page space on demand as the source reveals it, so a
+// multi-GB trace replays at I/O speed with O(pages) memory. ctx is
+// checked every ctxCheckStride events; a nil ctx means
+// context.Background(). The run finishes at the source's declared
+// duration.
+func (e *Engine) RunSource(ctx context.Context, src trace.Source) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var start time.Time
+	if e.obs != nil {
+		start = e.clock()
+	}
+	for i := 0; ; i++ {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return Report{}, err
+			}
+		}
+		ev, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Report{}, err
+		}
+		if int(ev.Page) >= len(e.pages) {
+			e.grow(int(ev.Page) + 1)
+		}
+		if err := e.Observe(ev); err != nil {
+			return Report{}, err
+		}
+	}
+	rep, err := e.Finish(src.Duration())
+	if err != nil {
+		return Report{}, err
+	}
+	if e.obs != nil {
+		e.obs.OnEvent(obs.Event{Kind: obs.KindRunDone, At: int64(src.Duration()), Aux: e.clock().Sub(start).Nanoseconds()})
+	}
+	return rep, nil
+}
+
+// RunSource is the streaming batch entry point: the engine starts at
+// cfg.NumPages (a floor; zero means start minimal) and grows as the
+// stream reveals its page space.
+func RunSource(ctx context.Context, src trace.Source, cfg Config, opts ...EngineOption) (Report, error) {
+	if cfg.NumPages <= 0 {
+		cfg.NumPages = 1
+	}
+	e, err := New(cfg, opts...)
+	if err != nil {
+		return Report{}, err
+	}
+	return e.RunSource(ctx, src)
 }

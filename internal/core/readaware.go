@@ -56,7 +56,7 @@ func ReadSkipAnalysis(reads *trace.Trace, interval dram.Nanoseconds) (ReadSkipRe
 	}
 	var rep ReadSkipReport
 	windowsPerPage := float64(reads.Duration) / float64(intervalUs)
-	perPage := reads.WritesPerPage() // per-page event times; reads here
+	perPage := reads.PageWrites() // per-page event times (read-only); reads here
 	for _, times := range perPage {
 		rep.PagesWithReads++
 		rep.Scheduled += windowsPerPage

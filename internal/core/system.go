@@ -32,7 +32,9 @@ func (r randomContent) Content(_ uint32, _ trace.Microseconds, dst dram.Row) {
 type RepeatingContent struct {
 	SilentProb float64
 	rng        *rand.Rand
-	last       map[uint32]dram.Row
+	// last holds each page's previous content, indexed flat by page
+	// (nil row = never written); it grows on demand.
+	last []dram.Row
 }
 
 // NewRepeatingContent builds the source.
@@ -40,18 +42,24 @@ func NewRepeatingContent(silentProb float64, seed int64) *RepeatingContent {
 	return &RepeatingContent{
 		SilentProb: silentProb,
 		rng:        rand.New(rand.NewSource(seed)),
-		last:       make(map[uint32]dram.Row),
 	}
 }
 
 // Content implements ContentSource.
 func (r *RepeatingContent) Content(page uint32, _ trace.Microseconds, dst dram.Row) {
-	if prev, ok := r.last[page]; ok && r.rng.Float64() < r.SilentProb {
+	if int(page) >= len(r.last) {
+		r.last = append(r.last, make([]dram.Row, int(page)+1-len(r.last))...)
+	}
+	if prev := r.last[page]; prev != nil && r.rng.Float64() < r.SilentProb {
 		copy(dst, prev)
 		return
 	}
 	dst.Randomize(r.rng)
-	r.last[page] = dst.Clone()
+	if r.last[page] == nil {
+		r.last[page] = dst.Clone()
+	} else {
+		copy(r.last[page], dst)
+	}
 }
 
 // System runs the MEMCON engine against the full silicon model: a
@@ -99,9 +107,10 @@ type System struct {
 	// spare rows in a manufacturing-screened reliable region — the third
 	// mitigation of the paper's triad (high refresh / ECC / remapping).
 	// A remapped row runs at LO-REF: its content lives in the reliable
-	// spare.
+	// spare. remapped is indexed flat by page over the module's rows;
+	// nil until the mitigation is enabled.
 	remapPolicy *remap.Policy
-	remapped    map[uint32]bool
+	remapped    []bool
 
 	// audit bookkeeping
 	undetected int
@@ -143,8 +152,13 @@ func (s *System) EnableRemapMitigation(sparesPerBank, failThreshold int) error {
 		return err
 	}
 	s.remapPolicy = policy
-	s.remapped = make(map[uint32]bool)
+	s.remapped = make([]bool, s.geom.TotalRows())
 	return nil
+}
+
+// isRemapped reports whether page's content lives in a screened spare.
+func (s *System) isRemapped(page uint32) bool {
+	return int(page) < len(s.remapped) && s.remapped[page]
 }
 
 // RemappedRows returns how many rows the remap mitigation redirected.
@@ -208,7 +222,7 @@ func (s *System) test(page uint32, at trace.Microseconds) bool {
 	if err != nil {
 		return false
 	}
-	if s.remapped[page] {
+	if s.isRemapped(page) {
 		// Already backed by a screened spare: any content is safe there.
 		s.mod.Activate(addr, nsOf(at))
 		if s.obs != nil {
@@ -299,7 +313,7 @@ func (s *System) RunContext(ctx context.Context, tr *trace.Trace) (Report, error
 		if s.neighborRetest {
 			for _, nb := range s.model.NeighborSysRows(addr) {
 				page := uint32(s.geom.RowIndex(nb))
-				if int(page) < len(s.eng.pages) && (s.eng.pages[page].loRef || s.eng.pages[page].testing) {
+				if loRef, testing := s.eng.pageStatus(page); loRef || testing {
 					if err := s.eng.Retest(page, ev.At); err != nil {
 						return Report{}, err
 					}
@@ -331,13 +345,13 @@ func (s *System) RunContext(ctx context.Context, tr *trace.Trace) (Report, error
 // after a clean test of the very same content. A flip under those
 // conditions is an undetected failure and breaks the guarantee.
 func (s *System) auditRow(page uint32, addr dram.RowAddress, now dram.Nanoseconds) {
-	if s.remapped[page] {
+	if s.isRemapped(page) {
 		// The row's content lives in a manufacturing-screened spare; the
 		// faulty physical row is out of service.
 		return
 	}
 	interval := s.cfg.HiRef
-	if int(page) < len(s.eng.pages) && s.eng.pages[page].loRef {
+	if loRef, _ := s.eng.pageStatus(page); loRef {
 		interval = s.cfg.LoRef
 	}
 	// The row is refreshed every `interval`; its content is therefore

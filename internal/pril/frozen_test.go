@@ -1,0 +1,222 @@
+package pril
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"memcon/internal/trace"
+)
+
+// This file freezes the map-based writeBuffer predictor that the
+// bitset/insertion-order rewrite replaced, verbatim except for
+// identifier renames and the removed observer hooks (observer streams
+// are pinned separately by the core snapshot test). The differential
+// test below replays identical traces through both and demands
+// identical predictions and statistics — the rewrite must be a pure
+// representation change.
+
+type frozenWriteBuffer struct {
+	cap     int
+	members map[uint32]struct{}
+	order   []uint32
+}
+
+func newFrozenWriteBuffer(capacity int) *frozenWriteBuffer {
+	return &frozenWriteBuffer{cap: capacity, members: make(map[uint32]struct{})}
+}
+
+func (b *frozenWriteBuffer) add(p uint32) bool {
+	if _, ok := b.members[p]; ok {
+		return true
+	}
+	if b.cap > 0 && len(b.members) >= b.cap {
+		return false
+	}
+	b.members[p] = struct{}{}
+	b.order = append(b.order, p)
+	return true
+}
+
+func (b *frozenWriteBuffer) remove(p uint32) { delete(b.members, p) }
+
+func (b *frozenWriteBuffer) contains(p uint32) bool {
+	_, ok := b.members[p]
+	return ok
+}
+
+func (b *frozenWriteBuffer) drain() []uint32 {
+	out := make([]uint32, 0, len(b.members))
+	for _, p := range b.order {
+		if _, ok := b.members[p]; ok {
+			delete(b.members, p)
+			out = append(out, p)
+		}
+	}
+	b.members = make(map[uint32]struct{})
+	b.order = b.order[:0]
+	return out
+}
+
+func (b *frozenWriteBuffer) len() int { return len(b.members) }
+
+type frozenPredictor struct {
+	cfg Config
+
+	curMap  writeMap
+	prevMap writeMap
+	curBuf  *frozenWriteBuffer
+	prevBuf *frozenWriteBuffer
+
+	quantumStart trace.Microseconds
+	stats        Stats
+
+	onPredict func(page uint32, at trace.Microseconds)
+}
+
+func newFrozenPredictor(cfg Config) (*frozenPredictor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &frozenPredictor{
+		cfg:     cfg,
+		curMap:  newWriteMap(cfg.NumPages),
+		prevMap: newWriteMap(cfg.NumPages),
+		curBuf:  newFrozenWriteBuffer(cfg.BufferCap),
+		prevBuf: newFrozenWriteBuffer(cfg.BufferCap),
+	}, nil
+}
+
+func (p *frozenPredictor) observe(e trace.Event) error {
+	if e.At < p.quantumStart {
+		return fmt.Errorf("pril: event at %d before current quantum start %d", e.At, p.quantumStart)
+	}
+	if int(e.Page) >= p.cfg.NumPages {
+		return fmt.Errorf("pril: page %d outside tracked space of %d pages", e.Page, p.cfg.NumPages)
+	}
+	for e.At >= p.quantumStart+p.cfg.Quantum {
+		p.endQuantum()
+	}
+	p.stats.Writes++
+
+	if !p.curMap.get(e.Page) {
+		p.curMap.set(e.Page)
+		if p.curBuf.add(e.Page) {
+			if p.curBuf.len() > p.stats.PeakBuffer {
+				p.stats.PeakBuffer = p.curBuf.len()
+			}
+		} else {
+			p.stats.Discards++
+		}
+	} else if p.curBuf.contains(e.Page) {
+		p.curBuf.remove(e.Page)
+		p.stats.MultiWriteRemovals++
+	}
+	if p.prevBuf.contains(e.Page) {
+		p.prevBuf.remove(e.Page)
+		p.stats.PrevQuantumRemovals++
+	}
+	return nil
+}
+
+func (p *frozenPredictor) endQuantum() {
+	boundary := p.quantumStart + p.cfg.Quantum
+	for _, page := range p.prevBuf.drain() {
+		p.stats.Predictions++
+		if p.onPredict != nil {
+			p.onPredict(page, boundary)
+		}
+	}
+	p.prevMap.clear()
+	p.prevMap, p.curMap = p.curMap, p.prevMap
+	p.prevBuf, p.curBuf = p.curBuf, p.prevBuf
+	p.quantumStart = boundary
+	p.stats.Quanta++
+}
+
+func (p *frozenPredictor) finish(endTime trace.Microseconds) {
+	for endTime >= p.quantumStart+p.cfg.Quantum {
+		p.endQuantum()
+	}
+}
+
+// diffTrace generates a deterministic trace exercising the PRIL state
+// machine hard: a mix of single-write pages (prediction candidates),
+// burst pages (multi-write removals), pages re-written one quantum
+// later (prev-buffer evictions), and enough distinct pages to overflow
+// small buffer caps.
+func diffTrace(seed int64, pages int, quantum trace.Microseconds, quanta int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{Name: fmt.Sprintf("diff-%d", seed), Duration: quantum * trace.Microseconds(quanta)}
+	for qi := 0; qi < quanta; qi++ {
+		base := quantum * trace.Microseconds(qi)
+		writes := 20 + rng.Intn(200)
+		for i := 0; i < writes; i++ {
+			page := uint32(rng.Intn(pages))
+			at := base + trace.Microseconds(rng.Int63n(int64(quantum)))
+			tr.Events = append(tr.Events, trace.Event{Page: page, At: at})
+			// Occasionally write the same page again in the same or the
+			// next quantum to trigger both eviction paths.
+			if rng.Intn(4) == 0 {
+				again := at + trace.Microseconds(rng.Int63n(int64(quantum)))
+				if again < tr.Duration {
+					tr.Events = append(tr.Events, trace.Event{Page: page, At: again})
+				}
+			}
+		}
+	}
+	tr.Sort()
+	return tr
+}
+
+// TestDifferentialAgainstFrozenPredictor pins the bitset rewrite to the
+// frozen map-based implementation across seeds × quanta × buffer caps.
+func TestDifferentialAgainstFrozenPredictor(t *testing.T) {
+	quanta := []trace.Microseconds{512 * trace.Millisecond, 1024 * trace.Millisecond, 2048 * trace.Millisecond}
+	caps := []int{0, 1, 7, 64, 4000}
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, quantum := range quanta {
+			for _, bufCap := range caps {
+				cfg := Config{Quantum: quantum, NumPages: 512, BufferCap: bufCap}
+				tr := diffTrace(seed, cfg.NumPages, quantum, 9)
+
+				frozen, err := newFrozenPredictor(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var wantPreds []Prediction
+				frozen.onPredict = func(page uint32, at trace.Microseconds) {
+					wantPreds = append(wantPreds, Prediction{Page: page, At: at})
+				}
+				for _, e := range tr.Events {
+					if err := frozen.observe(e); err != nil {
+						t.Fatal(err)
+					}
+				}
+				frozen.finish(tr.Duration)
+
+				gotPreds, gotStats, err := Run(tr, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				name := fmt.Sprintf("seed=%d quantum=%dms cap=%d", seed, quantum/trace.Millisecond, bufCap)
+				if !reflect.DeepEqual(gotPreds, wantPreds) {
+					t.Fatalf("%s: predictions diverge:\n got %d: %v\nwant %d: %v",
+						name, len(gotPreds), head(gotPreds), len(wantPreds), head(wantPreds))
+				}
+				if gotStats != frozen.stats {
+					t.Fatalf("%s: stats diverge:\n got %+v\nwant %+v", name, gotStats, frozen.stats)
+				}
+			}
+		}
+	}
+}
+
+// head truncates a prediction list for readable failure output.
+func head(p []Prediction) []Prediction {
+	if len(p) > 12 {
+		return p[:12]
+	}
+	return p
+}

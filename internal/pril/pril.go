@@ -15,6 +15,7 @@ package pril
 
 import (
 	"fmt"
+	"io"
 
 	"memcon/internal/obs"
 	"memcon/internal/trace"
@@ -54,6 +55,7 @@ type writeMap []uint64
 func newWriteMap(pages int) writeMap { return make(writeMap, (pages+63)/64) }
 
 func (w writeMap) set(p uint32)      { w[p/64] |= 1 << (p % 64) }
+func (w writeMap) unset(p uint32)    { w[p/64] &^= 1 << (p % 64) }
 func (w writeMap) get(p uint32) bool { return w[p/64]&(1<<(p%64)) != 0 }
 func (w writeMap) clear() {
 	for i := range w {
@@ -61,58 +63,69 @@ func (w writeMap) clear() {
 	}
 }
 
+// grown returns the map extended to cover pages, reusing the backing
+// array when it already has capacity.
+func (w writeMap) grown(pages int) writeMap {
+	if need := (pages + 63) / 64; need > len(w) {
+		return append(w, make(writeMap, need-len(w))...)
+	}
+	return w
+}
+
 // writeBuffer stores the addresses of pages written exactly once in a
-// quantum. It preserves insertion order so overflow behaviour — and the
-// order predictions drain in — is deterministic: a hardware CAM drains
-// oldest-first, and the engine's test queue inherits that order.
+// quantum: a presence bitset for O(1) membership plus a compact
+// insertion-order slice, mirroring a hardware CAM that drains
+// oldest-first (the engine's test queue inherits that order). All
+// operations are allocation-free in steady state; drain recycles both
+// the bitset (bits are unset as entries emit, so no O(pages) clear) and
+// the order slice's capacity across quanta.
 type writeBuffer struct {
 	cap     int
-	members map[uint32]struct{}
+	n       int // live entries (order may hold superseded duplicates)
+	present writeMap
 	// order records insertions; entries whose page has since been
 	// removed are skipped (and re-insertions re-appended) at drain.
 	order []uint32
 }
 
-func newWriteBuffer(capacity int) *writeBuffer {
-	return &writeBuffer{cap: capacity, members: make(map[uint32]struct{})}
+func newWriteBuffer(capacity, pages int) *writeBuffer {
+	return &writeBuffer{cap: capacity, present: newWriteMap(pages)}
 }
 
 // add inserts a page; it reports false when the buffer is full.
 func (b *writeBuffer) add(p uint32) bool {
-	if _, ok := b.members[p]; ok {
+	if b.present.get(p) {
 		return true
 	}
-	if b.cap > 0 && len(b.members) >= b.cap {
+	if b.cap > 0 && b.n >= b.cap {
 		return false
 	}
-	b.members[p] = struct{}{}
+	b.present.set(p)
 	b.order = append(b.order, p)
+	b.n++
 	return true
 }
 
-func (b *writeBuffer) remove(p uint32) { delete(b.members, p) }
-
-func (b *writeBuffer) contains(p uint32) bool {
-	_, ok := b.members[p]
-	return ok
-}
-
-func (b *writeBuffer) drain() []uint32 {
-	out := make([]uint32, 0, len(b.members))
-	for _, p := range b.order {
-		if _, ok := b.members[p]; ok {
-			// Deleting as we emit drops the duplicate order entries a
-			// remove-then-re-add sequence leaves behind.
-			delete(b.members, p)
-			out = append(out, p)
-		}
+func (b *writeBuffer) remove(p uint32) {
+	if b.present.get(p) {
+		b.present.unset(p)
+		b.n--
 	}
-	b.members = make(map[uint32]struct{})
-	b.order = b.order[:0]
-	return out
 }
 
-func (b *writeBuffer) len() int { return len(b.members) }
+func (b *writeBuffer) contains(p uint32) bool { return b.present.get(p) }
+
+// reset empties the buffer without emitting, clearing only the bits
+// that are actually set.
+func (b *writeBuffer) reset() {
+	for _, p := range b.order {
+		b.present.unset(p)
+	}
+	b.order = b.order[:0]
+	b.n = 0
+}
+
+func (b *writeBuffer) len() int { return b.n }
 
 // Stats aggregates predictor bookkeeping for the §6.4 evaluation.
 type Stats struct {
@@ -167,9 +180,36 @@ func New(cfg Config) (*Predictor, error) {
 		cfg:     cfg,
 		curMap:  newWriteMap(cfg.NumPages),
 		prevMap: newWriteMap(cfg.NumPages),
-		curBuf:  newWriteBuffer(cfg.BufferCap),
-		prevBuf: newWriteBuffer(cfg.BufferCap),
+		curBuf:  newWriteBuffer(cfg.BufferCap, cfg.NumPages),
+		prevBuf: newWriteBuffer(cfg.BufferCap, cfg.NumPages),
 	}, nil
+}
+
+// Grow extends the tracked page space to at least pages, preserving all
+// predictor state. Streaming replays call it when an event addresses a
+// page beyond the current space; the bitsets grow with amortized
+// doubling through append.
+func (p *Predictor) Grow(pages int) {
+	if pages <= p.cfg.NumPages {
+		return
+	}
+	p.curMap = p.curMap.grown(pages)
+	p.prevMap = p.prevMap.grown(pages)
+	p.curBuf.present = p.curBuf.present.grown(pages)
+	p.prevBuf.present = p.prevBuf.present.grown(pages)
+	p.cfg.NumPages = pages
+}
+
+// Reset returns the predictor to its initial state while keeping every
+// allocation (bitsets, buffer order slices), so one predictor can
+// replay trace after trace without churn.
+func (p *Predictor) Reset() {
+	p.curBuf.reset()
+	p.prevBuf.reset()
+	p.curMap.clear()
+	p.prevMap.clear()
+	p.quantumStart = 0
+	p.stats = Stats{}
 }
 
 // OnPredict installs the callback invoked for every page predicted to
@@ -249,12 +289,23 @@ func (p *Predictor) Observe(e trace.Event) error {
 // then swap buffers and maps.
 func (p *Predictor) endQuantum() {
 	boundary := p.quantumStart + p.cfg.Quantum
-	for _, page := range p.prevBuf.drain() {
+	// Drain oldest-first, inline so the per-quantum path stays
+	// allocation-free: unsetting bits as entries emit both skips the
+	// duplicate order entries a remove-then-re-add sequence leaves
+	// behind and leaves the bitset empty for reuse without a clear.
+	b := p.prevBuf
+	for _, page := range b.order {
+		if !b.present.get(page) {
+			continue
+		}
+		b.present.unset(page)
 		p.stats.Predictions++
 		if p.onPredict != nil {
 			p.onPredict(page, boundary)
 		}
 	}
+	b.order = b.order[:0]
+	b.n = 0
 	p.prevMap.clear()
 	p.prevMap, p.curMap = p.curMap, p.prevMap
 	p.prevBuf, p.curBuf = p.curBuf, p.prevBuf
@@ -297,5 +348,40 @@ func Run(tr *trace.Trace, cfg Config) ([]Prediction, Stats, error) {
 		}
 	}
 	p.Finish(tr.Duration)
+	return preds, p.Stats(), nil
+}
+
+// RunSource replays a streaming event source through a fresh predictor.
+// Unlike Run, the page space is not known up front: cfg.NumPages is
+// only a floor and the predictor grows on demand, so memory stays
+// O(pages) regardless of event count.
+func RunSource(src trace.Source, cfg Config) ([]Prediction, Stats, error) {
+	if cfg.NumPages <= 0 {
+		cfg.NumPages = 1
+	}
+	p, err := New(cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var preds []Prediction
+	p.OnPredict(func(page uint32, at trace.Microseconds) {
+		preds = append(preds, Prediction{Page: page, At: at})
+	})
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		if int(e.Page) >= p.cfg.NumPages {
+			p.Grow(int(e.Page) + 1)
+		}
+		if err := p.Observe(e); err != nil {
+			return nil, Stats{}, err
+		}
+	}
+	p.Finish(src.Duration())
 	return preds, p.Stats(), nil
 }

@@ -1,8 +1,6 @@
 package trace
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 )
@@ -16,98 +14,53 @@ import (
 const compactMagic = uint32(0x4d435443) // "MCTC"
 
 // WriteCompact serializes the trace in the delta/varint format. The
-// trace must be sorted by timestamp (Validate).
+// trace must be sorted by timestamp (Validate). Producers whose events
+// do not fit in memory should use Encoder, which writes the identical
+// byte stream incrementally.
 func (t *Trace) WriteCompact(w io.Writer) error {
 	if err := t.Validate(); err != nil {
 		return fmt.Errorf("trace: refusing to write invalid trace: %w", err)
 	}
-	bw := bufio.NewWriter(w)
-	if err := binary.Write(bw, binary.LittleEndian, compactMagic); err != nil {
-		return fmt.Errorf("trace: writing magic: %w", err)
-	}
-	var buf [binary.MaxVarintLen64]byte
-	putUvarint := func(v uint64) error {
-		n := binary.PutUvarint(buf[:], v)
-		_, err := bw.Write(buf[:n])
+	enc, err := NewEncoder(w, t.Name, t.Duration, uint64(len(t.Events)))
+	if err != nil {
 		return err
 	}
-	if err := putUvarint(uint64(len(t.Name))); err != nil {
-		return err
-	}
-	if _, err := bw.WriteString(t.Name); err != nil {
-		return err
-	}
-	if err := putUvarint(uint64(t.Duration)); err != nil {
-		return err
-	}
-	if err := putUvarint(uint64(len(t.Events))); err != nil {
-		return err
-	}
-	var prev Microseconds
 	for _, e := range t.Events {
-		if err := putUvarint(uint64(e.At - prev)); err != nil {
-			return err
-		}
-		prev = e.At
-		if err := putUvarint(uint64(e.Page)); err != nil {
+		if err := enc.Encode(e); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return enc.Close()
 }
 
-// ReadCompact deserializes a trace written by WriteCompact.
+// maxEventPrealloc caps the event capacity trusted from a stream header
+// before any event bytes have been seen; larger traces grow by append.
+const maxEventPrealloc = 1 << 20
+
+// ReadCompact deserializes a trace written by WriteCompact. It
+// materializes the whole event slice; use NewStream to replay traces
+// too large to hold resident. Decoding is shared with Stream, so a
+// malformed stream fails with the same positioned DecodeError on both
+// paths.
 func ReadCompact(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	var magic uint32
-	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if magic != compactMagic {
-		return nil, ErrBadFormat
-	}
-	nameLen, err := binary.ReadUvarint(br)
+	s, err := NewStream(r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading name length: %w", err)
+		return nil, err
 	}
-	if nameLen > 1<<16 {
-		return nil, fmt.Errorf("%w: implausible name length %d", ErrBadFormat, nameLen)
+	t := &Trace{Name: s.Name(), Duration: s.Duration()}
+	if n := s.Events(); n > 0 {
+		t.Events = make([]Event, 0, min(n, maxEventPrealloc))
 	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("trace: reading name: %w", err)
-	}
-	t := &Trace{Name: string(name)}
-	dur, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading duration: %w", err)
-	}
-	t.Duration = Microseconds(dur)
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("trace: reading event count: %w", err)
-	}
-	if count > 1<<32 {
-		return nil, fmt.Errorf("%w: implausible event count %d", ErrBadFormat, count)
-	}
-	t.Events = make([]Event, count)
-	var prev Microseconds
-	for i := range t.Events {
-		delta, err := binary.ReadUvarint(br)
+	for {
+		e, err := s.Next()
+		if err == io.EOF {
+			return t, nil
+		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: reading event %d delta: %w", i, err)
+			return nil, err
 		}
-		page, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: reading event %d page: %w", i, err)
-		}
-		if page > 1<<32-1 {
-			return nil, fmt.Errorf("%w: page %d overflows uint32", ErrBadFormat, page)
-		}
-		prev += Microseconds(delta)
-		t.Events[i] = Event{Page: uint32(page), At: prev}
+		t.Events = append(t.Events, e)
 	}
-	return t, nil
 }
 
 // Merge combines multiple traces into one time-ordered trace. Page ids

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 )
 
 // Microseconds is the trace time unit.
@@ -36,6 +37,14 @@ type Event struct {
 }
 
 // Trace is a time-ordered sequence of write events.
+//
+// The analysis accessors (Pages, MaxPage, PageWrites, Intervals) memoize
+// their derived indexes on first use; Sort invalidates them. Mutating
+// Events by hand after an accessor has run without calling Sort leaves
+// the memos stale — generators should build Events, Sort, then analyse.
+// Memoization is race-safe: concurrent readers of a shared trace (the
+// experiment sweeps fan one trace out across workers) may all trigger
+// the first computation, and one result wins.
 type Trace struct {
 	// Name labels the workload that produced the trace.
 	Name string
@@ -44,12 +53,26 @@ type Trace struct {
 	Duration Microseconds
 	// Events are sorted by At (ties keep insertion order).
 	Events []Event
+
+	// pageStats caches Pages/MaxPage; perPage caches the PageWrites
+	// index. Both are write-once-per-generation pointers so concurrent
+	// first calls race benignly (each computes the same value).
+	pageStats atomic.Pointer[pageStats]
+	perPage   atomic.Pointer[map[uint32][]Microseconds]
+}
+
+// pageStats is the memoized result of one page-space scan.
+type pageStats struct {
+	pages   int
+	maxPage int
 }
 
 // Sort orders events by timestamp, preserving the relative order of
-// simultaneous events.
+// simultaneous events, and invalidates the memoized analysis indexes.
 func (t *Trace) Sort() {
 	sort.SliceStable(t.Events, func(i, j int) bool { return t.Events[i].At < t.Events[j].At })
+	t.pageStats.Store(nil)
+	t.perPage.Store(nil)
 }
 
 // Validate checks internal consistency: sorted events, non-negative
@@ -71,33 +94,82 @@ func (t *Trace) Validate() error {
 	return nil
 }
 
-// Pages returns the number of distinct pages written in the trace.
-func (t *Trace) Pages() int {
-	seen := make(map[uint32]struct{})
-	for _, e := range t.Events {
-		seen[e.Page] = struct{}{}
+// stats returns the memoized page-space scan, computing it on first
+// use. Distinct pages are counted with a bit vector over [0, MaxPage]
+// rather than a map: one allocation per generation instead of one map
+// per call.
+func (t *Trace) stats() *pageStats {
+	if s := t.pageStats.Load(); s != nil {
+		return s
 	}
-	return len(seen)
-}
-
-// MaxPage returns the largest page id written, or -1 for an empty trace.
-func (t *Trace) MaxPage() int {
-	max := -1
+	s := &pageStats{maxPage: -1}
 	for _, e := range t.Events {
-		if int(e.Page) > max {
-			max = int(e.Page)
+		if int(e.Page) > s.maxPage {
+			s.maxPage = int(e.Page)
 		}
 	}
-	return max
+	if s.maxPage >= 0 {
+		seen := make([]uint64, s.maxPage/64+1)
+		for _, e := range t.Events {
+			w, b := e.Page/64, e.Page%64
+			if seen[w]&(1<<b) == 0 {
+				seen[w] |= 1 << b
+				s.pages++
+			}
+		}
+	}
+	t.pageStats.Store(s)
+	return s
 }
 
+// Pages returns the number of distinct pages written in the trace. The
+// result is memoized; repeated calls are allocation-free.
+func (t *Trace) Pages() int { return t.stats().pages }
+
+// MaxPage returns the largest page id written, or -1 for an empty
+// trace. The result is memoized; repeated calls are allocation-free.
+func (t *Trace) MaxPage() int { return t.stats().maxPage }
+
 // WritesPerPage returns, for each page, its time-ordered write
-// timestamps.
+// timestamps. The returned map is a fresh copy the caller owns; use
+// PageWrites for the shared memoized index, or AppendWritesPerPage to
+// reuse a map across traces.
 func (t *Trace) WritesPerPage() map[uint32][]Microseconds {
-	m := make(map[uint32][]Microseconds)
+	return t.AppendWritesPerPage(nil)
+}
+
+// AppendWritesPerPage fills m with the per-page time-ordered write
+// timestamps and returns it, reusing m's buckets and slice capacity
+// when the page sets overlap — the form for sweeps that index one
+// trace after another. A nil m allocates a fresh map.
+func (t *Trace) AppendWritesPerPage(m map[uint32][]Microseconds) map[uint32][]Microseconds {
+	if m == nil {
+		m = make(map[uint32][]Microseconds)
+	}
+	for p, times := range m {
+		m[p] = times[:0]
+	}
 	for _, e := range t.Events {
 		m[e.Page] = append(m[e.Page], e.At)
 	}
+	for p, times := range m {
+		if len(times) == 0 {
+			delete(m, p)
+		}
+	}
+	return m
+}
+
+// PageWrites returns the memoized per-page write-timestamp index. The
+// map and its slices are shared: callers must treat them as read-only.
+// The first call builds the index; repeated calls (Intervals,
+// HalveIntervals, and read-skip analysis all consume it) are free.
+func (t *Trace) PageWrites() map[uint32][]Microseconds {
+	if m := t.perPage.Load(); m != nil {
+		return *m
+	}
+	m := t.AppendWritesPerPage(nil)
+	t.perPage.Store(&m)
 	return m
 }
 
@@ -109,7 +181,7 @@ func (t *Trace) WritesPerPage() map[uint32][]Microseconds {
 // slice — and everything downstream of it, e.g. float accumulations in
 // the interval experiments — is byte-stable across process runs.
 func (t *Trace) Intervals(includeTrailing bool) []float64 {
-	perPage := t.WritesPerPage()
+	perPage := t.PageWrites()
 	var out []float64
 	for _, page := range sortedPages(perPage) {
 		times := perPage[page]
@@ -141,7 +213,7 @@ func sortedPages(m map[uint32][]Microseconds) []uint32 {
 // first write time is kept; the duration is also halved so trailing
 // intervals shrink proportionally.
 func (t *Trace) HalveIntervals() *Trace {
-	perPage := t.WritesPerPage()
+	perPage := t.PageWrites()
 	out := &Trace{Name: t.Name + "-halved", Duration: t.Duration / 2}
 	for _, page := range sortedPages(perPage) {
 		times := perPage[page]

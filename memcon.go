@@ -24,6 +24,7 @@ package memcon
 import (
 	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"memcon/internal/core"
@@ -61,7 +62,19 @@ type (
 	Trace = trace.Trace
 	// Event is a single write.
 	Event = trace.Event
+	// TraceSource is a forward-only event stream — either a
+	// materialized Trace (via its Source method) or an incremental
+	// TraceStream over a compact file.
+	TraceSource = trace.Source
+	// TraceStream incrementally decodes a compact (v2) trace file with
+	// constant memory; it implements TraceSource.
+	TraceStream = trace.Stream
 )
+
+// NewTraceStream opens a compact (v2) trace stream over r; events
+// decode lazily, so multi-GB traces replay at I/O speed with O(pages)
+// memory through RunSource.
+func NewTraceStream(r io.Reader) (*TraceStream, error) { return trace.NewStream(r) }
 
 // Workload types.
 type (
@@ -181,6 +194,15 @@ func RunWith(tr *Trace, cfg Config, opts ...Option) (Report, error) {
 // event batches.
 func RunContext(ctx context.Context, tr *Trace, cfg Config, opts ...Option) (Report, error) {
 	return core.RunContext(ctx, tr, cfg, opts...)
+}
+
+// RunSource replays a streaming event source through a fresh MEMCON
+// engine, growing the page space on demand as the source reveals it:
+//
+//	s, _ := memcon.NewTraceStream(f)
+//	rep, err := memcon.RunSource(ctx, s, memcon.DefaultConfig())
+func RunSource(ctx context.Context, src TraceSource, cfg Config, opts ...Option) (Report, error) {
+	return core.RunSource(ctx, src, cfg, opts...)
 }
 
 // New builds an incremental engine with functional options; feed it

@@ -50,3 +50,69 @@ END {
 }' >BENCH_hotpath.json
 
 echo "bench: BENCH_hotpath.json updated"
+
+# --- Engine hot loop (BENCH_engine.json) ---
+# Before/after evidence for the flat-state engine rewrite: bitset+order
+# write buffers, epoch-stamped page-state arrays, and streaming replay.
+# The baseline block is pinned to commit ccc749a (map-based write
+# buffers, map-backed System state; measured via
+# BenchmarkEngineObserverDisabled / BenchmarkPRILObserve there — the
+# same code path BenchmarkEngineRun/accounting and BenchmarkPRILObserve
+# time now). Compare runs with benchstat:
+#
+#   go test -run '^$' -bench BenchmarkEngineRun -benchmem -count=10 . >new.txt
+#   benchstat old.txt new.txt
+
+out=$(go test -run '^$' -bench 'BenchmarkEngineRun|BenchmarkPRILObserve' \
+	-benchmem -benchtime=2s .)
+echo "$out"
+
+echo "$out" | awk '
+# field pulls the value preceding the given unit token, so custom
+# metrics (events/op, MB/s) cannot shift the -benchmem columns.
+function field(line, unit,    f, i, n) {
+	n = split(line, f, /[ \t]+/)
+	for (i = 2; i <= n; i++) {
+		if (f[i] == unit) {
+			return f[i - 1]
+		}
+	}
+	return "null"
+}
+function emit(name, line) {
+	printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+		name, field(line, "ns/op"), field(line, "B/op"), field(line, "allocs/op")
+}
+function emitmbs(name, line) {
+	printf "    \"%s\": {\"ns_per_op\": %s, \"mb_per_s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+		name, field(line, "ns/op"), field(line, "MB/s"), field(line, "B/op"), field(line, "allocs/op")
+}
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^BenchmarkEngineRun\/accounting/ { acc = $0 }
+/^BenchmarkEngineRun\/steady/     { std = $0 }
+/^BenchmarkEngineRun\/stream/     { stm = $0 }
+/^BenchmarkEngineRun\/system/     { sys = $0 }
+/^BenchmarkPRILObserve/           { prl = $0 }
+END {
+	print "{"
+	print "  \"benchmarks\": \"go test -run ^$ -bench BenchmarkEngineRun|BenchmarkPRILObserve -benchmem -benchtime=2s .\","
+	print "  \"workload\": \"Netflix seed 42 scale 0.05 (152934 events); system: 512-row module, 20000 events\","
+	print "  \"baseline\": {"
+	print "    \"commit\": \"ccc749a\","
+	print "    \"cpu\": \"Intel(R) Xeon(R) Processor @ 2.10GHz (1 core)\","
+	print "    \"note\": \"map-based write buffers and page state; accounting path measured as BenchmarkEngineObserverDisabled, PRIL as BenchmarkPRILObserve\","
+	print "    \"BenchmarkEngineRun/accounting\": {\"ns_per_op\": 2786626, \"bytes_per_op\": 43440, \"allocs_per_op\": 703},"
+	print "    \"BenchmarkPRILObserve\": {\"ns_per_op\": 1961683}"
+	print "  },"
+	print "  \"after\": {"
+	printf "    \"cpu\": \"%s\",\n", cpu
+	emit("BenchmarkEngineRun/accounting", acc); printf ",\n"
+	emit("BenchmarkEngineRun/steady", std); printf ",\n"
+	emitmbs("BenchmarkEngineRun/stream", stm); printf ",\n"
+	emit("BenchmarkEngineRun/system", sys); printf ",\n"
+	emit("BenchmarkPRILObserve", prl); printf "\n"
+	print "  }"
+	print "}"
+}' >BENCH_engine.json
+
+echo "bench: BENCH_engine.json updated"

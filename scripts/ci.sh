@@ -37,8 +37,9 @@ go test -race -short ./...
 # Smoke-run the hot-path benchmarks (one iteration each): catches
 # compile or runtime breakage in the bench harness without spending
 # CI time on stable measurements. Real numbers come from
-# scripts/bench.sh, which rewrites BENCH_hotpath.json.
+# scripts/bench.sh, which rewrites BENCH_hotpath.json and
+# BENCH_engine.json.
 echo "== bench smoke =="
-go test -run '^$' -bench 'BenchmarkReadBack|BenchmarkFailingCells' -benchtime=1x .
+go test -run '^$' -bench 'BenchmarkReadBack|BenchmarkFailingCells|BenchmarkEngineRun' -benchtime=1x .
 
 echo "ci: all checks passed"
