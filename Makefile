@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench fuzz ci metrics-demo
+.PHONY: build test race vet bench fuzz ci metrics-demo reports
 
 build:
 	$(GO) build ./...
@@ -35,3 +35,11 @@ ci:
 # histograms, per-phase wall times, worker-pool utilization).
 metrics-demo:
 	$(GO) run ./cmd/memconsim -exp fig14 -scale 0.1 -metrics - -metrics-format table
+
+# reports regenerates the committed small-scale reference reports that
+# CI diffs against (and the golden -all text capture, which uses the
+# same settings). Run after an intended numeric change and commit the
+# result; unintended diffs in the output are regressions.
+reports:
+	$(GO) run ./cmd/memconsim -all -scale 0.05 -simtime 200000 -mixes 3 -parallel 4 \
+		-out testdata/reports > cmd/memconsim/testdata/golden_all.txt

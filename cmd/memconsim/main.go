@@ -17,6 +17,20 @@
 // -simtime and -mixes. -parallel bounds the worker pool used inside
 // each experiment's sweep; results are byte-identical for any value.
 //
+// Structured reports:
+//
+//	memconsim -exp fig14 -format csv             # primary data table as RFC-4180 CSV
+//	memconsim -exp fig14 -format json            # canonical JSON report document
+//	memconsim -all -out reports/                 # write reports/<id>.json per experiment
+//	memconsim -diff reports/fig14.json           # re-run and diff; non-zero exit on drift
+//
+// Every experiment produces a typed report (provenance header plus
+// typed tables); -format selects the rendering. -diff re-runs the
+// experiment named in a saved report's provenance, using the saved
+// inputs (seed, scale, simtime, mixes) unless overridden on the command
+// line, and fails when any value drifts beyond -tol-abs/-tol-rel.
+// -csv remains as a deprecated alias for -format csv.
+//
 // Observability:
 //
 //	memconsim -exp fig14 -metrics out.json             # aggregated metrics (JSON)
@@ -38,7 +52,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"runtime"
+	"path/filepath"
 	"strings"
 	"syscall"
 
@@ -46,6 +60,7 @@ import (
 	"memcon/internal/experiments"
 	"memcon/internal/obs"
 	"memcon/internal/parallel"
+	"memcon/internal/report"
 	"memcon/internal/trace"
 )
 
@@ -68,16 +83,23 @@ func run(args []string, out io.Writer) error {
 func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("memconsim", flag.ContinueOnError)
 	fs.SetOutput(out)
+	defaults := experiments.DefaultOptions()
 	var (
 		list     = fs.Bool("list", false, "list available experiments")
 		exp      = fs.String("exp", "", "experiment id to run (see -list)")
 		all      = fs.Bool("all", false, "run every experiment")
-		scale    = fs.Float64("scale", 1.0, "workload scale in (0,1]")
-		seed     = fs.Int64("seed", 42, "random seed")
-		simtime  = fs.Int64("simtime", 500_000, "performance-simulation time per run (ns)")
-		mixes    = fs.Int("mixes", 30, "multiprogrammed mixes for performance runs")
-		csvOut   = fs.Bool("csv", false, "emit CSV instead of the text table (series experiments)")
-		nworkers = fs.Int("parallel", runtime.NumCPU(), "worker count for experiment sweeps (results are identical for any value)")
+		scale    = fs.Float64("scale", defaults.Scale, "workload scale in (0,1]")
+		seed     = fs.Int64("seed", defaults.Seed, "random seed (0 is honoured when set explicitly)")
+		simtime  = fs.Int64("simtime", defaults.SimTimeNs, "performance-simulation time per run (ns)")
+		mixes    = fs.Int("mixes", defaults.Mixes, "multiprogrammed mixes for performance runs")
+		outFmt   = fs.String("format", "table", "output format: table, csv, or json")
+		csvOut   = fs.Bool("csv", false, "deprecated: alias for -format csv")
+		outDir   = fs.String("out", "", "also write each run's canonical JSON report to DIR/<id>.json")
+		diffPath = fs.String("diff", "", "re-run the experiment saved in this JSON report and diff against it (non-zero exit on drift)")
+		tolAbs   = fs.Float64("tol-abs", 0, "absolute numeric tolerance for -diff")
+		tolRel   = fs.Float64("tol-rel", 0, "relative numeric tolerance for -diff")
+		version  = fs.String("report-version", "", "build identifier recorded in report provenance")
+		nworkers = fs.Int("parallel", defaults.Workers, "worker count for experiment sweeps (results are identical for any value)")
 		replay   = fs.String("replay", "", "replay a trace file (tracegen output, v1 or compact) through the MEMCON engine and print its report")
 		metrics  = fs.String("metrics", "", `write aggregated run metrics to this file ("-" for stdout)`)
 		mformat  = fs.String("metrics-format", "json", "metrics output format: json, prom, or table")
@@ -87,8 +109,21 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if *nworkers < 1 {
 		return fmt.Errorf("-parallel must be at least 1, got %d", *nworkers)
+	}
+	if *csvOut {
+		if explicit["format"] && *outFmt != "csv" {
+			return fmt.Errorf("-csv (deprecated) conflicts with -format %s", *outFmt)
+		}
+		*outFmt = "csv"
+	}
+	switch *outFmt {
+	case "table", "csv", "json":
+	default:
+		return fmt.Errorf("unknown -format %q (want table, csv, or json)", *outFmt)
 	}
 	format, err := obs.ParseFormat(*mformat)
 	if err != nil {
@@ -111,8 +146,9 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	opts := experiments.Options{
-		Scale: *scale, Seed: *seed, SimTimeNs: *simtime, Mixes: *mixes,
-		Workers: *nworkers, Ctx: ctx,
+		Scale: *scale, Seed: *seed, SeedSet: explicit["seed"],
+		SimTimeNs: *simtime, Mixes: *mixes,
+		Workers: *nworkers, Version: *version, Ctx: ctx,
 	}
 
 	// -metrics attaches the aggregating observer plus the volatile
@@ -141,15 +177,17 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 				fmt.Fprintf(out, "%-10s %s\n", id, desc)
 			}
 			return nil
+		case *diffPath != "":
+			return runDiff(out, *diffPath, opts, explicit, report.Tolerance{Abs: *tolAbs, Rel: *tolRel})
 		case *all:
-			return runAll(opts.Ctx, out, opts, *csvOut)
+			return runAll(opts.Ctx, out, opts, *outFmt, *outDir)
 		case *exp != "":
-			return runOne(out, *exp, opts, *csvOut)
+			return runOne(out, *exp, opts, *outFmt, *outDir)
 		case *replay != "":
 			return runReplay(opts.Ctx, out, *replay)
 		default:
 			fs.Usage()
-			return fmt.Errorf("one of -list, -exp, -all, or -replay is required")
+			return fmt.Errorf("one of -list, -exp, -all, -diff, or -replay is required")
 		}
 	}()
 	if runErr != nil {
@@ -239,13 +277,13 @@ func writeMetrics(path string, out io.Writer, reg *obs.Registry, format obs.Form
 // printed in registry order, so the output matches a serial -all run
 // byte for byte. Workers inside each experiment are left at 1: the
 // -parallel budget is spent across experiments here, not within them.
-func runAll(ctx context.Context, out io.Writer, opts experiments.Options, asCSV bool) error {
+func runAll(ctx context.Context, out io.Writer, opts experiments.Options, format, outDir string) error {
 	ids := experiments.IDs()
 	inner := opts
 	inner.Workers = 1
 	reports, err := parallel.Map(ctx, len(ids), opts.Workers, func(i int) (string, error) {
 		var b strings.Builder
-		if err := runOne(&b, ids[i], inner, asCSV); err != nil {
+		if err := runOne(&b, ids[i], inner, format, outDir); err != nil {
 			return "", err
 		}
 		return b.String(), nil
@@ -259,23 +297,86 @@ func runAll(ctx context.Context, out io.Writer, opts experiments.Options, asCSV 
 	return nil
 }
 
-func runOne(out io.Writer, id string, opts experiments.Options, asCSV bool) error {
+func runOne(out io.Writer, id string, opts experiments.Options, format, outDir string) error {
 	res, err := experiments.Run(id, opts)
 	if err != nil {
 		return fmt.Errorf("running %s: %w", id, err)
 	}
-	if asCSV {
-		c, ok := res.(experiments.CSVer)
-		if !ok {
-			return fmt.Errorf("experiment %s has no CSV form (use the text output)", id)
-		}
-		text, err := experiments.CSV(c)
-		if err != nil {
+	rep := res.Report()
+	if outDir != "" {
+		if err := writeReport(outDir, id, rep); err != nil {
 			return err
 		}
-		fmt.Fprint(out, text)
-		return nil
 	}
-	fmt.Fprintf(out, "==== %s ====\n%s\n", id, res)
+	switch format {
+	case "csv":
+		text, err := rep.CSV()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		fmt.Fprint(out, text)
+	case "json":
+		if err := rep.Encode(out); err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+	default:
+		fmt.Fprintf(out, "==== %s ====\n%s\n", id, rep.Text())
+	}
+	return nil
+}
+
+// writeReport stores one experiment's canonical JSON document under dir.
+// MkdirAll is idempotent, so concurrent -all workers may race through it
+// safely.
+func writeReport(dir, id string, rep *report.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := rep.MarshalCanonical()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, id+".json"), b, 0o644)
+}
+
+// runDiff re-runs the experiment recorded in a saved report and compares
+// the fresh numbers against it. The saved provenance supplies the inputs
+// (seed, scale, simtime, mixes) unless the corresponding flag was set
+// explicitly, so a bare `-diff FILE` always re-runs apples-to-apples.
+func runDiff(out io.Writer, path string, opts experiments.Options, explicit map[string]bool, tol report.Tolerance) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	saved, err := report.Decode(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	id := saved.Prov.Experiment
+	if id == "" {
+		return fmt.Errorf("%s: report carries no experiment id", path)
+	}
+	if !explicit["seed"] {
+		opts.Seed, opts.SeedSet = saved.Prov.Seed, true
+	}
+	if !explicit["scale"] {
+		opts.Scale = saved.Prov.Scale
+	}
+	if !explicit["simtime"] {
+		opts.SimTimeNs = saved.Prov.SimTimeNs
+	}
+	if !explicit["mixes"] {
+		opts.Mixes = saved.Prov.Mixes
+	}
+	res, err := experiments.Run(id, opts)
+	if err != nil {
+		return fmt.Errorf("re-running %s: %w", id, err)
+	}
+	d := report.Diff(saved, res.Report(), tol)
+	fmt.Fprint(out, d.String())
+	if !d.Clean() {
+		return fmt.Errorf("report %s drifted from %s (%d difference(s))", id, path, len(d.Entries))
+	}
 	return nil
 }

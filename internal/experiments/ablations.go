@@ -2,12 +2,12 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"memcon/internal/core"
 	"memcon/internal/costmodel"
 	"memcon/internal/dram"
 	"memcon/internal/pril"
+	"memcon/internal/report"
 	"memcon/internal/trace"
 	"memcon/internal/workload"
 )
@@ -19,18 +19,9 @@ import (
 // work.
 
 func init() {
-	registry["abl-buffer"] = struct {
-		runner Runner
-		desc   string
-	}{RunAblBuffer, "Ablation: PRIL write-buffer capacity (overflow -> HI-REF)"}
-	registry["abl-accel"] = struct {
-		runner Runner
-		desc   string
-	}{RunAblAccel, "Ablation: Copy-and-Compare acceleration (RowClone / in-DRAM compare)"}
-	registry["abl-pril"] = struct {
-		runner Runner
-		desc   string
-	}{RunAblPril, "Ablation: buffer-based vs bitmap PRIL implementation"}
+	registry["abl-buffer"] = entry{RunAblBuffer, "Ablation: PRIL write-buffer capacity (overflow -> HI-REF)"}
+	registry["abl-accel"] = entry{RunAblAccel, "Ablation: Copy-and-Compare acceleration (RowClone / in-DRAM compare)"}
+	registry["abl-pril"] = entry{RunAblPril, "Ablation: buffer-based vs bitmap PRIL implementation"}
 }
 
 // ablTrace generates the reference workload for ablations.
@@ -51,13 +42,16 @@ type AblBufferRow struct {
 }
 
 // AblBufferResult sweeps PRIL's write-buffer capacity.
-type AblBufferResult struct{ Rows []AblBufferRow }
+type AblBufferResult struct {
+	resultMeta
+	Rows []AblBufferRow
+}
 
 // RunAblBuffer sweeps the buffer capacity from unbounded down to
 // starvation, measuring the refresh reduction lost to discards. The
 // capacities run concurrently against one shared trace — core.Run
 // only reads the trace, so the units share it without copies.
-func RunAblBuffer(opts Options) (fmt.Stringer, error) {
+func RunAblBuffer(opts Options) (Result, error) {
 	tr, err := ablTrace(opts)
 	if err != nil {
 		return nil, err
@@ -83,22 +77,30 @@ func RunAblBuffer(opts Options) (fmt.Stringer, error) {
 	return &AblBufferResult{Rows: rows}, nil
 }
 
-// String renders the buffer ablation.
-func (r *AblBufferResult) String() string {
-	var b strings.Builder
-	b.WriteString("Ablation — PRIL write-buffer capacity\n\n")
-	t := &table{header: []string{"capacity", "reduction", "discards", "peak occupancy"}}
+// Report builds the buffer-ablation document.
+func (r *AblBufferResult) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Ablation — PRIL write-buffer capacity\n\n")
+	t := report.NewTable("rows",
+		report.CInt("capacity", "", "entries"),
+		report.CFloat("reduction", "", "fraction"),
+		report.CInt("discards", "", ""),
+		report.CInt("peak", "peak occupancy", "entries"))
 	for _, row := range r.Rows {
-		name := fmt.Sprintf("%d", row.Capacity)
+		capCell := report.I(int64(row.Capacity))
 		if row.Capacity == 0 {
-			name = "unbounded"
+			capCell = report.Id(0, "unbounded")
 		}
-		t.addRow(name, pct(row.Reduction), fmt.Sprintf("%d", row.Discards), fmt.Sprintf("%d", row.Peak))
+		t.Add(capCell, report.F(row.Reduction, pct(row.Reduction)),
+			report.I(row.Discards), report.I(int64(row.Peak)))
 	}
-	b.WriteString(t.String())
-	b.WriteString("\npaper sizes the buffer at ~4000 entries (§6.4); the sweep shows how much\nreduction survives under-provisioning (discarded pages stay at HI-REF)\n")
-	return b.String()
+	rep.AddTable(t)
+	rep.Textf("\npaper sizes the buffer at ~4000 entries (§6.4); the sweep shows how much\nreduction survives under-provisioning (discarded pages stay at HI-REF)\n")
+	return rep
 }
+
+// String renders the buffer ablation as text.
+func (r *AblBufferResult) String() string { return r.Report().Text() }
 
 // AblAccelRow is one acceleration variant.
 type AblAccelRow struct {
@@ -108,10 +110,13 @@ type AblAccelRow struct {
 }
 
 // AblAccelResult quantifies footnote 6's acceleration variants.
-type AblAccelResult struct{ Rows []AblAccelRow }
+type AblAccelResult struct {
+	resultMeta
+	Rows []AblAccelRow
+}
 
 // RunAblAccel computes test cost and MinWriteInterval per acceleration.
-func RunAblAccel(Options) (fmt.Stringer, error) {
+func RunAblAccel(Options) (Result, error) {
 	res := &AblAccelResult{}
 	for _, a := range []costmodel.Accel{costmodel.NoAccel, costmodel.RowCloneCopy, costmodel.InDRAMCompare} {
 		cfg, err := costmodel.NewAcceleratedConfig(costmodel.DefaultConfig(), a)
@@ -127,23 +132,30 @@ func RunAblAccel(Options) (fmt.Stringer, error) {
 	return res, nil
 }
 
-// String renders the acceleration ablation.
-func (r *AblAccelResult) String() string {
-	var b strings.Builder
-	b.WriteString("Ablation — Copy-and-Compare acceleration (paper footnote 6, future work)\n\n")
-	t := &table{header: []string{"variant", "test cost", "MinWriteInterval"}}
+// Report builds the acceleration-ablation document.
+func (r *AblAccelResult) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Ablation — Copy-and-Compare acceleration (paper footnote 6, future work)\n\n")
+	t := report.NewTable("rows",
+		report.CStr("variant", ""),
+		report.CInt("test_cost_ns", "test cost", "ns"),
+		report.CInt("min_write_interval_ms", "MinWriteInterval", "ms"))
 	for _, row := range r.Rows {
-		t.addRow(row.Accel.String(),
-			fmt.Sprintf("%d ns", row.TestCost),
-			fmt.Sprintf("%d ms", row.MinWriteInterval/dram.Millisecond))
+		t.Add(report.S(row.Accel.String()),
+			report.Id(int64(row.TestCost), fmt.Sprintf("%d ns", row.TestCost)),
+			report.Id(int64(row.MinWriteInterval/dram.Millisecond), fmt.Sprintf("%d ms", row.MinWriteInterval/dram.Millisecond)))
 	}
-	b.WriteString(t.String())
-	b.WriteString("\nin-DRAM copy/compare (RowClone/LISA/PIM) shrinks the amortization threshold,\nletting MEMCON exploit shorter write intervals\n")
-	return b.String()
+	rep.AddTable(t)
+	rep.Textf("\nin-DRAM copy/compare (RowClone/LISA/PIM) shrinks the amortization threshold,\nletting MEMCON exploit shorter write intervals\n")
+	return rep
 }
+
+// String renders the acceleration ablation as text.
+func (r *AblAccelResult) String() string { return r.Report().Text() }
 
 // AblPrilResult compares the two PRIL implementations.
 type AblPrilResult struct {
+	resultMeta
 	BufferPredictions int
 	BitmapPredictions int
 	Identical         bool
@@ -154,7 +166,7 @@ type AblPrilResult struct {
 // RunAblPril verifies that the bitmap implementation (future work:
 // "cheaper implementations of PRIL") is prediction-equivalent to the
 // buffer design and compares storage.
-func RunAblPril(opts Options) (fmt.Stringer, error) {
+func RunAblPril(opts Options) (Result, error) {
 	tr, err := ablTrace(opts)
 	if err != nil {
 		return nil, err
@@ -194,14 +206,23 @@ func RunAblPril(opts Options) (fmt.Stringer, error) {
 	}, nil
 }
 
-// String renders the PRIL-implementation ablation.
-func (r *AblPrilResult) String() string {
-	var b strings.Builder
-	b.WriteString("Ablation — PRIL implementation (buffer CAM vs bitmap scan)\n\n")
-	t := &table{header: []string{"implementation", "predictions", "storage (bits)"}}
-	t.addRow("write-buffer (paper)", fmt.Sprintf("%d", r.BufferPredictions), fmt.Sprintf("%d", r.BufferBits))
-	t.addRow("bitmap (this repo)", fmt.Sprintf("%d", r.BitmapPredictions), fmt.Sprintf("%d", r.BitmapBits))
-	b.WriteString(t.String())
-	fmt.Fprintf(&b, "\nprediction-equivalent: %v (bitmap eliminates the CAM at 2 extra bits/page)\n", r.Identical)
-	return b.String()
+// Report builds the PRIL-implementation ablation document.
+func (r *AblPrilResult) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Ablation — PRIL implementation (buffer CAM vs bitmap scan)\n\n")
+	t := report.NewTable("rows",
+		report.CStr("implementation", ""),
+		report.CInt("predictions", "", ""),
+		report.CInt("storage_bits", "storage (bits)", "bits"))
+	t.Add(report.S("write-buffer (paper)"), report.I(int64(r.BufferPredictions)), report.I(int64(r.BufferBits)))
+	t.Add(report.S("bitmap (this repo)"), report.I(int64(r.BitmapPredictions)), report.I(int64(r.BitmapBits)))
+	rep.AddTable(t)
+	rep.Textf("\nprediction-equivalent: %v (bitmap eliminates the CAM at 2 extra bits/page)\n", r.Identical)
+	st := report.NewTable("summary", report.CBool("identical", ""))
+	st.Add(report.B(r.Identical))
+	rep.AddDataTable(st)
+	return rep
 }
+
+// String renders the PRIL-implementation ablation as text.
+func (r *AblPrilResult) String() string { return r.Report().Text() }

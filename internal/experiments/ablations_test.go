@@ -149,10 +149,10 @@ func TestRunClosedLoop(t *testing.T) {
 	if r.CapturedWrites == 0 || r.CapturedReads == 0 {
 		t.Fatalf("capture empty: %d writes, %d reads", r.CapturedWrites, r.CapturedReads)
 	}
-	if r.Report.RefreshReduction() <= 0 {
+	if r.Core.RefreshReduction() <= 0 {
 		t.Error("closed-loop MEMCON achieved no reduction")
 	}
-	if r.Combined < r.Report.RefreshReduction() {
+	if r.Combined < r.Core.RefreshReduction() {
 		t.Error("combined savings below MEMCON alone")
 	}
 	if !strings.Contains(out.String(), "captured") {
@@ -204,11 +204,7 @@ func TestCSVExports(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
-		c, ok := out.(CSVer)
-		if !ok {
-			t.Fatalf("%s result does not export CSV", id)
-		}
-		text, err := CSV(c)
+		text, err := out.Report().CSV()
 		if err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}

@@ -3,10 +3,10 @@ package experiments
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"memcon/internal/dram"
 	"memcon/internal/faults"
+	"memcon/internal/report"
 	"memcon/internal/softmc"
 	"memcon/internal/workload"
 )
@@ -40,6 +40,7 @@ func newChip(geom dram.Geometry, seed uint64, params faults.Params) (*softmc.Tes
 // Fig3Result reproduces Fig. 3: for each data pattern, the set of
 // failing cells; cells fail conditionally depending on content.
 type Fig3Result struct {
+	resultMeta
 	Patterns int
 	// FailuresPerPattern[i] is the number of failing cells under
 	// pattern i.
@@ -61,7 +62,7 @@ type Fig3Result struct {
 // content. Every pattern run rebuilds the (deterministically seeded)
 // chip from scratch, so the sweep fans out over the worker budget; the
 // per-pattern failure sets merge back in pattern order.
-func RunFig3(opts Options) (fmt.Stringer, error) {
+func RunFig3(opts Options) (Result, error) {
 	geom := charGeometry(opts.Scale * 0.25) // one-bank-scale study
 	geom.BanksPerChip = 1
 	params := faults.DefaultParams()
@@ -103,23 +104,39 @@ func RunFig3(opts Options) (fmt.Stringer, error) {
 	return res, nil
 }
 
-// String renders the Fig. 3 report.
-func (r *Fig3Result) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Fig. 3 — cells failing with different data content (%d patterns)\n\n", r.Patterns)
-	t := &table{header: []string{"pattern", "failing cells"}}
+// Report builds the Fig. 3 document. The random-pattern tail rows are
+// hidden: elided from the text rendering, still present in CSV/JSON and
+// still diffed.
+func (r *Fig3Result) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Fig. 3 — cells failing with different data content (%d patterns)\n\n", r.Patterns)
+	t := report.NewTable("patterns",
+		report.CStr("pattern", ""),
+		report.CInt("failing_cells", "failing cells", "cells"))
 	for i, n := range r.FailuresPerPattern {
+		cells := []report.Cell{report.S(r.PatternNames[i]), report.I(int64(n))}
 		if i < 12 || n == 0 { // print the classic patterns; elide the random tail
-			t.addRow(r.PatternNames[i], fmt.Sprintf("%d", n))
+			t.Add(cells...)
+		} else {
+			t.AddHidden(cells...)
 		}
 	}
-	b.WriteString(t.String())
-	fmt.Fprintf(&b, "\nunique failing cells:        %d\n", r.UniqueCells)
-	fmt.Fprintf(&b, "data-dependent (conditional): %d (%.1f%%)\n",
+	rep.AddTable(t)
+	rep.Textf("\nunique failing cells:        %d\n", r.UniqueCells)
+	rep.Textf("data-dependent (conditional): %d (%.1f%%)\n",
 		r.ConditionalCells, 100*float64(r.ConditionalCells)/float64(max(1, r.UniqueCells)))
-	fmt.Fprintf(&b, "max patterns failed by a cell: %d of %d\n", r.MaxPatternsPerCell, r.Patterns)
-	return b.String()
+	rep.Textf("max patterns failed by a cell: %d of %d\n", r.MaxPatternsPerCell, r.Patterns)
+	st := report.NewTable("summary",
+		report.CInt("unique_cells", "", "cells"),
+		report.CInt("conditional_cells", "", "cells"),
+		report.CInt("max_patterns_per_cell", "", "patterns"))
+	st.Add(report.I(int64(r.UniqueCells)), report.I(int64(r.ConditionalCells)), report.I(int64(r.MaxPatternsPerCell)))
+	rep.AddDataTable(st)
+	return rep
 }
+
+// String renders the Fig. 3 report as text.
+func (r *Fig3Result) String() string { return r.Report().Text() }
 
 func max(a, b int) int {
 	if a > b {
@@ -138,6 +155,7 @@ type Fig4Row struct {
 
 // Fig4Result reproduces Fig. 4.
 type Fig4Result struct {
+	resultMeta
 	Rows []Fig4Row
 	// AllFail is the fraction of rows failing under ANY pattern.
 	AllFail float64
@@ -151,7 +169,7 @@ type Fig4Result struct {
 // benchmark gets its own chip rebuilt from the same seed — a content
 // run refills the whole module, so per-benchmark results match the
 // old shared-tester loop exactly while the sweep fans out.
-func RunFig4(opts Options) (fmt.Stringer, error) {
+func RunFig4(opts Options) (Result, error) {
 	geom := charGeometry(opts.Scale)
 	params := faults.DefaultParams()
 	idle := faults.CharacterizationIdle
@@ -213,19 +231,36 @@ func RunFig4(opts Options) (fmt.Stringer, error) {
 	return res, nil
 }
 
-// String renders the Fig. 4 report.
-func (r *Fig4Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig. 4 — percentage of rows with data-dependent failures\n\n")
-	t := &table{header: []string{"benchmark", "avg", "min", "max"}}
+// Report builds the Fig. 4 document. Rows are ordered by descending
+// average (the figure's ordering); the ALL FAIL denominator is the last
+// row, with empty min/max cells.
+func (r *Fig4Result) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Fig. 4 — percentage of rows with data-dependent failures\n\n")
+	t := report.NewTable("rows",
+		report.CStr("benchmark", ""),
+		report.CFloat("avg", "", "fraction"),
+		report.CFloat("min", "", "fraction"),
+		report.CFloat("max", "", "fraction"))
 	rows := append([]Fig4Row(nil), r.Rows...)
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Avg > rows[j].Avg })
 	for _, row := range rows {
-		t.addRow(row.Benchmark, pct2(row.Avg), pct2(row.Min), pct2(row.Max))
+		t.Add(report.S(row.Benchmark),
+			report.F(row.Avg, pct2(row.Avg)),
+			report.F(row.Min, pct2(row.Min)),
+			report.F(row.Max, pct2(row.Max)))
 	}
-	t.addRow("ALL FAIL", pct2(r.AllFail), "", "")
-	b.WriteString(t.String())
-	fmt.Fprintf(&b, "\nprogram content exhibits %.1fx-%.1fx fewer failing rows than ALL FAIL (paper: 2.4x-35.2x)\n",
+	t.Add(report.S("ALL FAIL"), report.F(r.AllFail, pct2(r.AllFail)), report.S(""), report.S(""))
+	rep.AddTable(t)
+	rep.Textf("\nprogram content exhibits %.1fx-%.1fx fewer failing rows than ALL FAIL (paper: 2.4x-35.2x)\n",
 		r.RatioMin, r.RatioMax)
-	return b.String()
+	st := report.NewTable("summary",
+		report.CFloat("ratio_min", "", "x"),
+		report.CFloat("ratio_max", "", "x"))
+	st.Add(report.Fv(r.RatioMin), report.Fv(r.RatioMax))
+	rep.AddDataTable(st)
+	return rep
 }
+
+// String renders the Fig. 4 report as text.
+func (r *Fig4Result) String() string { return r.Report().Text() }

@@ -1,22 +1,18 @@
 package experiments
 
 import (
-	"fmt"
 	"math/rand"
-	"strings"
 
 	"memcon/internal/core"
 	"memcon/internal/dram"
 	"memcon/internal/memctrl"
+	"memcon/internal/report"
 	"memcon/internal/trace"
 	"memcon/internal/workload"
 )
 
 func init() {
-	registry["loop"] = struct {
-		runner Runner
-		desc   string
-	}{RunClosedLoop, "Closed loop: simulate a system, capture its bus trace (HMTT-style), feed MEMCON"}
+	registry["loop"] = entry{RunClosedLoop, "Closed loop: simulate a system, capture its bus trace (HMTT-style), feed MEMCON"}
 }
 
 // ClosedLoopResult is the end-to-end pipeline outcome: a simulated
@@ -24,18 +20,20 @@ func init() {
 // the paper's HMTT infrastructure captures it, drives the MEMCON engine
 // directly.
 type ClosedLoopResult struct {
+	resultMeta
 	CapturedWrites int
 	CapturedReads  int
 	Pages          int
-	Report         core.Report
-	ReadSkip       core.ReadSkipReport
-	Combined       float64
+	// Core is the MEMCON engine report for the captured write trace.
+	Core     core.Report
+	ReadSkip core.ReadSkipReport
+	Combined float64
 }
 
 // RunClosedLoop simulates bursty multiprogrammed traffic against the
 // memory controller with an attached tracer, then runs MEMCON (and the
 // read-aware analysis) on the captured traces.
-func RunClosedLoop(opts Options) (fmt.Stringer, error) {
+func RunClosedLoop(opts Options) (Result, error) {
 	memCfg := memctrl.DefaultConfig()
 	memCfg.Seed = opts.Seed
 	ctrl, err := memctrl.New(memCfg)
@@ -100,24 +98,30 @@ func RunClosedLoop(opts Options) (fmt.Stringer, error) {
 		CapturedWrites: len(writes.Events),
 		CapturedReads:  len(reads.Events),
 		Pages:          writes.Pages(),
-		Report:         rep,
+		Core:           rep,
 		ReadSkip:       rs,
 		Combined:       core.CombinedSavings(rep, rs),
 	}, nil
 }
 
-// String renders the closed-loop report.
-func (r *ClosedLoopResult) String() string {
-	var b strings.Builder
-	b.WriteString("Closed loop — simulate, capture at the bus, run MEMCON on the capture\n\n")
-	t := &table{header: []string{"stage", "result"}}
-	t.addRow("captured write-backs", fmt.Sprintf("%d", r.CapturedWrites))
-	t.addRow("captured reads", fmt.Sprintf("%d", r.CapturedReads))
-	t.addRow("pages", fmt.Sprintf("%d", r.Pages))
-	t.addRow("MEMCON refresh reduction", pct(r.Report.RefreshReduction()))
-	t.addRow("read-skip coverage", pct(r.ReadSkip.SkipFraction()))
-	t.addRow("combined savings", pct(r.Combined))
-	b.WriteString(t.String())
-	b.WriteString("\nthe same pipeline the paper's methodology implies: its HMTT tracer captured\nreal machines; ours captures the simulated system, byte-compatible with\ncmd/tracegen output\n")
-	return b.String()
+// Report builds the closed-loop document. The stage column mixes counts
+// and fractions, so the machine-facing value column is a float.
+func (r *ClosedLoopResult) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Closed loop — simulate, capture at the bus, run MEMCON on the capture\n\n")
+	t := report.NewTable("rows",
+		report.CStr("stage", ""),
+		report.CFloat("result", "", ""))
+	t.Add(report.S("captured write-backs"), report.F(float64(r.CapturedWrites), itoa(r.CapturedWrites)))
+	t.Add(report.S("captured reads"), report.F(float64(r.CapturedReads), itoa(r.CapturedReads)))
+	t.Add(report.S("pages"), report.F(float64(r.Pages), itoa(r.Pages)))
+	t.Add(report.S("MEMCON refresh reduction"), report.F(r.Core.RefreshReduction(), pct(r.Core.RefreshReduction())))
+	t.Add(report.S("read-skip coverage"), report.F(r.ReadSkip.SkipFraction(), pct(r.ReadSkip.SkipFraction())))
+	t.Add(report.S("combined savings"), report.F(r.Combined, pct(r.Combined)))
+	rep.AddTable(t)
+	rep.Textf("\nthe same pipeline the paper's methodology implies: its HMTT tracer captured\nreal machines; ours captures the simulated system, byte-compatible with\ncmd/tracegen output\n")
+	return rep
 }
+
+// String renders the closed-loop report as text.
+func (r *ClosedLoopResult) String() string { return r.Report().Text() }

@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"memcon/internal/costmodel"
 	"memcon/internal/dram"
+	"memcon/internal/report"
 )
 
 // Fig6Config is one (test mode, LO-REF) combination of the Fig. 6 study.
@@ -19,6 +19,7 @@ type Fig6Config struct {
 // Fig6Result reproduces Fig. 6: accumulated-cost curves and the
 // MinWriteInterval for each test mode / LO-REF interval.
 type Fig6Result struct {
+	resultMeta
 	Configs []Fig6Config
 	// Curve samples the primary configuration (Read-and-Compare, 64 ms)
 	// like the figure does.
@@ -26,7 +27,7 @@ type Fig6Result struct {
 }
 
 // RunFig6 computes the cost-benefit crossovers.
-func RunFig6(Options) (fmt.Stringer, error) {
+func RunFig6(Options) (Result, error) {
 	res := &Fig6Result{}
 	cases := []struct {
 		mode  costmodel.TestMode
@@ -59,52 +60,77 @@ func RunFig6(Options) (fmt.Stringer, error) {
 	return res, nil
 }
 
-// String renders the Fig. 6 report.
-func (r *Fig6Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig. 6 — cost of testing vs aggressive refresh (per row)\n\n")
-	t := &table{header: []string{"test mode", "LO-REF", "test cost", "MinWriteInterval"}}
+// Report builds the Fig. 6 document. The curve is the primary table:
+// the pre-typed CSV export emitted the accumulated-cost series, and the
+// shared renderer keeps that header (time_ms,hiref_ns,memcon_ns).
+func (r *Fig6Result) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Primary = "curve"
+	rep.Textf("Fig. 6 — cost of testing vs aggressive refresh (per row)\n\n")
+	t := report.NewTable("configs",
+		report.CStr("test_mode", "test mode"),
+		report.CInt("loref_ms", "LO-REF", "ms"),
+		report.CInt("test_cost_ns", "test cost", "ns"),
+		report.CInt("min_write_interval_ms", "MinWriteInterval", "ms"))
 	for _, c := range r.Configs {
-		t.addRow(c.Mode.String(),
-			fmt.Sprintf("%d ms", c.LoRef/dram.Millisecond),
-			fmt.Sprintf("%d ns", c.TestCost),
-			fmt.Sprintf("%d ms", c.MinWriteInterval/dram.Millisecond))
+		t.Add(report.S(c.Mode.String()),
+			report.Id(int64(c.LoRef/dram.Millisecond), fmt.Sprintf("%d ms", c.LoRef/dram.Millisecond)),
+			report.Id(int64(c.TestCost), fmt.Sprintf("%d ns", c.TestCost)),
+			report.Id(int64(c.MinWriteInterval/dram.Millisecond), fmt.Sprintf("%d ms", c.MinWriteInterval/dram.Millisecond)))
 	}
-	b.WriteString(t.String())
-	b.WriteString("\naccumulated cost (Read and Compare, LO-REF 64 ms):\n")
-	ct := &table{header: []string{"time (ms)", "HI-REF (ns)", "MEMCON (ns)"}}
+	rep.AddTable(t)
+	rep.Textf("\naccumulated cost (Read and Compare, LO-REF 64 ms):\n")
+	ct := report.NewTable("curve",
+		report.CInt("time_ms", "time (ms)", "ms"),
+		report.CInt("hiref_ns", "HI-REF (ns)", "ns"),
+		report.CInt("memcon_ns", "MEMCON (ns)", "ns"))
 	for _, p := range r.Curve {
-		ct.addRow(fmt.Sprintf("%d", p.Time/dram.Millisecond),
-			fmt.Sprintf("%d", p.HiRef), fmt.Sprintf("%d", p.Memcon))
+		ct.Add(report.I(int64(p.Time/dram.Millisecond)),
+			report.I(int64(p.HiRef)), report.I(int64(p.Memcon)))
 	}
-	b.WriteString(ct.String())
-	return b.String()
+	rep.AddTable(ct)
+	return rep
 }
+
+// String renders the Fig. 6 report as text.
+func (r *Fig6Result) String() string { return r.Report().Text() }
 
 // AppendixResult reports the latency building blocks (paper appendix).
 type AppendixResult struct {
+	resultMeta
 	Costs    costmodel.Breakdown
 	Reserved float64
 }
 
 // RunAppendix computes the appendix numbers.
-func RunAppendix(Options) (fmt.Stringer, error) {
+func RunAppendix(Options) (Result, error) {
 	return &AppendixResult{
 		Costs:    costmodel.Costs(dram.DDR31600()),
 		Reserved: costmodel.CopyCompareReservedRows(512, 8, 262144),
 	}, nil
 }
 
-// String renders the appendix report.
-func (r *AppendixResult) String() string {
-	var b strings.Builder
-	b.WriteString("Appendix — DDR3-1600 cost building blocks\n\n")
-	t := &table{header: []string{"quantity", "value", "paper"}}
-	t.addRow("row cycle (tRCD + 128*tCCD + tRP)", fmt.Sprintf("%d ns", r.Costs.RowCycle), "534 ns")
-	t.addRow("refresh (tRAS + tRP)", fmt.Sprintf("%d ns", r.Costs.RefreshCost), "39 ns")
-	t.addRow("Read and Compare (2 row reads)", fmt.Sprintf("%d ns", r.Costs.ReadCompare), "1068 ns")
-	t.addRow("Copy and Compare (2 reads + 1 write)", fmt.Sprintf("%d ns", r.Costs.CopyCompare), "1602 ns")
-	t.addRow("Copy and Compare reserved capacity", pct2(r.Reserved), "1.56%")
-	b.WriteString(t.String())
-	return b.String()
+// Report builds the appendix document. The value column mixes integer
+// nanosecond cells with one float fraction — cells carry their own
+// kinds, the column kind records the dominant one.
+func (r *AppendixResult) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Appendix — DDR3-1600 cost building blocks\n\n")
+	t := report.NewTable("costs",
+		report.CStr("quantity", ""),
+		report.CInt("value", "", "ns"),
+		report.CStr("paper", ""))
+	ns := func(v dram.Nanoseconds) report.Cell {
+		return report.Id(int64(v), fmt.Sprintf("%d ns", v))
+	}
+	t.Add(report.S("row cycle (tRCD + 128*tCCD + tRP)"), ns(r.Costs.RowCycle), report.S("534 ns"))
+	t.Add(report.S("refresh (tRAS + tRP)"), ns(r.Costs.RefreshCost), report.S("39 ns"))
+	t.Add(report.S("Read and Compare (2 row reads)"), ns(r.Costs.ReadCompare), report.S("1068 ns"))
+	t.Add(report.S("Copy and Compare (2 reads + 1 write)"), ns(r.Costs.CopyCompare), report.S("1602 ns"))
+	t.Add(report.S("Copy and Compare reserved capacity"), report.F(r.Reserved, pct2(r.Reserved)), report.S("1.56%"))
+	rep.AddTable(t)
+	return rep
 }
+
+// String renders the appendix report as text.
+func (r *AppendixResult) String() string { return r.Report().Text() }

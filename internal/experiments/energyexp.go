@@ -2,21 +2,18 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"memcon/internal/core"
 	"memcon/internal/costmodel"
 	"memcon/internal/dram"
 	"memcon/internal/energy"
+	"memcon/internal/report"
 	"memcon/internal/trace"
 	"memcon/internal/workload"
 )
 
 func init() {
-	registry["energy"] = struct {
-		runner Runner
-		desc   string
-	}{RunEnergy, "Extension: DRAM energy by refresh mechanism (the paper claims, we quantify)"}
+	registry["energy"] = entry{RunEnergy, "Extension: DRAM energy by refresh mechanism (the paper claims, we quantify)"}
 }
 
 // EnergyRow is one policy's energy outcome.
@@ -30,6 +27,7 @@ type EnergyRow struct {
 // MEMCON workload set, using each policy's refresh-operation count and
 // MEMCON's measured testing traffic.
 type EnergyResult struct {
+	resultMeta
 	Rows []EnergyRow
 	// MemconRefreshReduction is the measured reduction feeding the
 	// MEMCON row.
@@ -46,7 +44,7 @@ type EnergyResult struct {
 // module is modelled as the written footprint plus 9x read-only rows.
 // Savings are reported over the CONTROLLABLE energy (refresh + testing);
 // background power is shown for context but no refresh policy moves it.
-func RunEnergy(opts Options) (fmt.Stringer, error) {
+func RunEnergy(opts Options) (Result, error) {
 	app, err := workload.AppByName("AdobePremiere")
 	if err != nil {
 		return nil, err
@@ -116,24 +114,41 @@ func RunEnergy(opts Options) (fmt.Stringer, error) {
 	return res, nil
 }
 
-// String renders the energy comparison.
-func (r *EnergyResult) String() string {
-	var b strings.Builder
-	b.WriteString("Extension — DRAM energy by refresh mechanism\n\n")
-	t := &table{header: []string{"policy", "refresh (mJ)", "testing (mJ)", "background (mJ)", "total (mJ)", "savings"}}
+// Report builds the energy-comparison document.
+func (r *EnergyResult) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Extension — DRAM energy by refresh mechanism\n\n")
+	t := report.NewTable("rows",
+		report.CStr("policy", ""),
+		report.CFloat("refresh_mj", "refresh (mJ)", "mJ"),
+		report.CFloat("testing_mj", "testing (mJ)", "mJ"),
+		report.CFloat("background_mj", "background (mJ)", "mJ"),
+		report.CFloat("total_mj", "total (mJ)", "mJ"),
+		report.CFloat("savings", "", "fraction"))
 	for _, row := range r.Rows {
-		t.addRow(row.Policy,
-			fmt.Sprintf("%.1f", row.Breakdown.RefreshMJ),
-			fmt.Sprintf("%.3f", row.Breakdown.TestingMJ),
-			fmt.Sprintf("%.1f", row.Breakdown.BackgroundMJ),
-			fmt.Sprintf("%.1f", row.Breakdown.Total()),
-			pct(row.Savings))
+		t.Add(report.S(row.Policy),
+			report.F(row.Breakdown.RefreshMJ, fmt.Sprintf("%.1f", row.Breakdown.RefreshMJ)),
+			report.F(row.Breakdown.TestingMJ, fmt.Sprintf("%.3f", row.Breakdown.TestingMJ)),
+			report.F(row.Breakdown.BackgroundMJ, fmt.Sprintf("%.1f", row.Breakdown.BackgroundMJ)),
+			report.F(row.Breakdown.Total(), fmt.Sprintf("%.1f", row.Breakdown.Total())),
+			report.F(row.Savings, pct(row.Savings)))
 	}
-	b.WriteString(t.String())
-	fmt.Fprintf(&b, "\nMEMCON refresh reduction feeding this table: %s\n", pct(r.MemconRefreshReduction))
-	b.WriteString("savings are over controllable (refresh+testing) energy; background power is\n")
-	b.WriteString("policy-invariant. the paper claims energy benefits without quantifying them;\n")
-	fmt.Fprintf(&b, "this extension does — a full-row test costs ~50 refresh ops in energy, so the\nenergy-optimal MinWriteInterval is %d ms vs the latency-optimal %d ms\n",
+	rep.AddTable(t)
+	rep.Textf("\nMEMCON refresh reduction feeding this table: %s\n", pct(r.MemconRefreshReduction))
+	rep.Textf("savings are over controllable (refresh+testing) energy; background power is\n")
+	rep.Textf("policy-invariant. the paper claims energy benefits without quantifying them;\n")
+	rep.Textf("this extension does — a full-row test costs ~50 refresh ops in energy, so the\nenergy-optimal MinWriteInterval is %d ms vs the latency-optimal %d ms\n",
 		r.EnergyMWI/dram.Millisecond, r.LatencyMWI/dram.Millisecond)
-	return b.String()
+	st := report.NewTable("summary",
+		report.CFloat("memcon_refresh_reduction", "", "fraction"),
+		report.CInt("latency_mwi_ms", "", "ms"),
+		report.CInt("energy_mwi_ms", "", "ms"))
+	st.Add(report.Fv(r.MemconRefreshReduction),
+		report.I(int64(r.LatencyMWI/dram.Millisecond)),
+		report.I(int64(r.EnergyMWI/dram.Millisecond)))
+	rep.AddDataTable(st)
+	return rep
 }
+
+// String renders the energy comparison as text.
+func (r *EnergyResult) String() string { return r.Report().Text() }

@@ -1,8 +1,9 @@
 // Package experiments regenerates every table and figure of the MEMCON
-// paper's evaluation. Each experiment is a typed runner producing both
-// structured results and a rendered text table with the same rows/series
-// the paper reports. The DESIGN.md per-experiment index maps experiment
-// ids to paper artifacts; cmd/memconsim dispatches on the same ids.
+// paper's evaluation. Each experiment is a typed runner producing a
+// structured report.Report — provenance header plus typed tables — from
+// which the text, CSV, and JSON renderings all derive. The DESIGN.md
+// per-experiment index maps experiment ids to paper artifacts;
+// cmd/memconsim dispatches on the same ids.
 package experiments
 
 import (
@@ -14,6 +15,7 @@ import (
 
 	"memcon/internal/obs"
 	"memcon/internal/parallel"
+	"memcon/internal/report"
 )
 
 // Options tune experiment cost. The defaults reproduce the paper-scale
@@ -22,7 +24,12 @@ type Options struct {
 	// Scale in (0,1] shrinks workload sizes (trace pages, module rows).
 	Scale float64
 	// Seed drives all randomness, making every experiment reproducible.
+	// A zero Seed selects the default unless SeedSet is true.
 	Seed int64
+	// SeedSet marks Seed as explicitly chosen, making seed 0 usable:
+	// without it a zero value is indistinguishable from "unset" and
+	// normalize would silently substitute the default.
+	SeedSet bool
 	// SimTimeNs bounds performance-simulation runs (per configuration).
 	SimTimeNs int64
 	// Mixes is the number of multiprogrammed mixes for performance runs.
@@ -32,6 +39,10 @@ type Options struct {
 	// byte-identical output for any worker count (per-unit seeds are
 	// derived with parallel.Seed, fan-in is ordered).
 	Workers int
+	// Version is an opaque build identifier recorded in report
+	// provenance (for example a git-describe string). It never
+	// influences the numbers; report.Diff treats mismatches as notes.
+	Version string
 	// Ctx cancels in-flight sweeps between work units; nil means
 	// context.Background().
 	Ctx context.Context
@@ -64,7 +75,7 @@ func (o Options) normalize() Options {
 	if o.Scale <= 0 || o.Scale > 1 {
 		o.Scale = d.Scale
 	}
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.SeedSet {
 		o.Seed = d.Seed
 	}
 	if o.SimTimeNs <= 0 {
@@ -90,15 +101,42 @@ func forUnits[T any](opts Options, n int, fn func(i int) (T, error)) ([]T, error
 	return parallel.Map(opts.Ctx, n, opts.Workers, fn)
 }
 
-// Runner executes one experiment and renders its report.
-type Runner func(Options) (fmt.Stringer, error)
+// Result is the outcome of one experiment: a typed report plus the
+// legacy text rendering (String delegates to the report's text form).
+// The interface is sealed — result types live in this package and embed
+// resultMeta, which lets the dispatcher stamp provenance after the run.
+type Result interface {
+	fmt.Stringer
+	// Report builds the structured result document. The provenance
+	// header is populated when the result came from Run; results built
+	// by calling a runner directly carry empty provenance.
+	Report() *report.Report
+	setProvenance(report.Provenance)
+}
+
+// resultMeta carries the provenance the dispatcher stamps onto every
+// result. Result types embed it (by value) to satisfy Result.
+type resultMeta struct {
+	prov report.Provenance
+}
+
+func (m *resultMeta) setProvenance(p report.Provenance) { m.prov = p }
+
+// provenance returns the stamped provenance for Report builders.
+func (m *resultMeta) provenance() report.Provenance { return m.prov }
+
+// Runner executes one experiment and returns its typed result.
+type Runner func(Options) (Result, error)
+
+// entry pairs a runner with its registry description.
+type entry struct {
+	runner Runner
+	desc   string
+}
 
 // registry maps experiment ids to runners. Ids follow the paper's
 // figure/table numbering.
-var registry = map[string]struct {
-	runner Runner
-	desc   string
-}{
+var registry = map[string]entry{
 	"table1": {RunTable1, "Table 1: evaluated long-running workloads"},
 	"fig3":   {RunFig3, "Fig. 3: cells failing conditionally on data pattern"},
 	"fig4":   {RunFig4, "Fig. 4: failing rows, program content vs all-pattern"},
@@ -137,8 +175,12 @@ func Describe(id string) (string, error) {
 	return e.desc, nil
 }
 
-// Run executes the experiment with the given id.
-func Run(id string, opts Options) (fmt.Stringer, error) {
+// Run executes the experiment with the given id and stamps the result's
+// report provenance with the normalized inputs. The worker count is
+// deliberately not recorded: reports are byte-identical for any
+// -parallel value, and provenance only holds inputs that determine the
+// numbers.
+func Run(id string, opts Options) (Result, error) {
 	e, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
@@ -147,52 +189,22 @@ func Run(id string, opts Options) (fmt.Stringer, error) {
 	if opts.Phases != nil {
 		defer opts.Phases.Start(id)()
 	}
-	return e.runner(opts)
-}
-
-// table is a tiny fixed-width text table builder shared by the reports.
-type table struct {
-	header []string
-	rows   [][]string
-}
-
-func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
-
-func (t *table) String() string {
-	widths := make([]int, len(t.header))
-	for i, h := range t.header {
-		widths[i] = len(h)
+	res, err := e.runner(opts)
+	if err != nil {
+		return nil, err
 	}
-	for _, r := range t.rows {
-		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	var b strings.Builder
-	writeRow := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(t.header)
-	for i, w := range widths {
-		if i > 0 {
-			b.WriteString("  ")
-		}
-		b.WriteString(strings.Repeat("-", w))
-	}
-	b.WriteByte('\n')
-	for _, r := range t.rows {
-		writeRow(r)
-	}
-	return b.String()
+	res.setProvenance(report.Provenance{
+		Experiment: id,
+		Title:      e.desc,
+		Seed:       opts.Seed,
+		Scale:      opts.Scale,
+		SimTimeNs:  opts.SimTimeNs,
+		Mixes:      opts.Mixes,
+		Version:    opts.Version,
+	})
+	return res, nil
 }
 
 func pct(x float64) string  { return fmt.Sprintf("%.1f%%", 100*x) }
 func pct2(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
+func itoa(v int) string     { return fmt.Sprintf("%d", v) }

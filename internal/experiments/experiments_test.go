@@ -63,17 +63,34 @@ func TestOptionsNormalize(t *testing.T) {
 	}
 }
 
-func TestTableRendering(t *testing.T) {
-	tb := &table{header: []string{"a", "long-header"}}
-	tb.addRow("x", "1")
-	tb.addRow("longer-cell", "2")
-	s := tb.String()
-	lines := strings.Split(strings.TrimSpace(s), "\n")
-	if len(lines) != 4 {
-		t.Fatalf("rendered %d lines, want 4:\n%s", len(lines), s)
+// TestSeedZeroExplicit pins the SeedSet mechanism: a zero Seed is the
+// default unless the caller marks it explicit, in which case it sticks.
+func TestSeedZeroExplicit(t *testing.T) {
+	if n := (Options{Seed: 0}).normalize(); n.Seed != DefaultOptions().Seed {
+		t.Errorf("implicit zero seed = %d, want default %d", n.Seed, DefaultOptions().Seed)
 	}
-	if !strings.Contains(lines[1], "---") {
-		t.Error("missing separator line")
+	if n := (Options{Seed: 0, SeedSet: true}).normalize(); n.Seed != 0 {
+		t.Errorf("explicit zero seed replaced with %d", n.Seed)
+	}
+}
+
+// TestRunStampsProvenance pins that the dispatcher records the
+// normalized inputs (and only the inputs — Workers deliberately absent
+// from the Provenance type) on every result's report.
+func TestRunStampsProvenance(t *testing.T) {
+	opts := testOpts()
+	opts.Version = "test-build"
+	out, err := Run("minwi", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := out.Report().Prov
+	if p.Experiment != "minwi" || p.Seed != opts.Seed || p.Scale != opts.Scale ||
+		p.SimTimeNs != opts.SimTimeNs || p.Mixes != opts.Mixes || p.Version != "test-build" {
+		t.Errorf("provenance = %+v", p)
+	}
+	if p.Title == "" {
+		t.Error("provenance missing the registry description")
 	}
 }
 

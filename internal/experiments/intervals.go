@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"memcon/internal/pareto"
+	"memcon/internal/report"
 	"memcon/internal/stats"
 	"memcon/internal/trace"
 	"memcon/internal/workload"
@@ -36,11 +36,14 @@ type Fig7App struct {
 }
 
 // Fig7Result reproduces Fig. 7.
-type Fig7Result struct{ Apps []Fig7App }
+type Fig7Result struct {
+	resultMeta
+	Apps []Fig7App
+}
 
 // RunFig7 computes write-interval distributions for the representative
 // workloads, one independent work unit per workload.
-func RunFig7(opts Options) (fmt.Stringer, error) {
+func RunFig7(opts Options) (Result, error) {
 	apps, err := forUnits(opts, len(representativeApps), func(i int) (Fig7App, error) {
 		name := representativeApps[i]
 		tr, err := genTrace(name, opts)
@@ -71,17 +74,41 @@ func RunFig7(opts Options) (fmt.Stringer, error) {
 	return &Fig7Result{Apps: apps}, nil
 }
 
-// String renders the Fig. 7 report.
-func (r *Fig7Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig. 7 — distribution of write intervals\n")
+// Report builds the Fig. 7 document. The histograms render as prose
+// (byte-identical to the pre-typed output); the bucket counts also
+// appear in machine shape as data-only tables.
+func (r *Fig7Result) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Fig. 7 — distribution of write intervals\n")
 	for _, a := range r.Apps {
-		fmt.Fprintf(&b, "\n%s  (<1ms: %s, >1024ms: %s of writes)\n",
+		rep.Textf("\n%s  (<1ms: %s, >1024ms: %s of writes)\n",
 			a.Name, pct2(a.Under1ms), pct2(a.Over1024ms))
-		b.WriteString(a.Hist.String())
+		rep.Textf("%s", a.Hist.String())
 	}
-	return b.String()
+	at := report.NewTable("apps",
+		report.CStr("application", ""),
+		report.CFloat("under_1ms", "", "fraction"),
+		report.CFloat("over_1024ms", "", "fraction"))
+	bt := report.NewTable("buckets",
+		report.CStr("application", ""),
+		report.CFloat("bucket_low_ms", "", "ms"),
+		report.CInt("count", "", "writes"))
+	for _, a := range r.Apps {
+		at.Add(report.S(a.Name), report.Fv(a.Under1ms), report.Fv(a.Over1024ms))
+		h := a.Hist
+		bt.Add(report.S(a.Name), report.Fv(0), report.I(h.Underflow()))
+		for i := 0; i < h.Buckets; i++ {
+			bt.Add(report.S(a.Name), report.Fv(h.BucketLow(i)), report.I(h.Count(i)))
+		}
+		bt.Add(report.S(a.Name), report.Fv(h.BucketLow(h.Buckets)), report.I(h.Overflow()))
+	}
+	rep.AddDataTable(at)
+	rep.AddDataTable(bt)
+	return rep
 }
+
+// String renders the Fig. 7 report as text.
+func (r *Fig7Result) String() string { return r.Report().Text() }
 
 // Fig8App is one application's Pareto fit.
 type Fig8App struct {
@@ -90,11 +117,14 @@ type Fig8App struct {
 }
 
 // Fig8Result reproduces Fig. 8.
-type Fig8Result struct{ Apps []Fig8App }
+type Fig8Result struct {
+	resultMeta
+	Apps []Fig8App
+}
 
 // RunFig8 fits Pareto distributions to the interval tails (>= 1 ms, the
 // plotted range) of the representative workloads.
-func RunFig8(opts Options) (fmt.Stringer, error) {
+func RunFig8(opts Options) (Result, error) {
 	apps, err := forUnits(opts, len(representativeApps), func(i int) (Fig8App, error) {
 		name := representativeApps[i]
 		tr, err := genTrace(name, opts)
@@ -116,21 +146,28 @@ func RunFig8(opts Options) (fmt.Stringer, error) {
 	return &Fig8Result{Apps: apps}, nil
 }
 
-// String renders the Fig. 8 report.
-func (r *Fig8Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig. 8 — Pareto distribution of write intervals (P(X>x) = k*x^-alpha)\n\n")
-	t := &table{header: []string{"application", "alpha", "xm (ms)", "R^2"}}
+// Report builds the Fig. 8 document.
+func (r *Fig8Result) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Fig. 8 — Pareto distribution of write intervals (P(X>x) = k*x^-alpha)\n\n")
+	t := report.NewTable("fits",
+		report.CStr("application", ""),
+		report.CFloat("alpha", "", ""),
+		report.CFloat("xm_ms", "xm (ms)", "ms"),
+		report.CFloat("r2", "R^2", ""))
 	for _, a := range r.Apps {
-		t.addRow(a.Name,
-			fmt.Sprintf("%.3f", a.Fit.Dist.Alpha),
-			fmt.Sprintf("%.2f", a.Fit.Dist.Xm),
-			fmt.Sprintf("%.4f", a.Fit.R2))
+		t.Add(report.S(a.Name),
+			report.F(a.Fit.Dist.Alpha, fmt.Sprintf("%.3f", a.Fit.Dist.Alpha)),
+			report.F(a.Fit.Dist.Xm, fmt.Sprintf("%.2f", a.Fit.Dist.Xm)),
+			report.F(a.Fit.R2, fmt.Sprintf("%.4f", a.Fit.R2)))
 	}
-	b.WriteString(t.String())
-	b.WriteString("\npaper reports R^2 of 0.94/0.94/0.99 for its three workloads\n")
-	return b.String()
+	rep.AddTable(t)
+	rep.Textf("\npaper reports R^2 of 0.94/0.94/0.99 for its three workloads\n")
+	return rep
 }
+
+// String renders the Fig. 8 report as text.
+func (r *Fig8Result) String() string { return r.Report().Text() }
 
 // Fig9Row is one application's long-interval time share.
 type Fig9Row struct {
@@ -142,13 +179,14 @@ type Fig9Row struct {
 
 // Fig9Result reproduces Fig. 9.
 type Fig9Result struct {
+	resultMeta
 	Rows    []Fig9Row
 	Average float64
 }
 
 // RunFig9 computes the execution-time share of long write intervals for
 // all twelve workloads.
-func RunFig9(opts Options) (fmt.Stringer, error) {
+func RunFig9(opts Options) (Result, error) {
 	apps := workload.Apps()
 	rows, err := forUnits(opts, len(apps), func(i int) (Fig9Row, error) {
 		tr := apps[i].Generate(opts.Seed, opts.Scale)
@@ -177,23 +215,33 @@ func RunFig9(opts Options) (fmt.Stringer, error) {
 	return res, nil
 }
 
-// String renders the Fig. 9 report.
-func (r *Fig9Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig. 9 — execution time dominated by long write intervals (>= 1024 ms)\n\n")
-	t := &table{header: []string{"application", ">=1024ms share", "<1024ms share"}}
-	for _, row := range r.Rows {
-		t.addRow(row.Name, pct(row.LongShare), pct(1-row.LongShare))
+// Report builds the Fig. 9 document.
+func (r *Fig9Result) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Fig. 9 — execution time dominated by long write intervals (>= 1024 ms)\n\n")
+	t := report.NewTable("rows",
+		report.CStr("application", ""),
+		report.CFloat("long_share", ">=1024ms share", "fraction"),
+		report.CFloat("short_share", "<1024ms share", "fraction"))
+	add := func(name string, share float64) {
+		t.Add(report.S(name), report.F(share, pct(share)), report.F(1-share, pct(1-share)))
 	}
-	t.addRow("AVERAGE", pct(r.Average), pct(1-r.Average))
-	b.WriteString(t.String())
-	b.WriteString("\npaper: write intervals >= 1024 ms constitute 89.5% of total write-interval time on average\n")
-	return b.String()
+	for _, row := range r.Rows {
+		add(row.Name, row.LongShare)
+	}
+	add("AVERAGE", r.Average)
+	rep.AddTable(t)
+	rep.Textf("\npaper: write intervals >= 1024 ms constitute 89.5%% of total write-interval time on average\n")
+	return rep
 }
+
+// String renders the Fig. 9 report as text.
+func (r *Fig9Result) String() string { return r.Report().Text() }
 
 // Fig11Result reproduces Fig. 11: P(remaining interval > 1024 ms) as a
 // function of the elapsed (current) interval length.
 type Fig11Result struct {
+	resultMeta
 	CILs []float64
 	// P[app][i] is the conditional probability at CILs[i].
 	Apps []string
@@ -202,7 +250,7 @@ type Fig11Result struct {
 
 // RunFig11 computes the decreasing-hazard-rate conditionals for all
 // workloads.
-func RunFig11(opts Options) (fmt.Stringer, error) {
+func RunFig11(opts Options) (Result, error) {
 	apps := workload.Apps()
 	rows, err := forUnits(opts, len(apps), func(i int) ([]float64, error) {
 		tr := apps[i].Generate(opts.Seed, opts.Scale)
@@ -223,34 +271,41 @@ func RunFig11(opts Options) (fmt.Stringer, error) {
 	return res, nil
 }
 
-// String renders the Fig. 11 report.
-func (r *Fig11Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig. 11 — P(RIL > 1024 ms) as a function of CIL\n\n")
-	header := []string{"CIL (ms)"}
-	header = append(header, r.Apps...)
-	t := &table{header: header}
-	for i, c := range r.CILs {
-		row := []string{fmt.Sprintf("%.0f", c)}
-		for a := range r.Apps {
-			row = append(row, fmt.Sprintf("%.2f", r.P[a][i]))
-		}
-		t.addRow(row...)
+// Report builds the Fig. 11 document: one column per application, as
+// the pre-typed CSV export laid the series out.
+func (r *Fig11Result) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Fig. 11 — P(RIL > 1024 ms) as a function of CIL\n\n")
+	cols := []report.Column{report.CFloat("cil_ms", "CIL (ms)", "ms")}
+	for _, app := range r.Apps {
+		cols = append(cols, report.CFloat(app, app, "probability"))
 	}
-	b.WriteString(t.String())
-	return b.String()
+	t := report.NewTable("series", cols...)
+	for i, c := range r.CILs {
+		row := []report.Cell{report.F(c, fmt.Sprintf("%.0f", c))}
+		for a := range r.Apps {
+			row = append(row, report.F(r.P[a][i], fmt.Sprintf("%.2f", r.P[a][i])))
+		}
+		t.Add(row...)
+	}
+	rep.AddTable(t)
+	return rep
 }
+
+// String renders the Fig. 11 report as text.
+func (r *Fig11Result) String() string { return r.Report().Text() }
 
 // Fig12Result reproduces Fig. 12: coverage of write-interval time as a
 // function of CIL.
 type Fig12Result struct {
+	resultMeta
 	CILs     []float64
 	Apps     []string
 	Coverage [][]float64
 }
 
 // RunFig12 computes prediction coverage for all workloads.
-func RunFig12(opts Options) (fmt.Stringer, error) {
+func RunFig12(opts Options) (Result, error) {
 	apps := workload.Apps()
 	rows, err := forUnits(opts, len(apps), func(i int) ([]float64, error) {
 		tr := apps[i].Generate(opts.Seed, opts.Scale)
@@ -271,27 +326,33 @@ func RunFig12(opts Options) (fmt.Stringer, error) {
 	return res, nil
 }
 
-// String renders the Fig. 12 report.
-func (r *Fig12Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig. 12 — coverage of write-interval time vs CIL\n\n")
-	header := []string{"CIL (ms)"}
-	header = append(header, r.Apps...)
-	t := &table{header: header}
-	for i, c := range r.CILs {
-		row := []string{fmt.Sprintf("%.0f", c)}
-		for a := range r.Apps {
-			row = append(row, pct(r.Coverage[a][i]))
-		}
-		t.addRow(row...)
+// Report builds the Fig. 12 document.
+func (r *Fig12Result) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Fig. 12 — coverage of write-interval time vs CIL\n\n")
+	cols := []report.Column{report.CFloat("cil_ms", "CIL (ms)", "ms")}
+	for _, app := range r.Apps {
+		cols = append(cols, report.CFloat(app, app, "fraction"))
 	}
-	b.WriteString(t.String())
-	return b.String()
+	t := report.NewTable("series", cols...)
+	for i, c := range r.CILs {
+		row := []report.Cell{report.F(c, fmt.Sprintf("%.0f", c))}
+		for a := range r.Apps {
+			row = append(row, report.F(r.Coverage[a][i], pct(r.Coverage[a][i])))
+		}
+		t.Add(row...)
+	}
+	rep.AddTable(t)
+	return rep
 }
+
+// String renders the Fig. 12 report as text.
+func (r *Fig12Result) String() string { return r.Report().Text() }
 
 // Fig19Result reproduces Fig. 19: the same interval statistics with all
 // write intervals halved (emulating higher cache pressure).
 type Fig19Result struct {
+	resultMeta
 	App string
 	// Full/Half give P(RIL > 1024 ms) at CIL in {512, 1024, 2048} ms.
 	CILs []float64
@@ -302,7 +363,7 @@ type Fig19Result struct {
 }
 
 // RunFig19 halves the ACBrotherhood intervals and compares.
-func RunFig19(opts Options) (fmt.Stringer, error) {
+func RunFig19(opts Options) (Result, error) {
 	tr, err := genTrace("ACBrotherHood", opts)
 	if err != nil {
 		return nil, err
@@ -333,19 +394,30 @@ func RunFig19(opts Options) (fmt.Stringer, error) {
 	return res, nil
 }
 
-// String renders the Fig. 19 report.
-func (r *Fig19Result) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Fig. 19 — sensitivity to halved write intervals (%s)\n\n", r.App)
-	t := &table{header: []string{"CIL (ms)", "P(RIL>1024) full", "P(RIL>1024) halved"}}
+// Report builds the Fig. 19 document.
+func (r *Fig19Result) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Fig. 19 — sensitivity to halved write intervals (%s)\n\n", r.App)
+	t := report.NewTable("series",
+		report.CFloat("cil_ms", "CIL (ms)", "ms"),
+		report.CFloat("full", "P(RIL>1024) full", "probability"),
+		report.CFloat("halved", "P(RIL>1024) halved", "probability"))
 	for i, c := range r.CILs {
-		t.addRow(fmt.Sprintf("%.0f", c),
-			fmt.Sprintf("%.2f", r.Full[i]),
-			fmt.Sprintf("%.2f", r.Half[i]))
+		t.Add(report.F(c, fmt.Sprintf("%.0f", c)),
+			report.F(r.Full[i], fmt.Sprintf("%.2f", r.Full[i])),
+			report.F(r.Half[i], fmt.Sprintf("%.2f", r.Half[i])))
 	}
-	b.WriteString(t.String())
-	fmt.Fprintf(&b, "\nintervals >= 1024 ms by count: full %s, halved %s\n",
+	rep.AddTable(t)
+	rep.Textf("\nintervals >= 1024 ms by count: full %s, halved %s\n",
 		pct2(r.FullShare), pct2(r.HalfShare))
-	b.WriteString("paper: halving the intervals does not significantly change P(RIL > 1024 ms)\n")
-	return b.String()
+	rep.Textf("paper: halving the intervals does not significantly change P(RIL > 1024 ms)\n")
+	st := report.NewTable("summary",
+		report.CFloat("full_share", "", "fraction"),
+		report.CFloat("half_share", "", "fraction"))
+	st.Add(report.Fv(r.FullShare), report.Fv(r.HalfShare))
+	rep.AddDataTable(st)
+	return rep
 }
+
+// String renders the Fig. 19 report as text.
+func (r *Fig19Result) String() string { return r.Report().Text() }

@@ -1,17 +1,12 @@
 package experiments
 
 import (
-	"fmt"
-	"strings"
-
 	"memcon/internal/faults"
+	"memcon/internal/report"
 )
 
 func init() {
-	registry["motiv"] = struct {
-		runner Runner
-		desc   string
-	}{RunMotivation, "Motivation (paper sec. 2): naive system-level neighbour testing misses failures"}
+	registry["motiv"] = entry{RunMotivation, "Motivation (paper sec. 2): naive system-level neighbour testing misses failures"}
 }
 
 // MotivationResult quantifies why system-level pattern testing under a
@@ -19,6 +14,7 @@ func init() {
 // address scrambling and column remapping put physical neighbours at
 // unrelated system addresses.
 type MotivationResult struct {
+	resultMeta
 	// TrueWeakRows is the oracle count (rows that can fail with some
 	// content at the test idle time).
 	TrueWeakRows int
@@ -39,7 +35,7 @@ func (r *MotivationResult) MissRate() float64 {
 
 // RunMotivation runs the naive system-level neighbour test against the
 // silicon ground truth.
-func RunMotivation(opts Options) (fmt.Stringer, error) {
+func RunMotivation(opts Options) (Result, error) {
 	geom := charGeometry(opts.Scale * 0.5)
 	geom.BanksPerChip = 2
 	params := faults.DefaultParams()
@@ -61,16 +57,24 @@ func RunMotivation(opts Options) (fmt.Stringer, error) {
 	return res, nil
 }
 
-// String renders the motivation report.
-func (r *MotivationResult) String() string {
-	var b strings.Builder
-	b.WriteString("Motivation — system-level neighbour testing vs silicon ground truth\n\n")
-	t := &table{header: []string{"quantity", "rows"}}
-	t.addRow("truly weak (oracle, any content)", fmt.Sprintf("%d", r.TrueWeakRows))
-	t.addRow("flagged by linear-mapping neighbour test", fmt.Sprintf("%d", r.NaiveFlagged))
-	t.addRow("MISSED by the naive test", fmt.Sprintf("%d", r.Missed))
-	b.WriteString(t.String())
-	fmt.Fprintf(&b, "\nmiss rate: %s — address scrambling and column remapping put physical\n", pct(r.MissRate()))
-	b.WriteString("neighbours at unrelated system addresses, so pattern tests exercise the\nwrong aggressors; this is why MEMCON tests the actual content instead\n")
-	return b.String()
+// Report builds the motivation document.
+func (r *MotivationResult) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Motivation — system-level neighbour testing vs silicon ground truth\n\n")
+	t := report.NewTable("rows",
+		report.CStr("quantity", ""),
+		report.CInt("rows", "", "rows"))
+	t.Add(report.S("truly weak (oracle, any content)"), report.I(int64(r.TrueWeakRows)))
+	t.Add(report.S("flagged by linear-mapping neighbour test"), report.I(int64(r.NaiveFlagged)))
+	t.Add(report.S("MISSED by the naive test"), report.I(int64(r.Missed)))
+	rep.AddTable(t)
+	rep.Textf("\nmiss rate: %s — address scrambling and column remapping put physical\n", pct(r.MissRate()))
+	rep.Textf("neighbours at unrelated system addresses, so pattern tests exercise the\nwrong aggressors; this is why MEMCON tests the actual content instead\n")
+	st := report.NewTable("summary", report.CFloat("miss_rate", "", "fraction"))
+	st.Add(report.Fv(r.MissRate()))
+	rep.AddDataTable(st)
+	return rep
 }
+
+// String renders the motivation report as text.
+func (r *MotivationResult) String() string { return r.Report().Text() }

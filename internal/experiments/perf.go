@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"memcon/internal/dram"
 	"memcon/internal/memctrl"
 	"memcon/internal/parallel"
+	"memcon/internal/report"
 	"memcon/internal/sim"
 	"memcon/internal/stats"
 	"memcon/internal/workload"
@@ -68,10 +68,13 @@ type Fig15Cell struct {
 // for 60% and 75% refresh reductions, single- and four-core, across
 // densities. Test traffic (256 tests per 64 ms) is included, as in the
 // paper.
-type Fig15Result struct{ Cells []Fig15Cell }
+type Fig15Result struct {
+	resultMeta
+	Cells []Fig15Cell
+}
 
 // RunFig15 sweeps the speedup grid.
-func RunFig15(opts Options) (fmt.Stringer, error) {
+func RunFig15(opts Options) (Result, error) {
 	res := &Fig15Result{}
 	for _, cores := range []int{1, 4} {
 		mixes := workload.Mixes(opts.Mixes, cores, opts.Seed)
@@ -102,24 +105,44 @@ func (r *Fig15Result) Speedup(cores int, d dram.Density, reduction float64) floa
 	return 0
 }
 
-// String renders the Fig. 15 report.
-func (r *Fig15Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig. 15 — MEMCON speedup over baseline (16 ms refresh), incl. 256 tests/64 ms\n\n")
+// Report builds the Fig. 15 document: per-core pivot tables for the
+// text rendering, one flat machine table (the pre-typed CSV layout) for
+// CSV, JSON, and diffing.
+func (r *Fig15Result) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Primary = "cells"
+	rep.Textf("Fig. 15 — MEMCON speedup over baseline (16 ms refresh), incl. 256 tests/64 ms\n\n")
 	for _, cores := range []int{1, 4} {
-		fmt.Fprintf(&b, "%d-core:\n", cores)
-		t := &table{header: []string{"density", "60% reduction", "75% reduction"}}
+		rep.Textf("%d-core:\n", cores)
+		t := report.NewTable(fmt.Sprintf("pivot_%dcore", cores),
+			report.CStr("density", ""),
+			report.CFloat("r60", "60% reduction", "x"),
+			report.CFloat("r75", "75% reduction", "x"))
 		for _, d := range densities {
-			t.addRow(d.String(),
-				fmt.Sprintf("%.2fx", r.Speedup(cores, d, 0.60)),
-				fmt.Sprintf("%.2fx", r.Speedup(cores, d, 0.75)))
+			s60, s75 := r.Speedup(cores, d, 0.60), r.Speedup(cores, d, 0.75)
+			t.Add(report.S(d.String()),
+				report.F(s60, fmt.Sprintf("%.2fx", s60)),
+				report.F(s75, fmt.Sprintf("%.2fx", s75)))
 		}
-		b.WriteString(t.String())
-		b.WriteByte('\n')
+		rep.AddTextTable(t)
+		rep.Textf("\n")
 	}
-	b.WriteString("paper: 10%/17%/40% to 12%/22%/50% (1-core) and 10%/23%/52% to 17%/29%/65% (4-core) for 8/16/32 Gb\n")
-	return b.String()
+	rep.Textf("%s", "paper: 10%/17%/40% to 12%/22%/50% (1-core) and 10%/23%/52% to 17%/29%/65% (4-core) for 8/16/32 Gb\n")
+	ct := report.NewTable("cells",
+		report.CInt("cores", "", ""),
+		report.CStr("density", ""),
+		report.CFloat("reduction", "", "fraction"),
+		report.CFloat("speedup", "", "x"))
+	for _, c := range r.Cells {
+		ct.Add(report.I(int64(c.Cores)), report.S(c.Density.String()),
+			report.Fv(c.Reduction), report.Fv(c.Speedup))
+	}
+	rep.AddDataTable(ct)
+	return rep
 }
+
+// String renders the Fig. 15 report as text.
+func (r *Fig15Result) String() string { return r.Report().Text() }
 
 // Table3Cell is one (cores, tests) overhead entry.
 type Table3Cell struct {
@@ -131,10 +154,13 @@ type Table3Cell struct {
 
 // Table3Result reproduces Table 3: performance loss from the extra
 // memory accesses of 256/512/1024 concurrent tests every 64 ms.
-type Table3Result struct{ Cells []Table3Cell }
+type Table3Result struct {
+	resultMeta
+	Cells []Table3Cell
+}
 
 // RunTable3 sweeps test-traffic intensity.
-func RunTable3(opts Options) (fmt.Stringer, error) {
+func RunTable3(opts Options) (Result, error) {
 	res := &Table3Result{}
 	for _, cores := range []int{1, 4} {
 		mixes := workload.Mixes(opts.Mixes, cores, opts.Seed)
@@ -167,19 +193,29 @@ func (r *Table3Result) Loss(cores, tests int) float64 {
 	return 0
 }
 
-// String renders the Table 3 report.
-func (r *Table3Result) String() string {
-	var b strings.Builder
-	b.WriteString("Table 3 — performance loss due to extra accesses for testing\n\n")
-	t := &table{header: []string{"", "256 tests", "512 tests", "1024 tests"}}
+// Report builds the Table 3 document. The first column is unlabeled in
+// the text rendering (matching the paper table), so its Column is built
+// directly with an empty Label rather than through CStr.
+func (r *Table3Result) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Table 3 — performance loss due to extra accesses for testing\n\n")
+	t := report.NewTable("losses",
+		report.Column{Name: "config", Kind: report.KindString},
+		report.CFloat("t256", "256 tests", "fraction"),
+		report.CFloat("t512", "512 tests", "fraction"),
+		report.CFloat("t1024", "1024 tests", "fraction"))
 	for _, cores := range []int{1, 4} {
-		t.addRow(fmt.Sprintf("%d-core", cores),
-			pct2(r.Loss(cores, 256)), pct2(r.Loss(cores, 512)), pct2(r.Loss(cores, 1024)))
+		l256, l512, l1024 := r.Loss(cores, 256), r.Loss(cores, 512), r.Loss(cores, 1024)
+		t.Add(report.S(fmt.Sprintf("%d-core", cores)),
+			report.F(l256, pct2(l256)), report.F(l512, pct2(l512)), report.F(l1024, pct2(l1024)))
 	}
-	b.WriteString(t.String())
-	b.WriteString("\npaper: 0.54%/1.03%/1.88% (1-core), 0.05%/0.09%/0.48% (4-core)\n")
-	return b.String()
+	rep.AddTable(t)
+	rep.Textf("%s", "\npaper: 0.54%/1.03%/1.88% (1-core), 0.05%/0.09%/0.48% (4-core)\n")
+	return rep
 }
+
+// String renders the Table 3 report as text.
+func (r *Table3Result) String() string { return r.Report().Text() }
 
 // Fig16Cell is one (cores, density, policy) speedup over the 16 ms
 // baseline.
@@ -192,7 +228,10 @@ type Fig16Cell struct {
 
 // Fig16Result reproduces Fig. 16: 32 ms refresh, RAIDR, MEMCON, and the
 // ideal 64 ms refresh, all over the 16 ms baseline.
-type Fig16Result struct{ Cells []Fig16Cell }
+type Fig16Result struct {
+	resultMeta
+	Cells []Fig16Cell
+}
 
 // fig16Policies maps names to (reduction vs 16 ms baseline, tests).
 // 32 ms halves refresh ops (50%); RAIDR keeps 16% of rows at 16 ms
@@ -209,7 +248,7 @@ var fig16Policies = []struct {
 }
 
 // RunFig16 sweeps refresh policies.
-func RunFig16(opts Options) (fmt.Stringer, error) {
+func RunFig16(opts Options) (Result, error) {
 	res := &Fig16Result{}
 	for _, cores := range []int{1, 4} {
 		mixes := workload.Mixes(opts.Mixes, cores, opts.Seed)
@@ -241,27 +280,43 @@ func (r *Fig16Result) Speedup(cores int, d dram.Density, policy string) float64 
 	return 0
 }
 
-// String renders the Fig. 16 report.
-func (r *Fig16Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig. 16 — speedup over 16 ms baseline, by refresh mechanism\n\n")
+// Report builds the Fig. 16 document: per-core pivots for text, one
+// flat machine table for CSV/JSON/diff.
+func (r *Fig16Result) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Primary = "cells"
+	rep.Textf("Fig. 16 — speedup over 16 ms baseline, by refresh mechanism\n\n")
 	for _, cores := range []int{1, 4} {
-		fmt.Fprintf(&b, "%d-core:\n", cores)
-		header := []string{"density"}
+		rep.Textf("%d-core:\n", cores)
+		cols := []report.Column{report.CStr("density", "")}
 		for _, p := range fig16Policies {
-			header = append(header, p.name)
+			cols = append(cols, report.CFloat(p.name, p.name, "x"))
 		}
-		t := &table{header: header}
+		t := report.NewTable(fmt.Sprintf("pivot_%dcore", cores), cols...)
 		for _, d := range densities {
-			row := []string{d.String()}
+			row := []report.Cell{report.S(d.String())}
 			for _, p := range fig16Policies {
-				row = append(row, fmt.Sprintf("%.2fx", r.Speedup(cores, d, p.name)))
+				v := r.Speedup(cores, d, p.name)
+				row = append(row, report.F(v, fmt.Sprintf("%.2fx", v)))
 			}
-			t.addRow(row...)
+			t.Add(row...)
 		}
-		b.WriteString(t.String())
-		b.WriteByte('\n')
+		rep.AddTextTable(t)
+		rep.Textf("\n")
 	}
-	b.WriteString("expected ordering: 32ms < RAIDR < MEMCON <= 64ms; MEMCON within 3-5% of 64 ms\n")
-	return b.String()
+	rep.Textf("%s", "expected ordering: 32ms < RAIDR < MEMCON <= 64ms; MEMCON within 3-5% of 64 ms\n")
+	ct := report.NewTable("cells",
+		report.CInt("cores", "", ""),
+		report.CStr("density", ""),
+		report.CStr("policy", ""),
+		report.CFloat("speedup", "", "x"))
+	for _, c := range r.Cells {
+		ct.Add(report.I(int64(c.Cores)), report.S(c.Density.String()),
+			report.S(c.Policy), report.Fv(c.Speedup))
+	}
+	rep.AddDataTable(ct)
+	return rep
 }
+
+// String renders the Fig. 16 report as text.
+func (r *Fig16Result) String() string { return r.Report().Text() }

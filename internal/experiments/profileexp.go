@@ -2,12 +2,12 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"memcon/internal/core"
 	"memcon/internal/dram"
 	"memcon/internal/faults"
 	"memcon/internal/profiler"
+	"memcon/internal/report"
 	"memcon/internal/softmc"
 	"memcon/internal/trace"
 )
@@ -18,14 +18,8 @@ func newTesterFor(mod *dram.Module, model *faults.Model) (*softmc.Tester, error)
 }
 
 func init() {
-	registry["profile"] = struct {
-		runner Runner
-		desc   string
-	}{RunProfile, "Profiling: RAIDR/REAPER-style campaign vs ground truth across guardbands"}
-	registry["abl-remap"] = struct {
-		runner Runner
-		desc   string
-	}{RunAblRemap, "Ablation: remap mitigation for always-failing rows (full-fidelity system)"}
+	registry["profile"] = entry{RunProfile, "Profiling: RAIDR/REAPER-style campaign vs ground truth across guardbands"}
+	registry["abl-remap"] = entry{RunAblRemap, "Ablation: remap mitigation for always-failing rows (full-fidelity system)"}
 }
 
 // ProfileRow is one guardband point of the profiling study.
@@ -41,11 +35,14 @@ type ProfileRow struct {
 // the §6.3 tension: wider guardbands catch more truly weak rows but
 // over-profile, and even then escapes remain — the argument for
 // content-based online testing.
-type ProfileResult struct{ Rows []ProfileRow }
+type ProfileResult struct {
+	resultMeta
+	Rows []ProfileRow
+}
 
 // RunProfile executes profiling campaigns at several guardbands against
 // one chip and reports coverage vs ground truth.
-func RunProfile(opts Options) (fmt.Stringer, error) {
+func RunProfile(opts Options) (Result, error) {
 	geom := charGeometry(opts.Scale * 0.5)
 	geom.BanksPerChip = 2
 	params := faults.ParamsForRefresh(dram.RefreshWindowDefault)
@@ -88,25 +85,33 @@ func RunProfile(opts Options) (fmt.Stringer, error) {
 	return res, nil
 }
 
-// String renders the profiling study.
-func (r *ProfileResult) String() string {
-	var b strings.Builder
-	b.WriteString("Profiling study — pattern campaign coverage vs silicon ground truth\n\n")
-	t := &table{header: []string{"guardband", "flagged rows", "escape rate", "false alarms"}}
+// Report builds the profiling-study document.
+func (r *ProfileResult) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Profiling study — pattern campaign coverage vs silicon ground truth\n\n")
+	t := report.NewTable("rows",
+		report.CFloat("guardband", "", "x"),
+		report.CFloat("weak_row_frac", "flagged rows", "fraction"),
+		report.CFloat("escape_rate", "escape rate", "fraction"),
+		report.CInt("false_alarms", "false alarms", "rows"))
 	for _, row := range r.Rows {
-		t.addRow(fmt.Sprintf("%.2fx", row.Guardband),
-			pct2(row.WeakRowFrac),
-			pct(row.EscapeRate),
-			fmt.Sprintf("%d", row.FalseAlarms))
+		t.Add(report.F(row.Guardband, fmt.Sprintf("%.2fx", row.Guardband)),
+			report.F(row.WeakRowFrac, pct2(row.WeakRowFrac)),
+			report.F(row.EscapeRate, pct(row.EscapeRate)),
+			report.I(int64(row.FalseAlarms)))
 	}
-	b.WriteString(t.String())
-	b.WriteString("\nguardbands trade over-profiling (false alarms refreshed at HI forever) against\nescapes; neither reaches zero escapes without physical-neighbourhood knowledge\n")
-	return b.String()
+	rep.AddTable(t)
+	rep.Textf("\nguardbands trade over-profiling (false alarms refreshed at HI forever) against\nescapes; neither reaches zero escapes without physical-neighbourhood knowledge\n")
+	return rep
 }
+
+// String renders the profiling study as text.
+func (r *ProfileResult) String() string { return r.Report().Text() }
 
 // AblRemapResult measures what remap mitigation buys on chips whose
 // content keeps failing tests.
 type AblRemapResult struct {
+	resultMeta
 	PlainReduction float64
 	RemapReduction float64
 	RemappedRows   int
@@ -115,7 +120,7 @@ type AblRemapResult struct {
 
 // RunAblRemap runs the full-fidelity system with a dense weak-cell
 // population, with and without remap mitigation.
-func RunAblRemap(opts Options) (fmt.Stringer, error) {
+func RunAblRemap(opts Options) (Result, error) {
 	geom := dram.Geometry{
 		Ranks: 1, ChipsPerRank: 1, BanksPerChip: 2,
 		RowsPerBank: 256, ColsPerRow: 512, RedundantCols: 16,
@@ -168,15 +173,25 @@ func RunAblRemap(opts Options) (fmt.Stringer, error) {
 	}, nil
 }
 
-// String renders the remap ablation.
-func (r *AblRemapResult) String() string {
-	var b strings.Builder
-	b.WriteString("Ablation — remap mitigation for rows that keep failing tests\n\n")
-	t := &table{header: []string{"configuration", "refresh reduction"}}
-	t.addRow("HI-REF mitigation only (paper)", pct(r.PlainReduction))
-	t.addRow("with remap to screened spares", pct(r.RemapReduction))
-	b.WriteString(t.String())
-	fmt.Fprintf(&b, "\n%d failing tests; %d rows remapped — completing the paper's mitigation triad\n(high refresh / ECC / remapping) converts permanently-HI rows into LO rows\n",
+// Report builds the remap-ablation document.
+func (r *AblRemapResult) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Ablation — remap mitigation for rows that keep failing tests\n\n")
+	t := report.NewTable("rows",
+		report.CStr("configuration", ""),
+		report.CFloat("reduction", "refresh reduction", "fraction"))
+	t.Add(report.S("HI-REF mitigation only (paper)"), report.F(r.PlainReduction, pct(r.PlainReduction)))
+	t.Add(report.S("with remap to screened spares"), report.F(r.RemapReduction, pct(r.RemapReduction)))
+	rep.AddTable(t)
+	rep.Textf("\n%d failing tests; %d rows remapped — completing the paper's mitigation triad\n(high refresh / ECC / remapping) converts permanently-HI rows into LO rows\n",
 		r.TestsFailed, r.RemappedRows)
-	return b.String()
+	st := report.NewTable("summary",
+		report.CInt("tests_failed", "", ""),
+		report.CInt("remapped_rows", "", "rows"))
+	st.Add(report.I(r.TestsFailed), report.I(int64(r.RemappedRows)))
+	rep.AddDataTable(st)
+	return rep
 }
+
+// String renders the remap ablation as text.
+func (r *AblRemapResult) String() string { return r.Report().Text() }

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"memcon/internal/core"
+	"memcon/internal/report"
 	"memcon/internal/trace"
 	"memcon/internal/workload"
 )
@@ -31,6 +31,7 @@ type Fig14Row struct {
 
 // Fig14Result reproduces Fig. 14.
 type Fig14Result struct {
+	resultMeta
 	Rows       []Fig14Row
 	UpperBound float64
 	// AvgAt1024 is the mean reduction at the 1024 ms quantum.
@@ -43,7 +44,7 @@ type Fig14Result struct {
 // workloads at the three quantum lengths. Apps are independent work
 // units (each generates its own trace); the min/avg/max fold runs over
 // the fanned-in rows in app order.
-func RunFig14(opts Options) (fmt.Stringer, error) {
+func RunFig14(opts Options) (Result, error) {
 	apps := workload.Apps()
 	rows, err := forUnits(opts, len(apps), func(i int) (Fig14Row, error) {
 		tr := apps[i].Generate(opts.Seed, opts.Scale)
@@ -76,20 +77,39 @@ func RunFig14(opts Options) (fmt.Stringer, error) {
 	return res, nil
 }
 
-// String renders the Fig. 14 report.
-func (r *Fig14Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig. 14 — reduction in refresh count with MEMCON (baseline: 16 ms refresh)\n\n")
-	t := &table{header: []string{"application", "CIL 512ms", "CIL 1024ms", "CIL 2048ms"}}
+// Report builds the Fig. 14 document.
+func (r *Fig14Result) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Fig. 14 — reduction in refresh count with MEMCON (baseline: 16 ms refresh)\n\n")
+	t := report.NewTable("rows",
+		report.CStr("application", ""),
+		report.CFloat("cil_512ms", "CIL 512ms", "fraction"),
+		report.CFloat("cil_1024ms", "CIL 1024ms", "fraction"),
+		report.CFloat("cil_2048ms", "CIL 2048ms", "fraction"))
 	for _, row := range r.Rows {
-		t.addRow(row.Name, pct(row.Reduction[0]), pct(row.Reduction[1]), pct(row.Reduction[2]))
+		t.Add(report.S(row.Name),
+			report.F(row.Reduction[0], pct(row.Reduction[0])),
+			report.F(row.Reduction[1], pct(row.Reduction[1])),
+			report.F(row.Reduction[2], pct(row.Reduction[2])))
 	}
-	t.addRow("UPPER BOUND", pct(r.UpperBound), pct(r.UpperBound), pct(r.UpperBound))
-	b.WriteString(t.String())
-	fmt.Fprintf(&b, "\nreduction at CIL 1024 ms: avg %s, range %s - %s (paper: 64.7%% - 74.5%%)\n",
+	t.Add(report.S("UPPER BOUND"),
+		report.F(r.UpperBound, pct(r.UpperBound)),
+		report.F(r.UpperBound, pct(r.UpperBound)),
+		report.F(r.UpperBound, pct(r.UpperBound)))
+	rep.AddTable(t)
+	rep.Textf("\nreduction at CIL 1024 ms: avg %s, range %s - %s (paper: 64.7%% - 74.5%%)\n",
 		pct(r.AvgAt1024), pct(r.MinAt1024), pct(r.MaxAt1024))
-	return b.String()
+	st := report.NewTable("summary",
+		report.CFloat("avg_at_1024", "", "fraction"),
+		report.CFloat("min_at_1024", "", "fraction"),
+		report.CFloat("max_at_1024", "", "fraction"))
+	st.Add(report.Fv(r.AvgAt1024), report.Fv(r.MinAt1024), report.Fv(r.MaxAt1024))
+	rep.AddDataTable(st)
+	return rep
 }
+
+// String renders the Fig. 14 report as text.
+func (r *Fig14Result) String() string { return r.Report().Text() }
 
 // Fig17Row is one application's LO-REF coverage per CIL.
 type Fig17Row struct {
@@ -99,13 +119,14 @@ type Fig17Row struct {
 
 // Fig17Result reproduces Fig. 17.
 type Fig17Result struct {
+	resultMeta
 	Rows []Fig17Row
 	// AvgAt1024 is the mean coverage at the 1024 ms quantum.
 	AvgAt1024 float64
 }
 
 // RunFig17 measures the fraction of execution time rows spend at LO-REF.
-func RunFig17(opts Options) (fmt.Stringer, error) {
+func RunFig17(opts Options) (Result, error) {
 	apps := workload.Apps()
 	rows, err := forUnits(opts, len(apps), func(i int) (Fig17Row, error) {
 		tr := apps[i].Generate(opts.Seed, opts.Scale)
@@ -131,18 +152,31 @@ func RunFig17(opts Options) (fmt.Stringer, error) {
 	return res, nil
 }
 
-// String renders the Fig. 17 report.
-func (r *Fig17Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig. 17 — execution-time coverage of PRIL (time at LO-REF)\n\n")
-	t := &table{header: []string{"application", "CIL 512ms", "CIL 1024ms", "CIL 2048ms"}}
+// Report builds the Fig. 17 document.
+func (r *Fig17Result) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Fig. 17 — execution-time coverage of PRIL (time at LO-REF)\n\n")
+	t := report.NewTable("rows",
+		report.CStr("application", ""),
+		report.CFloat("cil_512ms", "CIL 512ms", "fraction"),
+		report.CFloat("cil_1024ms", "CIL 1024ms", "fraction"),
+		report.CFloat("cil_2048ms", "CIL 2048ms", "fraction"))
 	for _, row := range r.Rows {
-		t.addRow(row.Name, pct(row.Coverage[0]), pct(row.Coverage[1]), pct(row.Coverage[2]))
+		t.Add(report.S(row.Name),
+			report.F(row.Coverage[0], pct(row.Coverage[0])),
+			report.F(row.Coverage[1], pct(row.Coverage[1])),
+			report.F(row.Coverage[2], pct(row.Coverage[2])))
 	}
-	b.WriteString(t.String())
-	fmt.Fprintf(&b, "\naverage coverage at CIL 1024 ms: %s (paper: ~95%%)\n", pct(r.AvgAt1024))
-	return b.String()
+	rep.AddTable(t)
+	rep.Textf("\naverage coverage at CIL 1024 ms: %s (paper: ~95%%)\n", pct(r.AvgAt1024))
+	st := report.NewTable("summary", report.CFloat("avg_at_1024", "", "fraction"))
+	st.Add(report.Fv(r.AvgAt1024))
+	rep.AddDataTable(st)
+	return rep
 }
+
+// String renders the Fig. 17 report as text.
+func (r *Fig17Result) String() string { return r.Report().Text() }
 
 // Fig18Row is one application's refresh+testing time, normalized to the
 // baseline's refresh time.
@@ -158,6 +192,7 @@ type Fig18Row struct {
 
 // Fig18Result reproduces Fig. 18.
 type Fig18Result struct {
+	resultMeta
 	Rows []Fig18Row
 	// AvgTestingShare is the mean total testing share.
 	AvgTestingShare float64
@@ -165,7 +200,7 @@ type Fig18Result struct {
 
 // RunFig18 measures time spent on refresh and testing under MEMCON,
 // normalized to baseline refresh time.
-func RunFig18(opts Options) (fmt.Stringer, error) {
+func RunFig18(opts Options) (Result, error) {
 	apps := workload.Apps()
 	rows, err := forUnits(opts, len(apps), func(i int) (Fig18Row, error) {
 		tr := apps[i].Generate(opts.Seed, opts.Scale)
@@ -202,44 +237,69 @@ func RunFig18(opts Options) (fmt.Stringer, error) {
 	return res, nil
 }
 
-// String renders the Fig. 18 report.
-func (r *Fig18Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig. 18 — time on refresh and testing, normalized to baseline refresh time\n\n")
-	t := &table{header: []string{"application", "refresh", "testing (correct)", "testing (mispredicted)"}}
+// Report builds the Fig. 18 document.
+func (r *Fig18Result) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Fig. 18 — time on refresh and testing, normalized to baseline refresh time\n\n")
+	t := report.NewTable("rows",
+		report.CStr("application", ""),
+		report.CFloat("refresh", "", "fraction"),
+		report.CFloat("testing_correct", "testing (correct)", "fraction"),
+		report.CFloat("testing_mispred", "testing (mispredicted)", "fraction"))
 	for _, row := range r.Rows {
-		t.addRow(row.Name, pct(row.RefreshShare),
-			fmt.Sprintf("%.4f%%", 100*row.TestCorrectShare),
-			fmt.Sprintf("%.4f%%", 100*row.TestMispredShare))
+		t.Add(report.S(row.Name),
+			report.F(row.RefreshShare, pct(row.RefreshShare)),
+			report.F(row.TestCorrectShare, fmt.Sprintf("%.4f%%", 100*row.TestCorrectShare)),
+			report.F(row.TestMispredShare, fmt.Sprintf("%.4f%%", 100*row.TestMispredShare)))
 	}
-	b.WriteString(t.String())
-	fmt.Fprintf(&b, "\naverage testing time: %.4f%% of baseline refresh time (paper: ~0.01%%)\n",
+	rep.AddTable(t)
+	rep.Textf("\naverage testing time: %.4f%% of baseline refresh time (paper: ~0.01%%)\n",
 		100*r.AvgTestingShare)
-	return b.String()
+	st := report.NewTable("summary", report.CFloat("avg_testing_share", "", "fraction"))
+	st.Add(report.Fv(r.AvgTestingShare))
+	rep.AddDataTable(st)
+	return rep
 }
 
+// String renders the Fig. 18 report as text.
+func (r *Fig18Result) String() string { return r.Report().Text() }
+
 // Table1Result reproduces Table 1: the evaluated workload inventory.
-type Table1Result struct{ Apps []workload.AppSpec }
+type Table1Result struct {
+	resultMeta
+	Apps []workload.AppSpec
+}
 
 // RunTable1 returns the workload table.
-func RunTable1(Options) (fmt.Stringer, error) {
+func RunTable1(Options) (Result, error) {
 	return &Table1Result{Apps: workload.Apps()}, nil
 }
 
-// String renders Table 1.
-func (r *Table1Result) String() string {
-	var b strings.Builder
-	b.WriteString("Table 1 — evaluated long-running workloads (synthetic analogues)\n\n")
-	t := &table{header: []string{"application", "type", "time (s)", "mem (GB)", "threads", "pages", "pareto alpha", "xm (ms)"}}
+// Report builds the Table 1 document.
+func (r *Table1Result) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Table 1 — evaluated long-running workloads (synthetic analogues)\n\n")
+	t := report.NewTable("apps",
+		report.CStr("application", ""),
+		report.CStr("type", ""),
+		report.CFloat("time_s", "time (s)", "s"),
+		report.CFloat("mem_gb", "mem (GB)", "GB"),
+		report.CInt("threads", "", ""),
+		report.CInt("pages", "", ""),
+		report.CFloat("pareto_alpha", "pareto alpha", ""),
+		report.CFloat("xm_ms", "xm (ms)", "ms"))
 	for _, a := range r.Apps {
-		t.addRow(a.Name, a.Type,
-			fmt.Sprintf("%.1f", a.DurationSec),
-			fmt.Sprintf("%.1f", a.MemGB),
-			fmt.Sprintf("%d", a.Threads),
-			fmt.Sprintf("%d", a.Pages),
-			fmt.Sprintf("%.2f", a.IdleDist.Alpha),
-			fmt.Sprintf("%.0f", a.IdleDist.Xm))
+		t.Add(report.S(a.Name), report.S(a.Type),
+			report.F(a.DurationSec, fmt.Sprintf("%.1f", a.DurationSec)),
+			report.F(a.MemGB, fmt.Sprintf("%.1f", a.MemGB)),
+			report.I(int64(a.Threads)),
+			report.I(int64(a.Pages)),
+			report.F(a.IdleDist.Alpha, fmt.Sprintf("%.2f", a.IdleDist.Alpha)),
+			report.F(a.IdleDist.Xm, fmt.Sprintf("%.0f", a.IdleDist.Xm)))
 	}
-	b.WriteString(t.String())
-	return b.String()
+	rep.AddTable(t)
+	return rep
 }
+
+// String renders Table 1 as text.
+func (r *Table1Result) String() string { return r.Report().Text() }

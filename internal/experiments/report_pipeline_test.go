@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"memcon/internal/report"
+)
+
+// TestEveryExperimentReports is the registry-wide property test for the
+// typed report pipeline: every registered id must build a report that
+// renders in all three formats, survives a JSON round trip unchanged,
+// and is byte-identical for any worker count.
+func TestEveryExperimentReports(t *testing.T) {
+	opts := testOpts()
+	opts.Scale = 0.02
+	opts.Workers = 1
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			out, err := Run(id, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := out.Report()
+
+			// Provenance is stamped with the normalized inputs.
+			if rep.Prov.Experiment != id || rep.Prov.Seed != opts.Seed {
+				t.Errorf("provenance = %+v", rep.Prov)
+			}
+
+			// Text renders, is non-empty, and matches String().
+			text := rep.Text()
+			if strings.TrimSpace(text) == "" {
+				t.Error("empty text rendering")
+			}
+			if text != out.String() {
+				t.Error("String() diverged from Report().Text()")
+			}
+
+			// CSV renders with a rectangular body.
+			csv, err := rep.CSV()
+			if err != nil {
+				t.Fatalf("CSV: %v", err)
+			}
+			lines := strings.Split(strings.TrimSpace(csv), "\n")
+			if len(lines) < 2 {
+				t.Errorf("csv has only %d lines", len(lines))
+			}
+
+			// JSON round-trips exactly.
+			doc, err := rep.MarshalCanonical()
+			if err != nil {
+				t.Fatalf("MarshalCanonical: %v", err)
+			}
+			back, err := report.DecodeBytes(doc)
+			if err != nil {
+				t.Fatalf("DecodeBytes: %v", err)
+			}
+			if !rep.Equal(back) {
+				t.Error("JSON round trip changed the report")
+			}
+
+			// A fresh identical run diffs clean at zero tolerance, and the
+			// canonical document is byte-identical for any worker count.
+			for _, workers := range []int{4, 8} {
+				wopts := opts
+				wopts.Workers = workers
+				out2, err := Run(id, wopts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep2 := out2.Report()
+				if d := report.Diff(rep, rep2, report.Tolerance{}); !d.Clean() {
+					t.Errorf("workers=%d: re-run drifted:\n%s", workers, d)
+				}
+				doc2, err := rep2.MarshalCanonical()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(doc) != string(doc2) {
+					t.Errorf("workers=%d: canonical JSON not byte-identical", workers)
+				}
+			}
+		})
+	}
+}

@@ -3,17 +3,14 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"strings"
 
 	"memcon/internal/dram"
 	"memcon/internal/faults"
+	"memcon/internal/report"
 )
 
 func init() {
-	registry["vrt"] = struct {
-		runner Runner
-		desc   string
-	}{RunVRT, "Extension: variable retention time — online testing vs one-shot profiling"}
+	registry["vrt"] = entry{RunVRT, "Extension: variable retention time — online testing vs one-shot profiling"}
 }
 
 // VRTCheckpoint is one mid-interval audit point.
@@ -32,6 +29,7 @@ type VRTCheckpoint struct {
 
 // VRTResult compares mitigation coverage under VRT over simulated time.
 type VRTResult struct {
+	resultMeta
 	Checkpoints []VRTCheckpoint
 	// TotalRAIDR / TotalMemcon accumulate escapes over the run.
 	TotalRAIDR  int
@@ -44,7 +42,7 @@ type VRTResult struct {
 // from hour 0 never updates. Halfway through every hour, the audit
 // counts rows that currently fail at LO-REF and asks which mechanism
 // knew about them.
-func RunVRT(opts Options) (fmt.Stringer, error) {
+func RunVRT(opts Options) (Result, error) {
 	geom := charGeometry(opts.Scale * 0.5)
 	geom.BanksPerChip = 1
 	scr := dram.NewScrambler(geom, uint64(opts.Seed), nil)
@@ -122,19 +120,31 @@ func RunVRT(opts Options) (fmt.Stringer, error) {
 	return res, nil
 }
 
-// String renders the VRT comparison.
-func (r *VRTResult) String() string {
-	var b strings.Builder
-	b.WriteString("Extension — variable retention time: online testing vs one-shot profile\n\n")
-	t := &table{header: []string{"hour", "failing rows", "one-shot profile escapes", "MEMCON escapes"}}
+// Report builds the VRT-comparison document.
+func (r *VRTResult) Report() *report.Report {
+	rep := report.New(r.provenance())
+	rep.Textf("Extension — variable retention time: online testing vs one-shot profile\n\n")
+	t := report.NewTable("checkpoints",
+		report.CFloat("hour", "", "h"),
+		report.CInt("failing_rows", "failing rows", "rows"),
+		report.CInt("raidr_escapes", "one-shot profile escapes", "rows"),
+		report.CInt("memcon_escapes", "MEMCON escapes", "rows"))
 	for _, cp := range r.Checkpoints {
-		t.addRow(fmt.Sprintf("%.1f", cp.Hour),
-			fmt.Sprintf("%d", cp.FailingRows),
-			fmt.Sprintf("%d", cp.RAIDREscapes),
-			fmt.Sprintf("%d", cp.MemconEscapes))
+		t.Add(report.F(cp.Hour, fmt.Sprintf("%.1f", cp.Hour)),
+			report.I(int64(cp.FailingRows)),
+			report.I(int64(cp.RAIDREscapes)),
+			report.I(int64(cp.MemconEscapes)))
 	}
-	b.WriteString(t.String())
-	fmt.Fprintf(&b, "\ntotals over 12 h: one-shot %d escapes, MEMCON %d\n", r.TotalRAIDR, r.TotalMemcon)
-	b.WriteString("cells toggle retention states over time (VRT); a boot-time profile decays\nwhile MEMCON's per-content-change testing bounds the exposure window —\nthe AVATAR observation, reproduced with content-based testing\n")
-	return b.String()
+	rep.AddTable(t)
+	rep.Textf("\ntotals over 12 h: one-shot %d escapes, MEMCON %d\n", r.TotalRAIDR, r.TotalMemcon)
+	rep.Textf("cells toggle retention states over time (VRT); a boot-time profile decays\nwhile MEMCON's per-content-change testing bounds the exposure window —\nthe AVATAR observation, reproduced with content-based testing\n")
+	st := report.NewTable("summary",
+		report.CInt("total_raidr", "", "rows"),
+		report.CInt("total_memcon", "", "rows"))
+	st.Add(report.I(int64(r.TotalRAIDR)), report.I(int64(r.TotalMemcon)))
+	rep.AddDataTable(st)
+	return rep
 }
+
+// String renders the VRT comparison as text.
+func (r *VRTResult) String() string { return r.Report().Text() }

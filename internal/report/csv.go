@@ -1,0 +1,58 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+)
+
+// CSV renders the report's primary data table as RFC-4180 text: one
+// header row of column names followed by every row (including hidden
+// ones — elision is a text-rendering concern) at canonical full
+// precision. Reports with several data tables choose via Primary;
+// without it the first data table is emitted.
+func (r *Report) CSV() (string, error) {
+	t, err := r.primaryTable()
+	if err != nil {
+		return "", err
+	}
+	records := make([][]string, 0, len(t.Rows)+1)
+	header := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = c.Name
+	}
+	records = append(records, header)
+	for _, row := range t.Rows {
+		rec := make([]string, len(row.Cells))
+		for i, c := range row.Cells {
+			rec[i] = c.Value()
+		}
+		records = append(records, rec)
+	}
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.WriteAll(records); err != nil {
+		return "", fmt.Errorf("report: encoding csv: %w", err)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", fmt.Errorf("report: flushing csv: %w", err)
+	}
+	return b.String(), nil
+}
+
+func (r *Report) primaryTable() (*Table, error) {
+	tables := r.Tables()
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("report %s: no data table to render as CSV", r.Prov.Experiment)
+	}
+	if r.Primary == "" {
+		return tables[0], nil
+	}
+	for _, t := range tables {
+		if t.Key == r.Primary {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("report %s: primary table %q not found", r.Prov.Experiment, r.Primary)
+}

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Text renders the report as the CLI's fixed-width text document:
+// prose blocks verbatim, data and presentation tables as fixed-width
+// grids, DataOnly blocks omitted. The algorithm (two-space column
+// separators, dash underline, left-justified padding including the last
+// column) is byte-compatible with the table builder the experiments
+// package used before reports were typed.
+func (r *Report) Text() string {
+	var b strings.Builder
+	for _, blk := range r.Blocks {
+		if blk.DataOnly {
+			continue
+		}
+		if blk.Table != nil {
+			writeTableText(&b, blk.Table)
+			continue
+		}
+		b.WriteString(blk.Text)
+	}
+	return b.String()
+}
+
+// writeTableText renders one table. Column widths are computed over the
+// header labels and the visible rows only, so hidden data rows cannot
+// widen the text rendering. Rows wider than the header (possible only
+// in hand-built or decoded reports; Add validates) render with their
+// own width instead of panicking.
+func writeTableText(b *strings.Builder, t *Table) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c.label())
+	}
+	for _, r := range t.Rows {
+		if r.Hidden {
+			continue
+		}
+		for i, c := range r.Cells {
+			if i < len(widths) && len(c.Text()) > widths[i] {
+				widths[i] = len(c.Text())
+			}
+		}
+	}
+	width := func(i, n int) int {
+		if i < len(widths) {
+			return widths[i]
+		}
+		return n
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%-*s", width(i, len(c)), c)
+		}
+		b.WriteByte('\n')
+	}
+	header := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = c.label()
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	cells := make([]string, 0, len(t.Columns))
+	for _, r := range t.Rows {
+		if r.Hidden {
+			continue
+		}
+		cells = cells[:0]
+		for _, c := range r.Cells {
+			cells = append(cells, c.Text())
+		}
+		writeRow(cells)
+	}
+}

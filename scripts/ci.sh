@@ -9,7 +9,9 @@
 #      slowest golden sweeps; they already ran race-free in step 4's
 #      process because the experiment sweeps are parallel by default),
 #   6. the hot-path benchmarks still run (single iteration smoke; see
-#      scripts/bench.sh for real measurements).
+#      scripts/bench.sh for real measurements),
+#   7. every committed reference report under testdata/reports/ is
+#      regenerated and diffed at zero tolerance (report regression).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -41,5 +43,13 @@ go test -race -short ./...
 # BENCH_engine.json.
 echo "== bench smoke =="
 go test -run '^$' -bench 'BenchmarkReadBack|BenchmarkFailingCells|BenchmarkEngineRun' -benchtime=1x .
+
+# Report regression: re-run every experiment from its committed
+# reference document and fail on any numeric drift. `make reports`
+# regenerates the references after an intended change.
+echo "== report regression =="
+for f in testdata/reports/*.json; do
+    go run ./cmd/memconsim -diff "$f" > /dev/null
+done
 
 echo "ci: all checks passed"
