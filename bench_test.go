@@ -10,6 +10,7 @@ package memcon
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -22,6 +23,7 @@ import (
 	"memcon/internal/ecc"
 	"memcon/internal/experiments"
 	"memcon/internal/faults"
+	"memcon/internal/fleet"
 	"memcon/internal/memctrl"
 	"memcon/internal/pril"
 	"memcon/internal/softmc"
@@ -725,4 +727,44 @@ func BenchmarkEngineRun(b *testing.B) {
 		}
 		b.ReportMetric(float64(len(str.Events)), "events/op")
 	})
+}
+
+// BenchmarkFleetRun times the fleet-scale simulation end to end: 64
+// heterogeneous modules over 12 weekly scrub epochs, sharded across the
+// worker pool. The events/op metric pins the workload shape — it must
+// be identical at every worker count (the determinism contract), so a
+// change in the metric between sub-benches is a bug, not noise.
+func BenchmarkFleetRun(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			cfg := fleet.Config{Modules: 64, Seed: 42, Scale: 0.05, Workers: workers}
+			var log *fleet.Log
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				log, err = fleet.Run(context.Background(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(log.Events)), "events/op")
+		})
+	}
+}
+
+// BenchmarkFleetAnalyze times the analytics pass alone (clustering,
+// classification, risk scoring) over a prebuilt 64-module CE log.
+func BenchmarkFleetAnalyze(b *testing.B) {
+	log, err := fleet.Run(context.Background(), fleet.Config{Modules: 64, Seed: 42, Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var an *fleet.Analytics
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an = fleet.Analyze(log)
+	}
+	b.ReportMetric(float64(an.UniqueCells), "cells/op")
 }

@@ -17,6 +17,14 @@
 // -simtime and -mixes. -parallel bounds the worker pool used inside
 // each experiment's sweep; results are byte-identical for any value.
 //
+// Fleet experiments (fleet-ce, fleet-risk) honour -fleet, the module
+// count of the simulated deployment (0, the default, derives a
+// scale-proportional size: 160 modules at -scale 1). With -exp, the
+// raw CE event log of a fleet run can additionally be captured in the
+// compact streaming format:
+//
+//	memconsim -exp fleet-ce -fleet 1000 -fleet-out fleet.celog
+//
 // Structured reports:
 //
 //	memconsim -exp fig14 -format csv             # primary data table as RFC-4180 CSV
@@ -27,8 +35,8 @@
 // Every experiment produces a typed report (provenance header plus
 // typed tables); -format selects the rendering. -diff re-runs the
 // experiment named in a saved report's provenance, using the saved
-// inputs (seed, scale, simtime, mixes) unless overridden on the command
-// line, and fails when any value drifts beyond -tol-abs/-tol-rel.
+// inputs (seed, scale, simtime, mixes, fleet) unless overridden on the
+// command line, and fails when any value drifts beyond -tol-abs/-tol-rel.
 // -csv remains as a deprecated alias for -format csv.
 //
 // Observability:
@@ -92,6 +100,8 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", defaults.Seed, "random seed (0 is honoured when set explicitly)")
 		simtime  = fs.Int64("simtime", defaults.SimTimeNs, "performance-simulation time per run (ns)")
 		mixes    = fs.Int("mixes", defaults.Mixes, "multiprogrammed mixes for performance runs")
+		fleetN   = fs.Int("fleet", 0, "module count for fleet experiments (0 derives a scale-proportional size)")
+		fleetOut = fs.String("fleet-out", "", "with -exp fleet-*: also write the CE event log to this file (compact format)")
 		outFmt   = fs.String("format", "table", "output format: table, csv, or json")
 		csvOut   = fs.Bool("csv", false, "deprecated: alias for -format csv")
 		outDir   = fs.String("out", "", "also write each run's canonical JSON report to DIR/<id>.json")
@@ -113,6 +123,12 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if *nworkers < 1 {
 		return fmt.Errorf("-parallel must be at least 1, got %d", *nworkers)
+	}
+	if *fleetN < 0 {
+		return fmt.Errorf("-fleet must be non-negative, got %d", *fleetN)
+	}
+	if *fleetOut != "" && *exp == "" {
+		return fmt.Errorf("-fleet-out requires -exp (one experiment, one log)")
 	}
 	if *csvOut {
 		if explicit["format"] && *outFmt != "csv" {
@@ -147,7 +163,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 
 	opts := experiments.Options{
 		Scale: *scale, Seed: *seed, SeedSet: explicit["seed"],
-		SimTimeNs: *simtime, Mixes: *mixes,
+		SimTimeNs: *simtime, Mixes: *mixes, Fleet: *fleetN,
 		Workers: *nworkers, Version: *version, Ctx: ctx,
 	}
 
@@ -182,7 +198,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		case *all:
 			return runAll(opts.Ctx, out, opts, *outFmt, *outDir)
 		case *exp != "":
-			return runOne(out, *exp, opts, *outFmt, *outDir)
+			return runOne(out, *exp, opts, *outFmt, *outDir, *fleetOut)
 		case *replay != "":
 			return runReplay(opts.Ctx, out, *replay)
 		default:
@@ -283,7 +299,7 @@ func runAll(ctx context.Context, out io.Writer, opts experiments.Options, format
 	inner.Workers = 1
 	reports, err := parallel.Map(ctx, len(ids), opts.Workers, func(i int) (string, error) {
 		var b strings.Builder
-		if err := runOne(&b, ids[i], inner, format, outDir); err != nil {
+		if err := runOne(&b, ids[i], inner, format, outDir, ""); err != nil {
 			return "", err
 		}
 		return b.String(), nil
@@ -297,7 +313,7 @@ func runAll(ctx context.Context, out io.Writer, opts experiments.Options, format
 	return nil
 }
 
-func runOne(out io.Writer, id string, opts experiments.Options, format, outDir string) error {
+func runOne(out io.Writer, id string, opts experiments.Options, format, outDir, fleetOut string) error {
 	res, err := experiments.Run(id, opts)
 	if err != nil {
 		return fmt.Errorf("running %s: %w", id, err)
@@ -305,6 +321,11 @@ func runOne(out io.Writer, id string, opts experiments.Options, format, outDir s
 	rep := res.Report()
 	if outDir != "" {
 		if err := writeReport(outDir, id, rep); err != nil {
+			return err
+		}
+	}
+	if fleetOut != "" {
+		if err := writeCELog(fleetOut, id, res); err != nil {
 			return err
 		}
 	}
@@ -325,6 +346,30 @@ func runOne(out io.Writer, id string, opts experiments.Options, format, outDir s
 	return nil
 }
 
+// writeCELog captures a fleet run's CE event log in the compact
+// streaming format. Only fleet results implement CELogWriter; asking
+// any other experiment for a log is a usage error, not a silent no-op.
+func writeCELog(path, id string, res experiments.Result) error {
+	lw, ok := res.(experiments.CELogWriter)
+	if !ok {
+		return fmt.Errorf("experiment %s produces no CE event log (-fleet-out wants fleet-ce or fleet-risk)", id)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating CE log file: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	err = lw.WriteCELog(bw)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // writeReport stores one experiment's canonical JSON document under dir.
 // MkdirAll is idempotent, so concurrent -all workers may race through it
 // safely.
@@ -341,7 +386,7 @@ func writeReport(dir, id string, rep *report.Report) error {
 
 // runDiff re-runs the experiment recorded in a saved report and compares
 // the fresh numbers against it. The saved provenance supplies the inputs
-// (seed, scale, simtime, mixes) unless the corresponding flag was set
+// (seed, scale, simtime, mixes, fleet) unless the corresponding flag was
 // explicitly, so a bare `-diff FILE` always re-runs apples-to-apples.
 func runDiff(out io.Writer, path string, opts experiments.Options, explicit map[string]bool, tol report.Tolerance) error {
 	f, err := os.Open(path)
@@ -368,6 +413,9 @@ func runDiff(out io.Writer, path string, opts experiments.Options, explicit map[
 	}
 	if !explicit["mixes"] {
 		opts.Mixes = saved.Prov.Mixes
+	}
+	if !explicit["fleet"] {
+		opts.Fleet = saved.Prov.Fleet
 	}
 	res, err := experiments.Run(id, opts)
 	if err != nil {

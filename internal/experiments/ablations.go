@@ -19,9 +19,9 @@ import (
 // work.
 
 func init() {
-	registry["abl-buffer"] = entry{RunAblBuffer, "Ablation: PRIL write-buffer capacity (overflow -> HI-REF)"}
-	registry["abl-accel"] = entry{RunAblAccel, "Ablation: Copy-and-Compare acceleration (RowClone / in-DRAM compare)"}
-	registry["abl-pril"] = entry{RunAblPril, "Ablation: buffer-based vs bitmap PRIL implementation"}
+	registry["abl-buffer"] = entry{RunAblBuffer, "Ablation: PRIL write-buffer capacity (overflow -> HI-REF)", false}
+	registry["abl-accel"] = entry{RunAblAccel, "Ablation: Copy-and-Compare acceleration (RowClone / in-DRAM compare)", false}
+	registry["abl-pril"] = entry{RunAblPril, "Ablation: buffer-based vs bitmap PRIL implementation", false}
 }
 
 // ablTrace generates the reference workload for ablations.

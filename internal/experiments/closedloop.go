@@ -12,7 +12,7 @@ import (
 )
 
 func init() {
-	registry["loop"] = entry{RunClosedLoop, "Closed loop: simulate a system, capture its bus trace (HMTT-style), feed MEMCON"}
+	registry["loop"] = entry{RunClosedLoop, "Closed loop: simulate a system, capture its bus trace (HMTT-style), feed MEMCON", false}
 }
 
 // ClosedLoopResult is the end-to-end pipeline outcome: a simulated

@@ -13,7 +13,7 @@ import (
 )
 
 func init() {
-	registry["energy"] = entry{RunEnergy, "Extension: DRAM energy by refresh mechanism (the paper claims, we quantify)"}
+	registry["energy"] = entry{RunEnergy, "Extension: DRAM energy by refresh mechanism (the paper claims, we quantify)", false}
 }
 
 // EnergyRow is one policy's energy outcome.

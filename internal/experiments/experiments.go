@@ -34,6 +34,10 @@ type Options struct {
 	SimTimeNs int64
 	// Mixes is the number of multiprogrammed mixes for performance runs.
 	Mixes int
+	// Fleet is the module count for fleet-scale experiments; values
+	// below 1 derive a scale-proportional default (160 at full scale,
+	// floor 4). Single-module experiments ignore it.
+	Fleet int
 	// Workers bounds the fan-out of the parallel sweep loops; values
 	// below 1 select runtime.GOMAXPROCS(0). Every experiment produces
 	// byte-identical output for any worker count (per-unit seeds are
@@ -64,6 +68,7 @@ func DefaultOptions() Options {
 		Seed:      42,
 		SimTimeNs: 500_000,
 		Mixes:     30,
+		Fleet:     160,
 		Workers:   runtime.GOMAXPROCS(0),
 		Ctx:       context.Background(),
 	}
@@ -83,6 +88,12 @@ func (o Options) normalize() Options {
 	}
 	if o.Mixes <= 0 {
 		o.Mixes = d.Mixes
+	}
+	if o.Fleet < 1 {
+		o.Fleet = int(160*o.Scale + 0.5)
+		if o.Fleet < 4 {
+			o.Fleet = 4
+		}
 	}
 	if o.Workers < 1 {
 		o.Workers = d.Workers
@@ -128,32 +139,40 @@ func (m *resultMeta) provenance() report.Provenance { return m.prov }
 // Runner executes one experiment and returns its typed result.
 type Runner func(Options) (Result, error)
 
-// entry pairs a runner with its registry description.
+// entry pairs a runner with its registry description. fleet marks
+// experiments whose numbers depend on Options.Fleet — only those stamp
+// the fleet size into provenance, so single-module reports stay
+// byte-identical to their pre-fleet form.
 type entry struct {
 	runner Runner
 	desc   string
+	fleet  bool
 }
 
 // registry maps experiment ids to runners. Ids follow the paper's
 // figure/table numbering.
 var registry = map[string]entry{
-	"table1": {RunTable1, "Table 1: evaluated long-running workloads"},
-	"fig3":   {RunFig3, "Fig. 3: cells failing conditionally on data pattern"},
-	"fig4":   {RunFig4, "Fig. 4: failing rows, program content vs all-pattern"},
-	"fig6":   {RunFig6, "Fig. 6: accumulated cost and MinWriteInterval"},
-	"fig7":   {RunFig7, "Fig. 7: write-interval distributions"},
-	"fig8":   {RunFig8, "Fig. 8: Pareto fit of write intervals"},
-	"fig9":   {RunFig9, "Fig. 9: execution time in long write intervals"},
-	"fig11":  {RunFig11, "Fig. 11: P(RIL>1024ms) vs current interval length"},
-	"fig12":  {RunFig12, "Fig. 12: prediction coverage vs current interval length"},
-	"fig14":  {RunFig14, "Fig. 14: refresh reduction with MEMCON"},
-	"fig15":  {RunFig15, "Fig. 15: speedup over 16 ms baseline"},
-	"table3": {RunTable3, "Table 3: performance loss from concurrent testing"},
-	"fig16":  {RunFig16, "Fig. 16: comparison with other refresh mechanisms"},
-	"fig17":  {RunFig17, "Fig. 17: execution-time coverage of PRIL (LO-REF)"},
-	"fig18":  {RunFig18, "Fig. 18: time on refresh and testing vs baseline"},
-	"fig19":  {RunFig19, "Fig. 19: sensitivity to halved write intervals"},
-	"minwi":  {RunAppendix, "Appendix: DDR3-1600 latency building blocks"},
+	"table1": {RunTable1, "Table 1: evaluated long-running workloads", false},
+	"fig3":   {RunFig3, "Fig. 3: cells failing conditionally on data pattern", false},
+	"fig4":   {RunFig4, "Fig. 4: failing rows, program content vs all-pattern", false},
+	"fig6":   {RunFig6, "Fig. 6: accumulated cost and MinWriteInterval", false},
+	"fig7":   {RunFig7, "Fig. 7: write-interval distributions", false},
+	"fig8":   {RunFig8, "Fig. 8: Pareto fit of write intervals", false},
+	"fig9":   {RunFig9, "Fig. 9: execution time in long write intervals", false},
+	"fig11":  {RunFig11, "Fig. 11: P(RIL>1024ms) vs current interval length", false},
+	"fig12":  {RunFig12, "Fig. 12: prediction coverage vs current interval length", false},
+	"fig14":  {RunFig14, "Fig. 14: refresh reduction with MEMCON", false},
+	"fig15":  {RunFig15, "Fig. 15: speedup over 16 ms baseline", false},
+	"table3": {RunTable3, "Table 3: performance loss from concurrent testing", false},
+	"fig16":  {RunFig16, "Fig. 16: comparison with other refresh mechanisms", false},
+	"fig17":  {RunFig17, "Fig. 17: execution-time coverage of PRIL (LO-REF)", false},
+	"fig18":  {RunFig18, "Fig. 18: time on refresh and testing vs baseline", false},
+	"fig19":  {RunFig19, "Fig. 19: sensitivity to halved write intervals", false},
+	"minwi":  {RunAppendix, "Appendix: DDR3-1600 latency building blocks", false},
+	"fleet-ce": {RunFleetCE,
+		"Fleet: correctable-error log and bank fault clustering", true},
+	"fleet-risk": {RunFleetRisk,
+		"Fleet: early-CE features and UE risk prediction", true},
 }
 
 // IDs returns the registered experiment ids, sorted.
@@ -193,7 +212,7 @@ func Run(id string, opts Options) (Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.setProvenance(report.Provenance{
+	prov := report.Provenance{
 		Experiment: id,
 		Title:      e.desc,
 		Seed:       opts.Seed,
@@ -201,7 +220,11 @@ func Run(id string, opts Options) (Result, error) {
 		SimTimeNs:  opts.SimTimeNs,
 		Mixes:      opts.Mixes,
 		Version:    opts.Version,
-	})
+	}
+	if e.fleet {
+		prov.Fleet = opts.Fleet
+	}
+	res.setProvenance(prov)
 	return res, nil
 }
 

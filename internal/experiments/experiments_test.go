@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
 		"fig11", "fig12", "fig14", "fig15", "table3", "fig16",
-		"fig17", "fig18", "fig19", "minwi",
+		"fig17", "fig18", "fig19", "minwi", "fleet-ce", "fleet-risk",
 	}
 	ids := IDs()
 	have := map[string]bool{}
@@ -49,7 +49,7 @@ func TestOptionsNormalize(t *testing.T) {
 	if n != d {
 		t.Errorf("normalized zero options = %+v, want defaults %+v", n, d)
 	}
-	o := Options{Scale: 0.5, Seed: 7, SimTimeNs: 100, Mixes: 2, Workers: 3, Ctx: context.Background()}
+	o := Options{Scale: 0.5, Seed: 7, SimTimeNs: 100, Mixes: 2, Fleet: 12, Workers: 3, Ctx: context.Background()}
 	if got := o.normalize(); got != o {
 		t.Errorf("valid options changed by normalize: %+v", got)
 	}

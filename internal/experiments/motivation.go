@@ -6,7 +6,7 @@ import (
 )
 
 func init() {
-	registry["motiv"] = entry{RunMotivation, "Motivation (paper sec. 2): naive system-level neighbour testing misses failures"}
+	registry["motiv"] = entry{RunMotivation, "Motivation (paper sec. 2): naive system-level neighbour testing misses failures", false}
 }
 
 // MotivationResult quantifies why system-level pattern testing under a

@@ -18,8 +18,8 @@ func newTesterFor(mod *dram.Module, model *faults.Model) (*softmc.Tester, error)
 }
 
 func init() {
-	registry["profile"] = entry{RunProfile, "Profiling: RAIDR/REAPER-style campaign vs ground truth across guardbands"}
-	registry["abl-remap"] = entry{RunAblRemap, "Ablation: remap mitigation for always-failing rows (full-fidelity system)"}
+	registry["profile"] = entry{RunProfile, "Profiling: RAIDR/REAPER-style campaign vs ground truth across guardbands", false}
+	registry["abl-remap"] = entry{RunAblRemap, "Ablation: remap mitigation for always-failing rows (full-fidelity system)", false}
 }
 
 // ProfileRow is one guardband point of the profiling study.

@@ -25,9 +25,20 @@ func TestEveryExperimentReports(t *testing.T) {
 			}
 			rep := out.Report()
 
-			// Provenance is stamped with the normalized inputs.
+			// Provenance is stamped with the normalized inputs. Only
+			// fleet-scale experiments record the fleet size: a non-fleet
+			// experiment stamping it would perturb its committed reports,
+			// and a fleet experiment omitting it would let -diff compare
+			// runs of different fleet sizes as if comparable.
 			if rep.Prov.Experiment != id || rep.Prov.Seed != opts.Seed {
 				t.Errorf("provenance = %+v", rep.Prov)
+			}
+			wantFleet := 0
+			if registry[id].fleet {
+				wantFleet = opts.normalize().Fleet
+			}
+			if rep.Prov.Fleet != wantFleet {
+				t.Errorf("provenance.fleet = %d, want %d", rep.Prov.Fleet, wantFleet)
 			}
 
 			// Text renders, is non-empty, and matches String().

@@ -10,7 +10,7 @@ import (
 )
 
 func init() {
-	registry["vrt"] = entry{RunVRT, "Extension: variable retention time — online testing vs one-shot profiling"}
+	registry["vrt"] = entry{RunVRT, "Extension: variable retention time — online testing vs one-shot profiling", false}
 }
 
 // VRTCheckpoint is one mid-interval audit point.

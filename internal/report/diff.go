@@ -16,10 +16,17 @@ type Tolerance struct {
 	Rel float64 `json:"rel"`
 }
 
-// within reports whether the pair passes the tolerance.
+// within reports whether the pair passes the tolerance. Non-finite
+// values compare by identity, never by distance: NaN only equals NaN,
+// and an infinity only equals the same infinity — the arithmetic rule
+// would call equal infinities different (Inf-Inf is NaN) and opposite
+// infinities equal under any Rel tolerance (Inf <= Rel*Inf).
 func (t Tolerance) within(a, b float64) bool {
 	if math.IsNaN(a) || math.IsNaN(b) {
 		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
 	}
 	return math.Abs(a-b) <= t.Abs+t.Rel*math.Max(math.Abs(a), math.Abs(b))
 }
@@ -35,7 +42,8 @@ type DiffEntry struct {
 	// A and B are the canonical values on each side.
 	A string `json:"a"`
 	B string `json:"b"`
-	// Delta is |a-b| for float cells, 0 otherwise.
+	// Delta is |a-b| for float cells when that distance is finite, 0
+	// otherwise (non-float cells, NaN or infinite distances).
 	Delta float64 `json:"delta,omitempty"`
 }
 
@@ -106,6 +114,9 @@ func Diff(a, b *Report, tol Tolerance) *DiffReport {
 	}
 	if pa.Mixes != pb.Mixes {
 		add("provenance.mixes", "", fmt.Sprint(pa.Mixes), fmt.Sprint(pb.Mixes), 0)
+	}
+	if pa.Fleet != pb.Fleet {
+		add("provenance.fleet", "", fmt.Sprint(pa.Fleet), fmt.Sprint(pb.Fleet), 0)
 	}
 	if pa.Title != pb.Title {
 		d.Notes = append(d.Notes, fmt.Sprintf("title differs: %q vs %q", pa.Title, pb.Title))
@@ -190,7 +201,12 @@ func diffTable(d *DiffReport, a, b *Table, tol Tolerance) {
 			var delta float64
 			if ca.Kind == KindFloat {
 				equal = tol.within(ca.Float, cb.Float)
-				delta = math.Abs(ca.Float - cb.Float)
+				// Delta is informational and must stay JSON-encodable:
+				// leave it 0 when the distance is NaN or infinite (the
+				// A/B values already show what happened).
+				if dist := math.Abs(ca.Float - cb.Float); !math.IsNaN(dist) && !math.IsInf(dist, 0) {
+					delta = dist
+				}
 			}
 			if !equal {
 				d.Entries = append(d.Entries, DiffEntry{

@@ -87,6 +87,10 @@ type Provenance struct {
 	SimTimeNs int64 `json:"simtime_ns"`
 	// Mixes is the multiprogrammed-mix count for performance runs.
 	Mixes int `json:"mixes"`
+	// Fleet is the module count of fleet-scale experiments; zero for
+	// single-module experiments (and omitted from their JSON, keeping
+	// pre-fleet reports byte-identical).
+	Fleet int `json:"fleet,omitempty"`
 	// Version is an opaque caller-supplied build identifier (for
 	// example a git-describe string). Empty means unrecorded.
 	Version string `json:"version,omitempty"`
@@ -237,6 +241,18 @@ func (t *Table) AddHidden(cells ...Cell) *Table {
 	t.checkWidth(cells)
 	t.Rows = append(t.Rows, Row{Cells: cells, Hidden: true})
 	return t
+}
+
+// VisibleRows counts the rows the text rendering will show — handy for
+// builders capping a table at one screenful.
+func (t *Table) VisibleRows() int {
+	n := 0
+	for _, r := range t.Rows {
+		if !r.Hidden {
+			n++
+		}
+	}
+	return n
 }
 
 func (t *Table) checkWidth(cells []Cell) {

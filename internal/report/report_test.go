@@ -1,6 +1,8 @@
 package report
 
 import (
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -322,5 +324,65 @@ func TestCellValueAndText(t *testing.T) {
 	}
 	if KindFloat.String() != "float" || Kind(9).String() == "" {
 		t.Error("kind names broken")
+	}
+}
+
+// floatReport builds a one-column float report for the Diff edge-case
+// table: one row per value.
+func floatReport(vals ...float64) *Report {
+	r := New(Provenance{Experiment: "edge"})
+	t := NewTable("t", CFloat("v", "", ""))
+	for _, v := range vals {
+		t.Add(Fv(v))
+	}
+	r.AddTable(t)
+	return r
+}
+
+// TestDiffEdgeCases makes the comparison semantics explicit for the
+// inputs that used to fall out of the arithmetic incidentally:
+// zero-tolerance exact compare, NaN and ±Inf cells, and mismatched row
+// counts.
+func TestDiffEdgeCases(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	cases := []struct {
+		name        string
+		a, b        *Report
+		tol         Tolerance
+		wantEntries int
+	}{
+		{"zero tolerance, exact", floatReport(0.25, -3), floatReport(0.25, -3), Tolerance{}, 0},
+		{"zero tolerance, one-ulp drift", floatReport(0.25), floatReport(math.Nextafter(0.25, 1)), Tolerance{}, 1},
+		{"NaN equals NaN", floatReport(nan), floatReport(nan), Tolerance{}, 0},
+		{"NaN vs finite", floatReport(nan), floatReport(1.0), Tolerance{Abs: inf}, 1},
+		{"finite vs NaN", floatReport(1.0), floatReport(nan), Tolerance{Abs: inf}, 1},
+		{"+Inf equals +Inf", floatReport(inf), floatReport(inf), Tolerance{}, 0},
+		{"-Inf equals -Inf", floatReport(-inf), floatReport(-inf), Tolerance{}, 0},
+		{"+Inf vs -Inf ignores Rel", floatReport(inf), floatReport(-inf), Tolerance{Rel: 0.5}, 1},
+		{"+Inf vs finite ignores Abs", floatReport(inf), floatReport(1e300), Tolerance{Abs: 1e308}, 1},
+		{"rel absorbs proportional drift", floatReport(100), floatReport(100.4), Tolerance{Rel: 0.01}, 0},
+		// A row-count mismatch gates once and the common prefix is
+		// still compared — a drifted shared row reports separately.
+		{"extra rows", floatReport(1, 2), floatReport(1, 2, 3), Tolerance{}, 1},
+		{"missing rows plus drift", floatReport(1, 2, 3), floatReport(1.5), Tolerance{}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := Diff(tc.a, tc.b, tc.tol)
+			if len(d.Entries) != tc.wantEntries {
+				t.Fatalf("got %d entries, want %d:\n%s", len(d.Entries), tc.wantEntries, d)
+			}
+			// Every diff must stay JSON-encodable, whatever the cells
+			// held (NaN/Inf deltas would make Marshal fail).
+			if _, err := json.Marshal(d); err != nil {
+				t.Fatalf("diff not JSON-encodable: %v", err)
+			}
+			for _, e := range d.Entries {
+				if math.IsNaN(e.Delta) || math.IsInf(e.Delta, 0) {
+					t.Errorf("entry %q carries non-finite delta %v", e.Path, e.Delta)
+				}
+			}
+		})
 	}
 }

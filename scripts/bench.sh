@@ -1,6 +1,9 @@
 #!/bin/sh
-# bench.sh — regenerate BENCH_hotpath.json, the before/after evidence
-# for the flat-array fault-model kernel and the parallel ReadBack path.
+# bench.sh — regenerate the committed benchmark measurement files:
+# BENCH_hotpath.json (fault-model kernel, parallel ReadBack),
+# BENCH_engine.json (engine hot loop) and BENCH_fleet.json (fleet
+# simulation). Each section prints the raw `go test -bench` output and
+# rewrites its JSON document.
 #
 # Runs BenchmarkFailingCells and BenchmarkReadBack (workers 1/4/8) on
 # the default geometry and rewrites BENCH_hotpath.json. The "baseline"
@@ -116,3 +119,51 @@ END {
 }' >BENCH_engine.json
 
 echo "bench: BENCH_engine.json updated"
+
+# --- Fleet simulation (BENCH_fleet.json) ---
+# First-measurement baseline for the fleet-scale subsystem: end-to-end
+# simulation of 64 heterogeneous modules over 12 weekly scrub epochs at
+# workers 1/4/8, plus the analytics pass alone. There is no "before"
+# commit — the subsystem is new — so the recorded numbers ARE the
+# baseline future optimisation PRs compare against (benchstat works
+# too: -count=10 runs of BenchmarkFleetRun).
+
+out=$(go test -run '^$' -bench 'BenchmarkFleetRun|BenchmarkFleetAnalyze' \
+	-benchmem -benchtime=2s .)
+echo "$out"
+
+echo "$out" | awk '
+function field(line, unit,    f, i, n) {
+	n = split(line, f, /[ \t]+/)
+	for (i = 2; i <= n; i++) {
+		if (f[i] == unit) {
+			return f[i - 1]
+		}
+	}
+	return "null"
+}
+function emit(name, line, metric, unit) {
+	printf "    \"%s\": {\"ns_per_op\": %s, \"%s\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+		name, field(line, "ns/op"), metric, field(line, unit), field(line, "B/op"), field(line, "allocs/op")
+}
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^BenchmarkFleetRun\/workers-1/ { w1 = $0 }
+/^BenchmarkFleetRun\/workers-4/ { w4 = $0 }
+/^BenchmarkFleetRun\/workers-8/ { w8 = $0 }
+/^BenchmarkFleetAnalyze/        { an = $0 }
+END {
+	print "{"
+	print "  \"benchmarks\": \"go test -run ^$ -bench BenchmarkFleetRun|BenchmarkFleetAnalyze -benchmem -benchtime=2s .\","
+	print "  \"workload\": \"64 modules, seed 42, scale 0.05, 12 weekly epochs (DefaultClasses geometry mix)\","
+	print "  \"note\": \"new subsystem; these numbers are the baseline. events/op must be identical at every worker count.\","
+	print "  \"baseline\": {"
+	printf "    \"cpu\": \"%s\",\n", cpu
+	emit("BenchmarkFleetRun/workers-1", w1, "events_per_op", "events/op"); printf ",\n"
+	emit("BenchmarkFleetRun/workers-4", w4, "events_per_op", "events/op"); printf ",\n"
+	emit("BenchmarkFleetRun/workers-8", w8, "events_per_op", "events/op"); printf ",\n"
+	emit("BenchmarkFleetAnalyze", an, "cells_per_op", "cells/op"); printf "\n"
+	print "  }"
+	print "}"
+}' >BENCH_fleet.json
+
+echo "bench: BENCH_fleet.json updated"

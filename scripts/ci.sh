@@ -8,9 +8,11 @@
 #   5. the suite also passes under the race detector (-short trims the
 #      slowest golden sweeps; they already ran race-free in step 4's
 #      process because the experiment sweeps are parallel by default),
-#   6. the hot-path benchmarks still run (single iteration smoke; see
+#   6. the fleet simulation's sharded fan-out runs race-clean at the
+#      small scale the -short race pass skips,
+#   7. the hot-path benchmarks still run (single iteration smoke; see
 #      scripts/bench.sh for real measurements),
-#   7. every committed reference report under testdata/reports/ is
+#   8. every committed reference report under testdata/reports/ is
 #      regenerated and diffed at zero tolerance (report regression).
 set -eu
 
@@ -36,13 +38,21 @@ go test ./...
 echo "== go test -race -short ./... =="
 go test -race -short ./...
 
+# Fleet race smoke: the sharded fleet fan-out and the fleet CLI paths
+# under the race detector. The full sharding-invariance sweep skips
+# itself in -short (step 5), so this runs the small-scale fleet tests
+# explicitly — they drive parallel.Map at workers 4 and 8.
+echo "== fleet race smoke =="
+go test -race -run 'TestRunLogInvariants|TestAnalyzeMatchesOracle' ./internal/fleet
+go test -race -run 'TestFleet' ./cmd/memconsim
+
 # Smoke-run the hot-path benchmarks (one iteration each): catches
 # compile or runtime breakage in the bench harness without spending
 # CI time on stable measurements. Real numbers come from
-# scripts/bench.sh, which rewrites BENCH_hotpath.json and
-# BENCH_engine.json.
+# scripts/bench.sh, which rewrites BENCH_hotpath.json,
+# BENCH_engine.json and BENCH_fleet.json.
 echo "== bench smoke =="
-go test -run '^$' -bench 'BenchmarkReadBack|BenchmarkFailingCells|BenchmarkEngineRun' -benchtime=1x .
+go test -run '^$' -bench 'BenchmarkReadBack|BenchmarkFailingCells|BenchmarkEngineRun|BenchmarkFleetRun' -benchtime=1x .
 
 # Report regression: re-run every experiment from its committed
 # reference document and fail on any numeric drift. `make reports`
