@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench fuzz ci metrics-demo reports
+.PHONY: build test race vet bench fuzz ci metrics-demo serve-demo reports
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,13 @@ ci:
 # histograms, per-phase wall times, worker-pool utilization).
 metrics-demo:
 	$(GO) run ./cmd/memconsim -exp fig14 -scale 0.1 -metrics - -metrics-format table
+
+# serve-demo starts the experiment-serving daemon and drives it with
+# 2000 concurrent requests over 4 distinct cache keys: singleflight
+# collapses them onto 4 runs, every other response is a byte-identical
+# cache hit, and SIGTERM drains the daemon cleanly.
+serve-demo:
+	./scripts/serve_demo.sh
 
 # reports regenerates the committed small-scale reference reports that
 # CI diffs against (and the golden -all text capture, which uses the

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memcon/internal/experiments"
+	"memcon/internal/obs"
+	"memcon/internal/servecache"
+)
+
+// progressHub aggregates one in-flight run's obs.Observer event stream
+// into per-kind counters and broadcasts periodic JSON snapshots to SSE
+// subscribers. Counting is lock-free (the engine hot loop emits events
+// at high rate); only subscription management takes the mutex.
+type progressHub struct {
+	counts []int64 // indexed by obs.Kind, updated atomically
+
+	mu   sync.Mutex
+	subs map[chan []byte]struct{}
+}
+
+func newProgressHub() *progressHub {
+	return &progressHub{
+		counts: make([]int64, len(obs.Kinds())),
+		subs:   make(map[chan []byte]struct{}),
+	}
+}
+
+// OnEvent implements obs.Observer.
+func (h *progressHub) OnEvent(e obs.Event) {
+	if int(e.Kind) < len(h.counts) {
+		atomic.AddInt64(&h.counts[e.Kind], 1)
+	}
+}
+
+// subscribe registers a snapshot channel. Broadcasts that would block
+// are dropped (a slow subscriber misses intermediate snapshots, never
+// stalls the publisher).
+func (h *progressHub) subscribe() chan []byte {
+	ch := make(chan []byte, 16)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch
+}
+
+func (h *progressHub) unsubscribe(ch chan []byte) {
+	h.mu.Lock()
+	delete(h.subs, ch)
+	h.mu.Unlock()
+}
+
+// snapshot renders the counters as one JSON object with the event
+// kinds in catalogue order, zero counts omitted:
+// {"total":1234,"events":{"write":1000,"test_queued":234}}.
+func (h *progressHub) snapshot() []byte {
+	var b bytes.Buffer
+	var total int64
+	for i := range h.counts {
+		total += atomic.LoadInt64(&h.counts[i])
+	}
+	fmt.Fprintf(&b, `{"total":%d,"events":{`, total)
+	first := true
+	for _, k := range obs.Kinds() {
+		n := atomic.LoadInt64(&h.counts[k])
+		if n == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%q:%d", k.String(), n)
+	}
+	b.WriteString("}}")
+	return b.Bytes()
+}
+
+// broadcast sends the current snapshot to every subscriber that has
+// room for it.
+func (h *progressHub) broadcast() {
+	snap := h.snapshot()
+	h.mu.Lock()
+	for ch := range h.subs {
+		select {
+		case ch <- snap:
+		default:
+		}
+	}
+	h.mu.Unlock()
+}
+
+// publish starts the snapshot ticker for a run in flight; the returned
+// stop function halts it (emitting one final snapshot so subscribers
+// see the end state).
+func (h *progressHub) publish(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				h.broadcast()
+			case <-done:
+				h.broadcast()
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// hubSet reference-counts progress hubs per cache key so an SSE
+// subscriber and the flight computing that key share one hub even
+// though either side may arrive first.
+type hubSet struct {
+	mu   sync.Mutex
+	hubs map[servecache.Key]*hubEntry
+}
+
+type hubEntry struct {
+	hub  *progressHub
+	refs int
+}
+
+func newHubSet() *hubSet {
+	return &hubSet{hubs: make(map[servecache.Key]*hubEntry)}
+}
+
+// acquire returns the hub for k, creating it on first use; the release
+// function drops the reference and removes the hub when nobody holds it.
+func (s *hubSet) acquire(k servecache.Key) (*progressHub, func()) {
+	s.mu.Lock()
+	e, ok := s.hubs[k]
+	if !ok {
+		e = &hubEntry{hub: newProgressHub()}
+		s.hubs[k] = e
+	}
+	e.refs++
+	s.mu.Unlock()
+	var once sync.Once
+	return e.hub, func() {
+		once.Do(func() {
+			s.mu.Lock()
+			e.refs--
+			if e.refs == 0 && s.hubs[k] == e {
+				delete(s.hubs, k)
+			}
+			s.mu.Unlock()
+		})
+	}
+}
+
+// streamExperiment answers an SSE request: progress snapshots of the
+// run's event counters, then the outcome and the canonical report.
+// A cache hit skips straight to the result.
+func (s *Server) streamExperiment(w http.ResponseWriter, r *http.Request, req experiments.Request, key servecache.Key, reqJSON []byte) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.fail(w, http.StatusInternalServerError, fmt.Errorf("response writer does not support streaming"))
+		return
+	}
+	hub, release := s.hubs.acquire(key)
+	defer release()
+	sub := hub.subscribe()
+	defer hub.unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Memcond-Key", key.String())
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	type doResult struct {
+		data    []byte
+		outcome servecache.Outcome
+		err     error
+	}
+	ch := make(chan doResult, 1)
+	go func() {
+		data, outcome, err := s.cache.Do(r.Context(), key, reqJSON, s.computeFor(req, key))
+		ch <- doResult{data, outcome, err}
+	}()
+
+	for {
+		select {
+		case snap := <-sub:
+			writeSSE(w, "progress", snap)
+			flusher.Flush()
+		case res := <-ch:
+			s.countOutcome(res.outcome)
+			if res.err != nil {
+				s.errorsTotal.Inc()
+				writeSSE(w, "error", []byte(fmt.Sprintf(`{"error":%q}`, res.err.Error())))
+			} else {
+				writeSSE(w, "outcome", []byte(fmt.Sprintf(`{"cache":%q,"key":%q}`, res.outcome.String(), key.String())))
+				writeSSE(w, "result", res.data)
+			}
+			flusher.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one server-sent event. Multi-line payloads (the
+// canonical report JSON) become one data: field per line, which the
+// SSE wire format reassembles with newlines on the client.
+func writeSSE(w io.Writer, event string, data []byte) {
+	fmt.Fprintf(w, "event: %s\n", event)
+	for _, line := range bytes.Split(bytes.TrimRight(data, "\n"), []byte("\n")) {
+		fmt.Fprintf(w, "data: %s\n", line)
+	}
+	io.WriteString(w, "\n")
+}

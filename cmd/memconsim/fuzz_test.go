@@ -15,9 +15,9 @@ import (
 func FuzzMemconsimArgs(f *testing.F) {
 	f.Add("-list")
 	f.Add("-exp fig6")
-	f.Add("-exp table1 -csv")
+	f.Add("-exp table1 -format csv")
 	f.Add("-exp fig99")
-	f.Add("-all -csv")
+	f.Add("-all -format csv")
 	f.Add("-scale -1")
 	f.Add("-exp fig6 -parallel 0")
 	f.Add("-exp fig6 -parallel -3")
@@ -45,18 +45,18 @@ func FuzzMemconsimArgs(f *testing.F) {
 }
 
 // TestCSVUniversal pins that the typed-report refactor gave every
-// experiment a CSV form — including the ids that used to reject -csv
-// with a "no CSV form" error (table1, minwi, fig3).
+// experiment a CSV form — including the ids that used to reject CSV
+// output with a "no CSV form" error (table1, minwi, fig3).
 func TestCSVUniversal(t *testing.T) {
 	for _, id := range []string{"fig6", "table1", "minwi", "fig3"} {
 		var out strings.Builder
-		if err := run([]string{"-exp", id, "-csv", "-scale", "0.04"}, &out); err != nil {
-			t.Errorf("%s -csv: %v", id, err)
+		if err := run([]string{"-exp", id, "-format", "csv", "-scale", "0.04"}, &out); err != nil {
+			t.Errorf("%s -format csv: %v", id, err)
 			continue
 		}
 		header := strings.SplitN(out.String(), "\n", 2)[0]
 		if header == "" {
-			t.Errorf("%s -csv: empty output", id)
+			t.Errorf("%s -format csv: empty output", id)
 		}
 	}
 }

@@ -34,10 +34,11 @@
 //
 // Every experiment produces a typed report (provenance header plus
 // typed tables); -format selects the rendering. -diff re-runs the
-// experiment named in a saved report's provenance, using the saved
-// inputs (seed, scale, simtime, mixes, fleet) unless overridden on the
-// command line, and fails when any value drifts beyond -tol-abs/-tol-rel.
-// -csv remains as a deprecated alias for -format csv.
+// experiment named in a saved report's provenance by round-tripping the
+// provenance through experiments.Request (decode → Normalize →
+// RunRequest), using the saved inputs (seed, scale, simtime, mixes,
+// fleet, version) unless overridden on the command line, and fails when
+// any value drifts beyond -tol-abs/-tol-rel.
 //
 // Observability:
 //
@@ -103,7 +104,6 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		fleetN   = fs.Int("fleet", 0, "module count for fleet experiments (0 derives a scale-proportional size)")
 		fleetOut = fs.String("fleet-out", "", "with -exp fleet-*: also write the CE event log to this file (compact format)")
 		outFmt   = fs.String("format", "table", "output format: table, csv, or json")
-		csvOut   = fs.Bool("csv", false, "deprecated: alias for -format csv")
 		outDir   = fs.String("out", "", "also write each run's canonical JSON report to DIR/<id>.json")
 		diffPath = fs.String("diff", "", "re-run the experiment saved in this JSON report and diff against it (non-zero exit on drift)")
 		tolAbs   = fs.Float64("tol-abs", 0, "absolute numeric tolerance for -diff")
@@ -130,12 +130,6 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	if *fleetOut != "" && *exp == "" {
 		return fmt.Errorf("-fleet-out requires -exp (one experiment, one log)")
 	}
-	if *csvOut {
-		if explicit["format"] && *outFmt != "csv" {
-			return fmt.Errorf("-csv (deprecated) conflicts with -format %s", *outFmt)
-		}
-		*outFmt = "csv"
-	}
 	switch *outFmt {
 	case "table", "csv", "json":
 	default:
@@ -161,11 +155,15 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		defer stopTrace() //nolint:errcheck // flush error surfaced via the file below
 	}
 
-	opts := experiments.Options{
-		Scale: *scale, Seed: *seed, SeedSet: explicit["seed"],
-		SimTimeNs: *simtime, Mixes: *mixes, Fleet: *fleetN,
-		Workers: *nworkers, Version: *version, Ctx: ctx,
+	// The flags assemble a canonical experiments.Request. Fields are
+	// literal — the -seed default is 42 at the flag layer, so an
+	// explicit -seed 0 arrives as seed 0 with no "was it set?"
+	// bookkeeping (the old Options.SeedSet special-casing).
+	req := experiments.Request{
+		Experiment: *exp, Seed: *seed, Scale: *scale,
+		SimTimeNs: *simtime, Mixes: *mixes, Fleet: *fleetN, Version: *version,
 	}
+	rt := experiments.Runtime{Workers: *nworkers}
 
 	// -metrics attaches the aggregating observer plus the volatile
 	// wall-clock collectors (phase timer, pool utilization). Only the
@@ -177,9 +175,9 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		reg = obs.NewRegistry()
 		phases = obs.NewPhaseTimer(nil)
 		pool = parallel.NewPoolStats()
-		opts.Observer = obs.NewMetrics(reg)
-		opts.Phases = phases
-		opts.Ctx = parallel.ContextWithStats(ctx, pool)
+		rt.Observer = obs.NewMetrics(reg)
+		rt.Phases = phases
+		ctx = parallel.ContextWithStats(ctx, pool)
 	}
 
 	runErr := func() error {
@@ -194,13 +192,13 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 			}
 			return nil
 		case *diffPath != "":
-			return runDiff(out, *diffPath, opts, explicit, report.Tolerance{Abs: *tolAbs, Rel: *tolRel})
+			return runDiff(ctx, out, *diffPath, req, rt, explicit, report.Tolerance{Abs: *tolAbs, Rel: *tolRel})
 		case *all:
-			return runAll(opts.Ctx, out, opts, *outFmt, *outDir)
+			return runAll(ctx, out, req, rt, *outFmt, *outDir)
 		case *exp != "":
-			return runOne(out, *exp, opts, *outFmt, *outDir, *fleetOut)
+			return runOne(ctx, out, req, rt, *outFmt, *outDir, *fleetOut)
 		case *replay != "":
-			return runReplay(opts.Ctx, out, *replay)
+			return runReplay(ctx, out, *replay)
 		default:
 			fs.Usage()
 			return fmt.Errorf("one of -list, -exp, -all, -diff, or -replay is required")
@@ -293,13 +291,15 @@ func writeMetrics(path string, out io.Writer, reg *obs.Registry, format obs.Form
 // printed in registry order, so the output matches a serial -all run
 // byte for byte. Workers inside each experiment are left at 1: the
 // -parallel budget is spent across experiments here, not within them.
-func runAll(ctx context.Context, out io.Writer, opts experiments.Options, format, outDir string) error {
+func runAll(ctx context.Context, out io.Writer, req experiments.Request, rt experiments.Runtime, format, outDir string) error {
 	ids := experiments.IDs()
-	inner := opts
+	inner := rt
 	inner.Workers = 1
-	reports, err := parallel.Map(ctx, len(ids), opts.Workers, func(i int) (string, error) {
+	reports, err := parallel.Map(ctx, len(ids), rt.Workers, func(i int) (string, error) {
 		var b strings.Builder
-		if err := runOne(&b, ids[i], inner, format, outDir, ""); err != nil {
+		r := req
+		r.Experiment = ids[i]
+		if err := runOne(ctx, &b, r, inner, format, outDir, ""); err != nil {
 			return "", err
 		}
 		return b.String(), nil
@@ -313,8 +313,9 @@ func runAll(ctx context.Context, out io.Writer, opts experiments.Options, format
 	return nil
 }
 
-func runOne(out io.Writer, id string, opts experiments.Options, format, outDir, fleetOut string) error {
-	res, err := experiments.Run(id, opts)
+func runOne(ctx context.Context, out io.Writer, req experiments.Request, rt experiments.Runtime, format, outDir, fleetOut string) error {
+	id := req.Experiment
+	res, err := experiments.RunRequest(ctx, req, rt)
 	if err != nil {
 		return fmt.Errorf("running %s: %w", id, err)
 	}
@@ -385,10 +386,14 @@ func writeReport(dir, id string, rep *report.Report) error {
 }
 
 // runDiff re-runs the experiment recorded in a saved report and compares
-// the fresh numbers against it. The saved provenance supplies the inputs
-// (seed, scale, simtime, mixes, fleet) unless the corresponding flag was
-// explicitly, so a bare `-diff FILE` always re-runs apples-to-apples.
-func runDiff(out io.Writer, path string, opts experiments.Options, explicit map[string]bool, tol report.Tolerance) error {
+// the fresh numbers against it. The saved provenance is round-tripped
+// through experiments.Request (RequestFromProvenance → Normalize →
+// RunRequest), so every input the report records — including any
+// provenance field added after this code was written — flows into the
+// re-run wholesale instead of being rebuilt field by field; a flag given
+// explicitly on the command line still overrides its saved value, so a
+// bare `-diff FILE` always re-runs apples-to-apples.
+func runDiff(ctx context.Context, out io.Writer, path string, flags experiments.Request, rt experiments.Runtime, explicit map[string]bool, tol report.Tolerance) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -398,33 +403,33 @@ func runDiff(out io.Writer, path string, opts experiments.Options, explicit map[
 	if err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	id := saved.Prov.Experiment
-	if id == "" {
+	if saved.Prov.Experiment == "" {
 		return fmt.Errorf("%s: report carries no experiment id", path)
 	}
-	if !explicit["seed"] {
-		opts.Seed, opts.SeedSet = saved.Prov.Seed, true
+	req := experiments.RequestFromProvenance(saved.Prov)
+	for flag, apply := range map[string]func(){
+		"seed":           func() { req.Seed = flags.Seed },
+		"scale":          func() { req.Scale = flags.Scale },
+		"simtime":        func() { req.SimTimeNs = flags.SimTimeNs },
+		"mixes":          func() { req.Mixes = flags.Mixes },
+		"fleet":          func() { req.Fleet = flags.Fleet },
+		"report-version": func() { req.Version = flags.Version },
+	} {
+		if explicit[flag] {
+			apply()
+		}
 	}
-	if !explicit["scale"] {
-		opts.Scale = saved.Prov.Scale
+	if err := req.Normalize(); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
 	}
-	if !explicit["simtime"] {
-		opts.SimTimeNs = saved.Prov.SimTimeNs
-	}
-	if !explicit["mixes"] {
-		opts.Mixes = saved.Prov.Mixes
-	}
-	if !explicit["fleet"] {
-		opts.Fleet = saved.Prov.Fleet
-	}
-	res, err := experiments.Run(id, opts)
+	res, err := experiments.RunRequest(ctx, req, rt)
 	if err != nil {
-		return fmt.Errorf("re-running %s: %w", id, err)
+		return fmt.Errorf("re-running %s: %w", req.Experiment, err)
 	}
 	d := report.Diff(saved, res.Report(), tol)
 	fmt.Fprint(out, d.String())
 	if !d.Clean() {
-		return fmt.Errorf("report %s drifted from %s (%d difference(s))", id, path, len(d.Entries))
+		return fmt.Errorf("report %s drifted from %s (%d difference(s))", req.Experiment, path, len(d.Entries))
 	}
 	return nil
 }

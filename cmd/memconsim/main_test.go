@@ -71,38 +71,22 @@ func TestRunCSVOutput(t *testing.T) {
 	}
 }
 
-// TestCSVAliasCompatible pins the deprecated -csv flag as an exact alias
-// for -format csv, including on experiments that only gained a CSV form
-// with the typed-report refactor.
-func TestCSVAliasCompatible(t *testing.T) {
-	for _, id := range []string{"fig6", "minwi"} {
-		var viaAlias, viaFormat strings.Builder
-		if err := run([]string{"-exp", id, "-csv", "-scale", "0.04"}, &viaAlias); err != nil {
-			t.Fatalf("%s -csv: %v", id, err)
-		}
-		if err := run([]string{"-exp", id, "-format", "csv", "-scale", "0.04"}, &viaFormat); err != nil {
-			t.Fatalf("%s -format csv: %v", id, err)
-		}
-		if viaAlias.String() != viaFormat.String() {
-			t.Errorf("%s: -csv and -format csv disagree:\n--- -csv ---\n%s\n--- -format csv ---\n%s",
-				id, viaAlias.String(), viaFormat.String())
-		}
-	}
-	// Redundant agreement is fine; contradiction is not.
+// TestCSVAliasRemoved pins that the deprecated -csv alias (an alias for
+// -format csv since the typed-report refactor) is gone: the flag is now
+// rejected outright instead of being silently honoured.
+func TestCSVAliasRemoved(t *testing.T) {
 	var out strings.Builder
-	if err := run([]string{"-exp", "fig6", "-csv", "-format", "csv"}, &out); err != nil {
-		t.Errorf("-csv with -format csv rejected: %v", err)
-	}
-	if err := run([]string{"-exp", "fig6", "-csv", "-format", "json"}, &out); err == nil {
-		t.Error("-csv with -format json accepted")
+	if err := run([]string{"-exp", "fig6", "-csv"}, &out); err == nil {
+		t.Error("removed -csv flag still accepted")
 	}
 	if err := run([]string{"-exp", "fig6", "-format", "bogus"}, &out); err == nil {
 		t.Error("unknown -format accepted")
 	}
 }
 
-// TestSeedZeroHonoured pins the SeedSet plumbing: -seed 0 must select
-// seed 0, not silently fall back to the default seed 42.
+// TestSeedZeroHonoured pins the literal-seed contract of the Request
+// flag layer: -seed 0 must select seed 0, not silently fall back to the
+// default seed 42.
 func TestSeedZeroHonoured(t *testing.T) {
 	var zero, def strings.Builder
 	if err := run([]string{"-exp", "fig3", "-scale", "0.04", "-seed", "0"}, &zero); err != nil {

@@ -98,6 +98,42 @@ search:
 	}
 }
 
+// TestDiffRoundTripsProvenance is the default-drift regression for the
+// -diff path: the re-run is built by round-tripping the SAVED provenance
+// through experiments.Request, so inputs that are easy to drop when
+// rebuilding options field by field — an explicit zero seed, the
+// version string — must survive a bare `-diff FILE` untouched.
+func TestDiffRoundTripsProvenance(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	args := append([]string{"-exp", "fig4", "-seed", "0", "-report-version", "rt-v9", "-out", dir}, goldenArgs...)
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fig4.json")
+	saved := decodeFile(t, path)
+	if saved.Prov.Seed != 0 || saved.Prov.Version != "rt-v9" {
+		t.Fatalf("saved provenance = %+v", saved.Prov)
+	}
+
+	// A bare -diff re-runs with seed 0 and version "rt-v9" from the
+	// saved provenance: clean, and no version-mismatch note either.
+	out.Reset()
+	if err := run([]string{"-diff", path}, &out); err != nil {
+		t.Fatalf("round-trip diff failed: %v\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "version differs") {
+		t.Errorf("saved version was not round-tripped:\n%s", out.String())
+	}
+
+	// An explicit flag still overrides its saved value: a different seed
+	// re-runs with different randomness and must drift.
+	out.Reset()
+	if err := run([]string{"-diff", path, "-seed", "1"}, &out); err == nil {
+		t.Errorf("explicit -seed 1 against a seed-0 report diffed clean:\n%s", out.String())
+	}
+}
+
 // TestCommittedReportsDiffClean regenerates every experiment from its
 // committed reference document and requires a clean diff — the report
 // regression gate CI runs.

@@ -1,0 +1,210 @@
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// loadConfig describes one load run.
+type loadConfig struct {
+	Base      string   // daemon base URL, no trailing slash
+	IDs       []string // experiment ids, round-robined
+	Requests  int      // total requests
+	Workers   int      // concurrency
+	Seeds     int      // distinct seeds per id
+	Scale     float64
+	SimTimeNs int64
+	Mixes     int
+	Version   string
+	Timeout   time.Duration
+}
+
+// outcome is one request's observation.
+type outcome struct {
+	status  int
+	cache   string // hit | miss | shared | "" on transport error
+	key     string
+	hash    [32]byte
+	latency time.Duration
+	err     error
+}
+
+// summary aggregates a load run.
+type summary struct {
+	Total, Errors        int64
+	Hits, Misses, Shared int64
+	Statuses             map[int]int64
+	Keys                 int
+	IdentityViolations   int64
+	Elapsed              time.Duration
+	Min, P50, P95, Max   time.Duration
+	RPS                  float64
+}
+
+// runLoad fires cfg.Requests POSTs at the daemon with cfg.Workers in
+// flight and verifies that every response observed for one cache key
+// carried identical bytes.
+func runLoad(cfg loadConfig) (*summary, error) {
+	if cfg.Requests < 1 || cfg.Workers < 1 || len(cfg.IDs) == 0 {
+		return nil, fmt.Errorf("need at least one request, one worker and one experiment id")
+	}
+	if cfg.Seeds < 1 {
+		cfg.Seeds = 1
+	}
+	client := &http.Client{
+		Timeout: cfg.Timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Workers,
+			MaxIdleConnsPerHost: cfg.Workers,
+			MaxConnsPerHost:     0, // one live connection per in-flight request
+		},
+	}
+
+	jobs := make(chan int)
+	results := make(chan outcome, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results <- cfg.fire(client, i)
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < cfg.Requests; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	sum := &summary{Statuses: make(map[int]int64)}
+	byKey := make(map[string][32]byte)
+	latencies := make([]time.Duration, 0, cfg.Requests)
+	for r := range results {
+		sum.Total++
+		if r.err != nil || r.status != http.StatusOK {
+			sum.Errors++
+			if r.status != 0 {
+				sum.Statuses[r.status]++
+			}
+			continue
+		}
+		sum.Statuses[r.status]++
+		latencies = append(latencies, r.latency)
+		switch r.cache {
+		case "hit":
+			sum.Hits++
+		case "miss":
+			sum.Misses++
+		case "shared":
+			sum.Shared++
+		}
+		if r.key != "" {
+			if prev, ok := byKey[r.key]; ok {
+				if prev != r.hash {
+					sum.IdentityViolations++
+				}
+			} else {
+				byKey[r.key] = r.hash
+			}
+		}
+	}
+	sum.Elapsed = time.Since(start)
+	sum.Keys = len(byKey)
+	if sum.Elapsed > 0 {
+		sum.RPS = float64(sum.Total) / sum.Elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		sum.Min = latencies[0]
+		sum.Max = latencies[len(latencies)-1]
+		sum.P50 = latencies[len(latencies)/2]
+		sum.P95 = latencies[len(latencies)*95/100]
+	}
+	return sum, nil
+}
+
+// fire sends request i: ids round-robin, seeds cycling above them, so
+// consecutive requests touch different keys and each key recurs.
+func (cfg loadConfig) fire(client *http.Client, i int) outcome {
+	id := cfg.IDs[i%len(cfg.IDs)]
+	seed := (i / len(cfg.IDs)) % cfg.Seeds
+	body := fmt.Sprintf(`{"seed":%d,"scale":%v,"simtime_ns":%d,"mixes":%d`,
+		seed, cfg.Scale, cfg.SimTimeNs, cfg.Mixes)
+	if cfg.Version != "" {
+		body += fmt.Sprintf(`,"version":%q`, cfg.Version)
+	}
+	body += "}"
+
+	start := time.Now()
+	resp, err := client.Post(cfg.Base+"/v1/experiments/"+id, "application/json", strings.NewReader(body))
+	if err != nil {
+		return outcome{err: err, latency: time.Since(start)}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	lat := time.Since(start)
+	if err != nil {
+		return outcome{status: resp.StatusCode, err: err, latency: lat}
+	}
+	return outcome{
+		status:  resp.StatusCode,
+		cache:   resp.Header.Get("X-Memcond-Cache"),
+		key:     resp.Header.Get("X-Memcond-Key"),
+		hash:    sha256.Sum256(data),
+		latency: lat,
+	}
+}
+
+// printServerMetrics fetches the daemon's Prometheus exposition and
+// prints the memcond_* counter lines (skipping comments), so the demo
+// can show the server-side view without needing curl.
+func printServerMetrics(w io.Writer, base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "server     /metrics:")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "memcond_") && !strings.Contains(line, "_bucket{") {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+	return nil
+}
+
+// write renders the human summary.
+func (s *summary) write(w io.Writer) {
+	fmt.Fprintf(w, "requests   %d in %v (%.0f req/s)\n", s.Total, s.Elapsed.Round(time.Millisecond), s.RPS)
+	fmt.Fprintf(w, "outcomes   %d hit, %d miss, %d shared, %d errors\n", s.Hits, s.Misses, s.Shared, s.Errors)
+	var codes []int
+	for c := range s.Statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	var parts []string
+	for _, c := range codes {
+		parts = append(parts, fmt.Sprintf("%d×%d", c, s.Statuses[c]))
+	}
+	fmt.Fprintf(w, "statuses   %s\n", strings.Join(parts, " "))
+	fmt.Fprintf(w, "keys       %d distinct, %d identity violations\n", s.Keys, s.IdentityViolations)
+	fmt.Fprintf(w, "latency    min %v  p50 %v  p95 %v  max %v\n",
+		s.Min.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeDaemon emulates memcond's cache contract: the first request per
+// body is a miss that fixes the bytes, every later one is a hit
+// serving the same bytes.
+type fakeDaemon struct {
+	mu      sync.Mutex
+	entries map[string][]byte
+	// corruptHits makes hit responses differ from the stored bytes, to
+	// prove memload catches determinism violations.
+	corruptHits bool
+}
+
+func (f *fakeDaemon) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Seed  int     `json:"seed"`
+		Scale float64 `json:"scale"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	keyRaw := sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%v", r.URL.Path, req.Seed, req.Scale)))
+	key := hex.EncodeToString(keyRaw[:])
+
+	f.mu.Lock()
+	data, ok := f.entries[key]
+	if !ok {
+		data = []byte(fmt.Sprintf(`{"report":"%s","seed":%d}`, r.URL.Path, req.Seed))
+		f.entries[key] = data
+		f.mu.Unlock()
+		w.Header().Set("X-Memcond-Cache", "miss")
+		w.Header().Set("X-Memcond-Key", key)
+		w.Write(data)
+		return
+	}
+	f.mu.Unlock()
+	if f.corruptHits {
+		data = append([]byte(nil), data...)
+		data[0] = '['
+	}
+	w.Header().Set("X-Memcond-Cache", "hit")
+	w.Header().Set("X-Memcond-Key", key)
+	w.Write(data)
+}
+
+func testConfig(base string) loadConfig {
+	return loadConfig{
+		Base:      base,
+		IDs:       []string{"fig4", "fig6"},
+		Requests:  60,
+		Workers:   8,
+		Seeds:     3,
+		Scale:     0.05,
+		SimTimeNs: 200000,
+		Mixes:     3,
+		Timeout:   5 * time.Second,
+	}
+}
+
+func TestRunLoadCountsOutcomes(t *testing.T) {
+	fd := &fakeDaemon{entries: make(map[string][]byte)}
+	ts := httptest.NewServer(fd)
+	defer ts.Close()
+
+	sum, err := runLoad(testConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Total != 60 || sum.Errors != 0 {
+		t.Fatalf("total %d errors %d, want 60/0", sum.Total, sum.Errors)
+	}
+	// 2 ids x 3 seeds = 6 distinct keys; one miss each, rest hits.
+	if sum.Keys != 6 {
+		t.Errorf("keys = %d, want 6", sum.Keys)
+	}
+	if sum.Misses != 6 || sum.Hits != 54 {
+		t.Errorf("outcomes = %d miss %d hit, want 6/54", sum.Misses, sum.Hits)
+	}
+	if sum.IdentityViolations != 0 {
+		t.Errorf("identity violations = %d, want 0", sum.IdentityViolations)
+	}
+	if sum.Statuses[http.StatusOK] != 60 {
+		t.Errorf("statuses = %v", sum.Statuses)
+	}
+	if sum.Max < sum.Min || sum.P95 < sum.P50 {
+		t.Errorf("latency ordering broken: %+v", sum)
+	}
+}
+
+func TestRunLoadDetectsIdentityViolation(t *testing.T) {
+	fd := &fakeDaemon{entries: make(map[string][]byte), corruptHits: true}
+	ts := httptest.NewServer(fd)
+	defer ts.Close()
+
+	sum, err := runLoad(testConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.IdentityViolations == 0 {
+		t.Error("corrupted hit bytes went undetected")
+	}
+}
+
+func TestRunLoadCountsFailures(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	cfg := testConfig(ts.URL)
+	cfg.Requests, cfg.Workers = 10, 2
+	sum, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Errors != 10 || sum.Statuses[http.StatusServiceUnavailable] != 10 {
+		t.Errorf("errors %d statuses %v, want 10 x 503", sum.Errors, sum.Statuses)
+	}
+}
+
+func TestRunLoadValidatesConfig(t *testing.T) {
+	if _, err := runLoad(loadConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}

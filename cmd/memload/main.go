@@ -1,0 +1,94 @@
+// Command memload drives a memcond daemon with concurrent experiment
+// requests and reports the cache behaviour it observed: hit/miss/shared
+// outcomes, status codes, latency percentiles and — the load generator's
+// real job — whether every response for a given cache key was
+// byte-identical. The daemon's whole premise is that a content-addressed
+// cache over deterministic experiments serves exact answers; memload is
+// the client-side check of that premise under concurrency.
+//
+// Requests are spread round-robin over the requested experiment ids and
+// a small pool of seeds, so a run with -n much larger than ids×seeds
+// exercises all three cache outcomes: the first arrival per key is a
+// miss, concurrent arrivals share its flight, and later arrivals hit.
+//
+// Usage:
+//
+//	memload -addr http://127.0.0.1:8080 -exp fig4,fig6 [-n 2000] [-c 1000]
+//	        [-seeds 2] [-scale 0.05] [-simtime 200000] [-mixes 3]
+//	        [-min-hits 1] [-timeout 2m]
+//
+// The exit status is non-zero when any request failed, when two
+// responses for one key differed (a determinism violation), or when
+// fewer than -min-hits cache hits were observed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://127.0.0.1:8080", "memcond base URL (host:port is accepted)")
+		exp     = flag.String("exp", "fig4", "comma-separated experiment ids to request")
+		n       = flag.Int("n", 100, "total requests to send")
+		c       = flag.Int("c", 10, "concurrent requests in flight")
+		seeds   = flag.Int("seeds", 1, "distinct seeds to spread requests over (ids x seeds = distinct cache keys)")
+		scale   = flag.Float64("scale", 0.05, "scale knob sent with each request")
+		simtime = flag.Int64("simtime", 200000, "simulated nanoseconds sent with each request")
+		mixes   = flag.Int("mixes", 3, "content mixes sent with each request")
+		version = flag.String("report-version", "", "report version sent with each request (empty = server default)")
+		timeout = flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
+		minHits = flag.Int64("min-hits", 0, "fail unless at least this many cache hits were observed")
+		showMx  = flag.Bool("show-metrics", false, "fetch /metrics after the run and print the memcond_* family")
+	)
+	flag.Parse()
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	ids := strings.Split(*exp, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+
+	cfg := loadConfig{
+		Base:      strings.TrimRight(base, "/"),
+		IDs:       ids,
+		Requests:  *n,
+		Workers:   *c,
+		Seeds:     *seeds,
+		Scale:     *scale,
+		SimTimeNs: *simtime,
+		Mixes:     *mixes,
+		Version:   *version,
+		Timeout:   *timeout,
+	}
+	sum, err := runLoad(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memload: %v\n", err)
+		os.Exit(1)
+	}
+	sum.write(os.Stdout)
+	if *showMx {
+		if err := printServerMetrics(os.Stdout, cfg.Base); err != nil {
+			fmt.Fprintf(os.Stderr, "memload: fetching /metrics: %v\n", err)
+		}
+	}
+
+	switch {
+	case sum.IdentityViolations > 0:
+		fmt.Fprintf(os.Stderr, "memload: FAIL: %d responses broke byte-identity for their cache key\n", sum.IdentityViolations)
+		os.Exit(1)
+	case sum.Errors > 0:
+		fmt.Fprintf(os.Stderr, "memload: FAIL: %d requests failed\n", sum.Errors)
+		os.Exit(1)
+	case sum.Hits < *minHits:
+		fmt.Fprintf(os.Stderr, "memload: FAIL: %d cache hits, need at least %d\n", sum.Hits, *minHits)
+		os.Exit(1)
+	}
+}

@@ -315,8 +315,7 @@ func applyEngineOptions(opts []EngineOption) engineOptions {
 //
 //	eng, err := core.New(cfg, core.WithTester(t), core.WithObserver(o))
 //
-// It is the constructor the public memcon facade wraps; NewEngine is
-// the older positional form.
+// It is the constructor the public memcon facade wraps.
 func New(cfg Config, opts ...EngineOption) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -415,13 +414,6 @@ func (e *Engine) Reset() {
 	e.now = 0
 	e.rep = Report{Pages: e.cfg.NumPages, MinWriteInterval: e.mwi}
 	e.pred.Reset()
-}
-
-// NewEngine builds an engine over the configuration and tester. A nil
-// tester means AlwaysPass. New with WithTester is the option-based
-// equivalent and the only form that can attach an observer.
-func NewEngine(cfg Config, tester Tester) (*Engine, error) {
-	return New(cfg, WithTester(tester))
 }
 
 // onPredict is invoked by PRIL at quantum boundaries for pages predicted

@@ -46,7 +46,7 @@ func TestReadOnlyRowsAccounting(t *testing.T) {
 }
 
 func TestRetestErrors(t *testing.T) {
-	e, err := NewEngine(cfgForTest(), nil)
+	e, err := New(cfgForTest())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestRetestErrors(t *testing.T) {
 }
 
 func TestRetestOnHiRefPageIsNoop(t *testing.T) {
-	e, _ := NewEngine(cfgForTest(), nil)
+	e, _ := New(cfgForTest())
 	if err := e.Retest(0, 0); err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestRetestOnHiRefPageIsNoop(t *testing.T) {
 }
 
 func TestRetestVoidsLoRef(t *testing.T) {
-	e, _ := NewEngine(cfgForTest(), nil)
+	e, _ := New(cfgForTest())
 	if err := e.Observe(trace.Event{Page: 0, At: 0}); err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestRetestVoidsLoRef(t *testing.T) {
 	}
 
 	// Fresh engine: retest while LO-REF must abort LO and start a test.
-	e2, _ := NewEngine(cfgForTest(), nil)
+	e2, _ := New(cfgForTest())
 	e2.Observe(trace.Event{Page: 0, At: 0})
 	// Force quantum processing to get the page to LO: feed another page.
 	e2.Observe(trace.Event{Page: 0, At: 0}) // duplicate at same time: multi-write, never predicted

@@ -33,8 +33,8 @@ func TestConfigValidate(t *testing.T) {
 			t.Errorf("case %d: bad config accepted", i)
 		}
 	}
-	if _, err := NewEngine(Config{}, nil); err == nil {
-		t.Error("NewEngine accepted invalid config")
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted invalid config")
 	}
 }
 
@@ -172,7 +172,7 @@ func TestMispredictionAccounting(t *testing.T) {
 
 func TestMinWriteIntervalFollowsMode(t *testing.T) {
 	c := cfgForTest()
-	e, err := NewEngine(c, nil)
+	e, err := New(c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestMinWriteIntervalFollowsMode(t *testing.T) {
 		t.Errorf("ReadCompare MWI = %d, want 560 ms", e.mwi/dram.Millisecond)
 	}
 	c.Mode = costmodel.CopyCompare
-	e2, err := NewEngine(c, nil)
+	e2, err := New(c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestMinWriteIntervalFollowsMode(t *testing.T) {
 }
 
 func TestObserveErrors(t *testing.T) {
-	e, err := NewEngine(cfgForTest(), nil)
+	e, err := New(cfgForTest())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"strings"
 
 	"memcon/internal/obs"
 	"memcon/internal/parallel"
@@ -90,10 +89,7 @@ func (o Options) normalize() Options {
 		o.Mixes = d.Mixes
 	}
 	if o.Fleet < 1 {
-		o.Fleet = int(160*o.Scale + 0.5)
-		if o.Fleet < 4 {
-			o.Fleet = 4
-		}
+		o.Fleet = deriveFleet(o.Scale)
 	}
 	if o.Workers < 1 {
 		o.Workers = d.Workers
@@ -195,37 +191,29 @@ func Describe(id string) (string, error) {
 }
 
 // Run executes the experiment with the given id and stamps the result's
-// report provenance with the normalized inputs. The worker count is
-// deliberately not recorded: reports are byte-identical for any
-// -parallel value, and provenance only holds inputs that determine the
-// numbers.
+// report provenance with the normalized inputs. It is a thin
+// compatibility wrapper: the Options are normalized (SeedSet
+// disambiguation included) into a canonical Request and handed to
+// RunRequest, the request-based entrypoint. The worker count is
+// deliberately not recorded in provenance: reports are byte-identical
+// for any -parallel value, and provenance only holds inputs that
+// determine the numbers.
 func Run(id string, opts Options) (Result, error) {
-	e, ok := registry[id]
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
-	}
 	opts = opts.normalize()
-	if opts.Phases != nil {
-		defer opts.Phases.Start(id)()
-	}
-	res, err := e.runner(opts)
-	if err != nil {
-		return nil, err
-	}
-	prov := report.Provenance{
+	req := Request{
 		Experiment: id,
-		Title:      e.desc,
 		Seed:       opts.Seed,
 		Scale:      opts.Scale,
 		SimTimeNs:  opts.SimTimeNs,
 		Mixes:      opts.Mixes,
+		Fleet:      opts.Fleet,
 		Version:    opts.Version,
 	}
-	if e.fleet {
-		prov.Fleet = opts.Fleet
-	}
-	res.setProvenance(prov)
-	return res, nil
+	return RunRequest(opts.Ctx, req, Runtime{
+		Workers:  opts.Workers,
+		Observer: opts.Observer,
+		Phases:   opts.Phases,
+	})
 }
 
 func pct(x float64) string  { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"memcon/internal/report"
+)
+
+func testRequest(id string) Request {
+	r := DefaultRequest(id)
+	r.Scale = 0.04
+	r.SimTimeNs = 200_000
+	r.Mixes = 2
+	return r
+}
+
+func TestDefaultRequestMatchesDefaultOptions(t *testing.T) {
+	d := DefaultOptions()
+	r := DefaultRequest("fig14")
+	if r.Experiment != "fig14" || r.Seed != d.Seed || r.Scale != d.Scale ||
+		r.SimTimeNs != d.SimTimeNs || r.Mixes != d.Mixes {
+		t.Errorf("DefaultRequest = %+v, want the DefaultOptions values %+v", r, d)
+	}
+	if r.Fleet != 0 {
+		t.Errorf("DefaultRequest.Fleet = %d, want 0 (derived at Normalize)", r.Fleet)
+	}
+}
+
+func TestNormalizeValidates(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Request)
+		want string
+	}{
+		{"unknown id", func(r *Request) { r.Experiment = "fig99" }, "unknown experiment"},
+		{"zero scale", func(r *Request) { r.Scale = 0 }, "scale"},
+		{"oversized scale", func(r *Request) { r.Scale = 1.5 }, "scale"},
+		{"zero simtime", func(r *Request) { r.SimTimeNs = 0 }, "simtime"},
+		{"negative mixes", func(r *Request) { r.Mixes = -1 }, "mixes"},
+		{"negative fleet", func(r *Request) { r.Fleet = -2 }, "fleet"},
+	}
+	for _, tc := range cases {
+		r := DefaultRequest("fig14")
+		tc.mut(&r)
+		err := r.Normalize()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Normalize() = %v, want error mentioning %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestNormalizeCanonicalizesFleet pins the one rewrite Normalize
+// performs: single-module experiments drop a stray Fleet, fleet
+// experiments derive the scale-proportional default.
+func TestNormalizeCanonicalizesFleet(t *testing.T) {
+	r := DefaultRequest("fig14")
+	r.Fleet = 99
+	if err := r.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Fleet != 0 {
+		t.Errorf("fig14 Fleet = %d after Normalize, want 0", r.Fleet)
+	}
+
+	f := DefaultRequest("fleet-ce")
+	if err := f.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Fleet != 160 {
+		t.Errorf("fleet-ce Fleet at scale 1 = %d, want derived 160", f.Fleet)
+	}
+	f = DefaultRequest("fleet-ce")
+	f.Scale = 0.01
+	f.Fleet = 0
+	if err := f.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Fleet != 4 {
+		t.Errorf("fleet-ce Fleet at scale 0.01 = %d, want floor 4", f.Fleet)
+	}
+	f = DefaultRequest("fleet-ce")
+	f.Fleet = 12
+	if err := f.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Fleet != 12 {
+		t.Errorf("explicit Fleet rewritten to %d", f.Fleet)
+	}
+}
+
+// TestRequestJSONOverlay pins the decode-onto-defaults idiom the server
+// uses: absent fields keep the defaults, present fields win, and an
+// explicit zero seed is honoured — the property Options needed SeedSet
+// for.
+func TestRequestJSONOverlay(t *testing.T) {
+	req := DefaultRequest("fig3")
+	if err := json.Unmarshal([]byte(`{"seed":0,"scale":0.25}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Seed != 0 {
+		t.Errorf("explicit zero seed became %d", req.Seed)
+	}
+	if req.Scale != 0.25 {
+		t.Errorf("scale = %v, want 0.25", req.Scale)
+	}
+	if req.SimTimeNs != DefaultOptions().SimTimeNs || req.Mixes != DefaultOptions().Mixes {
+		t.Errorf("absent fields lost their defaults: %+v", req)
+	}
+	if req.Experiment != "fig3" {
+		t.Errorf("experiment = %q", req.Experiment)
+	}
+}
+
+func TestRequestJSONRoundTrip(t *testing.T) {
+	r := testRequest("fleet-ce")
+	r.Fleet = 8
+	r.Version = "v1"
+	b, err := r.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Request
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Errorf("round trip changed the request:\n  in  %+v\n  out %+v", r, back)
+	}
+	b2, err := back.MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Errorf("canonical encodings differ:\n%s\n%s", b, b2)
+	}
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	base := testRequest("fig6")
+	if err := base.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	muts := map[string]func(*Request){
+		"experiment": func(r *Request) { r.Experiment = "minwi" },
+		"seed":       func(r *Request) { r.Seed++ },
+		"scale":      func(r *Request) { r.Scale = 0.05 },
+		"simtime":    func(r *Request) { r.SimTimeNs++ },
+		"mixes":      func(r *Request) { r.Mixes++ },
+		"fleet":      func(r *Request) { r.Fleet++ },
+		"version":    func(r *Request) { r.Version = "other" },
+	}
+	seen := map[string]string{base.KeyHex(): "base"}
+	for field, mut := range muts {
+		r := base
+		mut(&r)
+		hex := r.KeyHex()
+		if prev, dup := seen[hex]; dup {
+			t.Errorf("mutating %s collides with %s (key %s)", field, prev, hex)
+		}
+		seen[hex] = field
+	}
+	again := base
+	if again.KeyHex() != base.KeyHex() {
+		t.Error("identical requests produced different keys")
+	}
+	if len(base.KeyHex()) != 64 {
+		t.Errorf("key hex length = %d, want 64", len(base.KeyHex()))
+	}
+}
+
+// TestProvenanceRoundTrip is the -diff default-drift regression: for
+// every committed reference report, rebuilding the request from saved
+// provenance, normalizing, and restamping must reproduce the saved
+// provenance exactly (title aside — it comes from the registry). A new
+// provenance field that is not carried through RequestFromProvenance
+// fails here the moment a reference report records it.
+func TestProvenanceRoundTrip(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "reports", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no reference reports found")
+	}
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := report.DecodeBytes(b)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		req := RequestFromProvenance(rep.Prov)
+		if err := req.Normalize(); err != nil {
+			t.Errorf("%s: Normalize: %v", f, err)
+			continue
+		}
+		got := report.Provenance{
+			Experiment: req.Experiment,
+			Title:      rep.Prov.Title,
+			Seed:       req.Seed,
+			Scale:      req.Scale,
+			SimTimeNs:  req.SimTimeNs,
+			Mixes:      req.Mixes,
+			Fleet:      req.Fleet,
+			Version:    req.Version,
+		}
+		if got != rep.Prov {
+			t.Errorf("%s: provenance drifted through the Request round trip:\n  saved %+v\n  round %+v", f, rep.Prov, got)
+		}
+	}
+}
+
+// TestRunContextStampsProvenance pins the request-based entrypoint: the
+// stamped provenance is the normalized request, and an explicit zero
+// seed survives (no SeedSet in sight).
+func TestRunContextStampsProvenance(t *testing.T) {
+	req := testRequest("minwi")
+	req.Seed = 0
+	req.Version = "req-build"
+	res, err := RunContext(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Report().Prov
+	if p.Experiment != "minwi" || p.Seed != 0 || p.Scale != req.Scale ||
+		p.SimTimeNs != req.SimTimeNs || p.Mixes != req.Mixes || p.Version != "req-build" {
+		t.Errorf("provenance = %+v", p)
+	}
+	if p.Fleet != 0 {
+		t.Errorf("minwi stamped Fleet %d, want 0", p.Fleet)
+	}
+	if p.Title == "" {
+		t.Error("provenance missing the registry description")
+	}
+}
+
+// TestRunEqualsRunContext pins the compatibility wrapper: Run(id, Options)
+// and RunContext(Request) produce byte-identical canonical reports for
+// equivalent inputs.
+func TestRunEqualsRunContext(t *testing.T) {
+	opts := Options{Scale: 0.04, Seed: 7, SimTimeNs: 200_000, Mixes: 2, Workers: 2}
+	viaOptions, err := Run("fig6", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Experiment: "fig6", Seed: 7, Scale: 0.04, SimTimeNs: 200_000, Mixes: 2}
+	viaRequest, err := RunContext(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := viaOptions.Report().MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := viaRequest.Report().MarshalCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("Run and RunContext disagree:\n--- Run ---\n%s\n--- RunContext ---\n%s", a, b)
+	}
+}
+
+func TestRunContextRejectsInvalid(t *testing.T) {
+	if _, err := RunContext(context.Background(), Request{Experiment: "fig99", Scale: 1, SimTimeNs: 1, Mixes: 1}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := RunContext(context.Background(), Request{Experiment: "fig6"}); err == nil {
+		t.Error("zero-value request accepted (scale 0 must be invalid)")
+	}
+}
+
+// TestRunContextCancelled pins that a pre-cancelled context aborts the
+// run instead of completing it.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, testRequest("fig3")); err == nil {
+		t.Error("cancelled context did not abort the run")
+	}
+}

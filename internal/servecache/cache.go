@@ -1,0 +1,264 @@
+// Package servecache is the content-addressed result cache behind the
+// experiment-serving daemon (cmd/memcond). Entries are keyed by the
+// SHA-256 cache key of a canonical experiments.Request and hold the
+// byte-exact canonical JSON report that request produced — the repo's
+// determinism contract (byte-identical reports for identical inputs)
+// is what makes a content-addressed cache sound here: a hit IS the
+// answer, not an approximation of it.
+//
+// The cache collapses concurrent identical requests into one
+// computation (singleflight): the first caller starts the run, later
+// callers with the same key wait on it, and every waiter receives the
+// same bytes. Flights are reference-counted against their waiters —
+// when the last interested caller cancels, the flight's context is
+// cancelled too, so an abandoned run stops burning worker-pool slots
+// mid-sweep instead of completing for nobody.
+//
+// Bounded memory comes from LRU eviction over a fixed entry budget.
+// Everything is safe for concurrent use.
+package servecache
+
+import (
+	"container/list"
+	"context"
+	"encoding/hex"
+	"sync"
+)
+
+// Key is a 32-byte content address (experiments.Request.CacheKey).
+type Key [32]byte
+
+// String renders the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Outcome classifies how Do satisfied a caller.
+type Outcome uint8
+
+const (
+	// Hit: the bytes came straight from the cache.
+	Hit Outcome = iota
+	// Miss: this caller started the computation.
+	Miss
+	// Shared: the caller joined another caller's in-flight computation.
+	Shared
+)
+
+var outcomeNames = [...]string{"hit", "miss", "shared"}
+
+// String returns the outcome's stable wire name (used in the
+// X-Memcond-Cache response header and the memload summary).
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return "unknown"
+}
+
+// Entry is one cached result.
+type Entry struct {
+	// Key is the entry's content address.
+	Key Key
+	// Request is the canonical JSON of the request that produced the
+	// data (kept so revalidation can re-run an entry without the
+	// original client).
+	Request []byte
+	// Data is the canonical JSON report document.
+	Data []byte
+	// Hits counts cache hits served from this entry.
+	Hits int64
+}
+
+// Stats are the cache's cumulative counters.
+type Stats struct {
+	// Hits, Misses, Shared count Do outcomes.
+	Hits, Misses, Shared int64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64
+	// Entries is the current entry count.
+	Entries int
+}
+
+// flight is one in-progress computation. refs counts the callers still
+// waiting on it; when refs drops to zero the flight's context is
+// cancelled and the flight is detached from the cache so a late caller
+// starts fresh instead of inheriting a doomed run.
+type flight struct {
+	done   chan struct{} // closed when data/err are set
+	cancel context.CancelFunc
+	refs   int
+	data   []byte
+	err    error
+}
+
+// Cache is a bounded, content-addressed result store with singleflight
+// computation. The zero value is not usable; construct with New.
+type Cache struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[Key]*list.Element // values are *Entry wrapped in lru
+	lru      *list.List            // front = most recently used
+	inflight map[Key]*flight
+	stats    Stats
+}
+
+// New builds a cache bounded to max entries; max < 1 selects an
+// effectively unbounded cache.
+func New(max int) *Cache {
+	if max < 1 {
+		max = int(^uint(0) >> 1)
+	}
+	return &Cache{
+		max:      max,
+		entries:  make(map[Key]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[Key]*flight),
+	}
+}
+
+// Get returns the cached entry's data for k, if present, marking the
+// entry recently used. The returned slice must be treated as read-only.
+func (c *Cache) Get(k Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*Entry).Data, true
+}
+
+// Lookup returns the full cached entry for k without counting a hit —
+// the revalidation path uses it to fetch the saved bytes and request.
+func (c *Cache) Lookup(k Key) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	e := el.Value.(*Entry)
+	return &Entry{Key: e.Key, Request: e.Request, Data: e.Data, Hits: e.Hits}, true
+}
+
+// Put stores (or replaces) the entry for k. Revalidation uses it to
+// refresh a drifted entry; tests use it to inject drift.
+func (c *Cache) Put(k Key, request, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store(k, request, data)
+}
+
+// store inserts or replaces an entry and enforces the LRU bound.
+// Callers hold c.mu.
+func (c *Cache) store(k Key, request, data []byte) {
+	if el, ok := c.entries[k]; ok {
+		e := el.Value.(*Entry)
+		e.Request, e.Data = request, data
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.lru.PushFront(&Entry{Key: k, Request: request, Data: data})
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*Entry).Key)
+		c.stats.Evictions++
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// StatsSnapshot returns the cumulative counters.
+func (c *Cache) StatsSnapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	return s
+}
+
+// Do returns the bytes for k, computing them at most once across
+// concurrent callers. On a miss it runs compute in its own goroutine
+// under a context that stays alive while ANY caller still waits on the
+// flight; the caller's own ctx only governs how long this caller waits.
+// A successful computation is stored before anyone is woken, so a
+// subsequent Do is a Hit. A failed computation is not cached.
+//
+// request is the canonical request JSON stored alongside the data (used
+// for revalidation); only the caller that starts the flight needs to
+// supply it.
+func (c *Cache) Do(ctx context.Context, k Key, request []byte, compute func(context.Context) ([]byte, error)) ([]byte, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(el)
+		e := el.Value.(*Entry)
+		e.Hits++
+		c.stats.Hits++
+		data := e.Data
+		c.mu.Unlock()
+		return data, Hit, nil
+	}
+	if f, ok := c.inflight[k]; ok {
+		f.refs++
+		c.stats.Shared++
+		c.mu.Unlock()
+		return c.wait(ctx, k, f, Shared)
+	}
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{}), cancel: cancel, refs: 1}
+	c.inflight[k] = f
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	go func() {
+		data, err := compute(fctx)
+		c.mu.Lock()
+		f.data, f.err = data, err
+		if c.inflight[k] == f {
+			delete(c.inflight, k)
+			if err == nil {
+				c.store(k, request, data)
+			}
+		}
+		c.mu.Unlock()
+		cancel()
+		close(f.done)
+	}()
+	return c.wait(ctx, k, f, Miss)
+}
+
+// wait blocks until the flight completes or the caller's context is
+// done. A caller that gives up drops its reference; the last reference
+// out cancels the flight and detaches it so new callers start fresh.
+func (c *Cache) wait(ctx context.Context, k Key, f *flight, o Outcome) ([]byte, Outcome, error) {
+	// Prefer a completed flight over a racing cancellation: if the
+	// result is already there, return it.
+	select {
+	case <-f.done:
+		return f.data, o, f.err
+	default:
+	}
+	select {
+	case <-f.done:
+		return f.data, o, f.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		f.refs--
+		abandon := f.refs == 0
+		if abandon && c.inflight[k] == f {
+			delete(c.inflight, k)
+		}
+		c.mu.Unlock()
+		if abandon {
+			f.cancel()
+		}
+		return nil, o, ctx.Err()
+	}
+}

@@ -1,0 +1,274 @@
+package servecache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(b byte) Key {
+	var k Key
+	k[0] = b
+	return k
+}
+
+func TestDoMissThenHit(t *testing.T) {
+	c := New(8)
+	var calls atomic.Int64
+	compute := func(context.Context) ([]byte, error) {
+		calls.Add(1)
+		return []byte("result"), nil
+	}
+	data, o, err := c.Do(context.Background(), key(1), []byte("req"), compute)
+	if err != nil || o != Miss || string(data) != "result" {
+		t.Fatalf("first Do = %q, %v, %v", data, o, err)
+	}
+	data, o, err = c.Do(context.Background(), key(1), nil, compute)
+	if err != nil || o != Hit || string(data) != "result" {
+		t.Fatalf("second Do = %q, %v, %v", data, o, err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	e, ok := c.Lookup(key(1))
+	if !ok || string(e.Request) != "req" || e.Hits != 1 {
+		t.Errorf("Lookup = %+v, %v", e, ok)
+	}
+	s := c.StatsSnapshot()
+	if s.Hits != 1 || s.Misses != 1 || s.Shared != 0 || s.Entries != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestDoError(t *testing.T) {
+	c := New(8)
+	boom := errors.New("boom")
+	_, o, err := c.Do(context.Background(), key(1), nil, func(context.Context) ([]byte, error) {
+		return nil, boom
+	})
+	if o != Miss || !errors.Is(err, boom) {
+		t.Fatalf("Do = %v, %v", o, err)
+	}
+	if c.Len() != 0 {
+		t.Error("failed computation was cached")
+	}
+	// The key is recomputable after a failure.
+	data, o, err := c.Do(context.Background(), key(1), nil, func(context.Context) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil || o != Miss || string(data) != "ok" {
+		t.Fatalf("retry Do = %q, %v, %v", data, o, err)
+	}
+}
+
+// TestSingleflight pins the collapse: N concurrent callers of one key
+// run compute exactly once and all see the same bytes.
+func TestSingleflight(t *testing.T) {
+	c := New(8)
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	compute := func(context.Context) ([]byte, error) {
+		calls.Add(1)
+		close(started)
+		<-release
+		return []byte("shared-result"), nil
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, n)
+	datas := make([][]byte, n)
+	errs := make([]error, n)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		datas[0], outcomes[0], errs[0] = c.Do(context.Background(), key(7), nil, compute)
+	}()
+	<-started // the flight exists before the followers arrive
+	for i := 1; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			datas[i], outcomes[i], errs[i] = c.Do(context.Background(), key(7), nil, func(context.Context) ([]byte, error) {
+				t.Error("follower's compute invoked")
+				return nil, nil
+			})
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let followers reach wait
+	close(release)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	var miss, shared int
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(datas[i], []byte("shared-result")) {
+			t.Errorf("caller %d data = %q", i, datas[i])
+		}
+		switch outcomes[i] {
+		case Miss:
+			miss++
+		case Shared:
+			shared++
+		default:
+			t.Errorf("caller %d outcome = %v", i, outcomes[i])
+		}
+	}
+	if miss != 1 || shared != n-1 {
+		t.Errorf("outcomes: %d miss, %d shared; want 1, %d", miss, shared, n-1)
+	}
+}
+
+// TestAbandonedFlightCancelled pins the refcount contract: when every
+// waiter gives up, the compute context is cancelled and nothing is
+// cached; a later caller starts a fresh computation.
+func TestAbandonedFlightCancelled(t *testing.T) {
+	c := New(8)
+	cancelled := make(chan struct{})
+	compute := func(ctx context.Context) ([]byte, error) {
+		<-ctx.Done()
+		close(cancelled)
+		return nil, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, o, err := c.Do(ctx, key(3), nil, compute)
+	if o != Miss || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, %v", o, err)
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("compute context never cancelled after the last waiter left")
+	}
+	if c.Len() != 0 {
+		t.Error("abandoned flight was cached")
+	}
+	data, o, err := c.Do(context.Background(), key(3), nil, func(context.Context) ([]byte, error) {
+		return []byte("fresh"), nil
+	})
+	if err != nil || o != Miss || string(data) != "fresh" {
+		t.Fatalf("post-abandon Do = %q, %v, %v", data, o, err)
+	}
+}
+
+// TestSurvivingWaiterKeepsFlight pins that one waiter cancelling does
+// not kill the run for the waiter that stays.
+func TestSurvivingWaiterKeepsFlight(t *testing.T) {
+	c := New(8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	compute := func(ctx context.Context) ([]byte, error) {
+		close(started)
+		select {
+		case <-release:
+			return []byte("kept"), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	quitCtx, quit := context.WithCancel(context.Background())
+	quitErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(quitCtx, key(9), nil, compute)
+		quitErr <- err
+	}()
+	<-started
+
+	stayData := make(chan []byte, 1)
+	go func() {
+		data, _, err := c.Do(context.Background(), key(9), nil, compute)
+		if err != nil {
+			t.Errorf("surviving waiter: %v", err)
+		}
+		stayData <- data
+	}()
+	time.Sleep(10 * time.Millisecond) // let the second caller join the flight
+	quit()
+	if err := <-quitErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("quitting waiter err = %v", err)
+	}
+	close(release)
+	if data := <-stayData; string(data) != "kept" {
+		t.Errorf("surviving waiter data = %q", data)
+	}
+	if _, ok := c.Get(key(9)); !ok {
+		t.Error("completed flight not cached")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Put(key(1), nil, []byte("a"))
+	c.Put(key(2), nil, []byte("b"))
+	if _, ok := c.Get(key(1)); !ok { // refresh 1; 2 becomes oldest
+		t.Fatal("entry 1 missing")
+	}
+	c.Put(key(3), nil, []byte("c"))
+	if _, ok := c.Get(key(2)); ok {
+		t.Error("least-recently-used entry 2 not evicted")
+	}
+	if _, ok := c.Get(key(1)); !ok {
+		t.Error("recently-used entry 1 evicted")
+	}
+	if _, ok := c.Get(key(3)); !ok {
+		t.Error("new entry 3 missing")
+	}
+	if s := c.StatsSnapshot(); s.Evictions != 1 || s.Entries != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := New(4)
+	c.Put(key(1), []byte("r1"), []byte("old"))
+	c.Put(key(1), []byte("r1"), []byte("new"))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	data, _ := c.Get(key(1))
+	if string(data) != "new" {
+		t.Errorf("data = %q", data)
+	}
+}
+
+func TestKeyAndOutcomeStrings(t *testing.T) {
+	k := key(0xAB)
+	if got := k.String(); len(got) != 64 || got[:2] != "ab" {
+		t.Errorf("key hex = %q", got)
+	}
+	for o, want := range map[Outcome]string{Hit: "hit", Miss: "miss", Shared: "shared", Outcome(9): "unknown"} {
+		if o.String() != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, o.String(), want)
+		}
+	}
+}
+
+func TestUnboundedCache(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 100; i++ {
+		c.Put(key(byte(i)), nil, []byte(fmt.Sprintf("v%d", i)))
+	}
+	if c.Len() != 100 {
+		t.Errorf("len = %d, want 100", c.Len())
+	}
+	if s := c.StatsSnapshot(); s.Evictions != 0 {
+		t.Errorf("evictions = %d", s.Evictions)
+	}
+}

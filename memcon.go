@@ -206,18 +206,12 @@ func RunSource(ctx context.Context, src TraceSource, cfg Config, opts ...Option)
 }
 
 // New builds an incremental engine with functional options; feed it
-// events with Observe and close it with Finish.
+// events with Observe and close it with Finish. (The pre-options
+// NewEngine(cfg, tester) constructor, deprecated since the functional-
+// options redesign, has been removed: it was exactly
+// New(cfg, WithTester(tester)).)
 func New(cfg Config, opts ...Option) (*Engine, error) {
 	return core.New(cfg, opts...)
-}
-
-// NewEngine builds an incremental engine; feed it events with Observe
-// and close it with Finish.
-//
-// Deprecated: Use New with WithTester, which also accepts WithObserver
-// and WithClock. NewEngine(cfg, t) is exactly New(cfg, WithTester(t)).
-func NewEngine(cfg Config, tester Tester) (*Engine, error) {
-	return core.NewEngine(cfg, tester)
 }
 
 // Apps returns the twelve long-running application workload generators

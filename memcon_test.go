@@ -96,10 +96,10 @@ func TestExperimentFacade(t *testing.T) {
 	}
 }
 
-func TestNewEngineIncremental(t *testing.T) {
+func TestNewIncremental(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NumPages = 4
-	e, err := NewEngine(cfg, AlwaysPass)
+	e, err := New(cfg, WithTester(AlwaysPass))
 	if err != nil {
 		t.Fatal(err)
 	}

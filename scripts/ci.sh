@@ -13,7 +13,10 @@
 #   7. the hot-path benchmarks still run (single iteration smoke; see
 #      scripts/bench.sh for real measurements),
 #   8. every committed reference report under testdata/reports/ is
-#      regenerated and diffed at zero tolerance (report regression).
+#      regenerated and diffed at zero tolerance (report regression),
+#   9. the serving daemon survives a race-instrumented end-to-end
+#      smoke: memcond starts, memload observes cache hits with
+#      byte-identical bodies, and SIGTERM drains cleanly.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -61,5 +64,32 @@ echo "== report regression =="
 for f in testdata/reports/*.json; do
     go run ./cmd/memconsim -diff "$f" > /dev/null
 done
+
+# Serving smoke: build the daemon race-instrumented, run a small load
+# through it (12 requests over 2 experiments = at least 10 cache
+# outcomes beyond the 2 misses; memload exits non-zero on any
+# byte-identity violation or if hits stay under -min-hits), then
+# SIGTERM and require a clean drain (exit 0).
+echo "== memcond serve smoke (race) =="
+servetmp=$(mktemp -d)
+trap 'rm -rf "$servetmp"' EXIT
+go build -race -o "$servetmp/memcond" ./cmd/memcond
+go build -o "$servetmp/memload" ./cmd/memload
+"$servetmp/memcond" -addr 127.0.0.1:0 -addr-file "$servetmp/addr" &
+memcond_pid=$!
+i=0
+while [ ! -s "$servetmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "memcond never wrote its address file" >&2
+        kill "$memcond_pid" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+"$servetmp/memload" -addr "$(cat "$servetmp/addr")" \
+    -exp fig4,minwi -n 12 -c 4 -min-hits 4
+kill -TERM "$memcond_pid"
+wait "$memcond_pid"
 
 echo "ci: all checks passed"

@@ -1,0 +1,53 @@
+#!/bin/sh
+# serve_demo.sh — the serving-daemon demonstration: start memcond on an
+# ephemeral port, fire 2000 concurrent experiment requests at it
+# (concurrency 1000) spread over 2 experiments x 2 seeds = 4 distinct
+# cache keys, and print the client summary plus the server's metrics.
+#
+# What it demonstrates:
+#   - singleflight: 4 distinct keys cost 4 experiment runs, no matter
+#     how many thousands of requests ask for them concurrently;
+#   - byte-identity: memload hashes every response body and exits
+#     non-zero if two responses for one key ever differ;
+#   - graceful drain: SIGTERM lets in-flight work finish, exit 0.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+memcond_pid=""
+cleanup() {
+    if [ -n "$memcond_pid" ]; then
+        kill "$memcond_pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+echo "== building memcond + memload =="
+go build -o "$tmpdir/memcond" ./cmd/memcond
+go build -o "$tmpdir/memload" ./cmd/memload
+
+"$tmpdir/memcond" -addr 127.0.0.1:0 -addr-file "$tmpdir/addr" &
+memcond_pid=$!
+i=0
+while [ ! -s "$tmpdir/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "memcond never wrote its address file" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$tmpdir/addr")
+
+echo "== 2000 requests, 1000 concurrent, 4 distinct keys =="
+"$tmpdir/memload" -addr "$addr" \
+    -exp fig4,fig6 -seeds 2 -n 2000 -c 1000 \
+    -min-hits 1000 -show-metrics
+
+echo "== draining (SIGTERM) =="
+kill -TERM "$memcond_pid"
+wait "$memcond_pid"
+memcond_pid=""
+echo "serve demo: ok"
