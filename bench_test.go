@@ -438,6 +438,33 @@ func BenchmarkFailingCells(b *testing.B) {
 	}
 }
 
+// BenchmarkFailingCellsDense prices the row query on a 20x-denser weak
+// population (6.4e-3 vs the default 3.2e-4), where most rows carry
+// several weak cells per 64-bit word — the regime the bit-parallel
+// word kernel exists for. scripts/bench.sh records this in
+// BENCH_hotpath.json alongside the sparse query.
+func BenchmarkFailingCellsDense(b *testing.B) {
+	geom := dram.DefaultGeometry()
+	params := faults.DefaultParams()
+	params.WeakCellFraction = 6.4e-3
+	scr := dram.NewScrambler(geom, 42, nil)
+	model, err := faults.NewModel(geom, scr, 42, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := dram.NewModule(geom)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fillBenchRandom(b, mod, 1)
+	model.Preload()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.FailingCells(mod, geom.AddressOfIndex(i%geom.TotalRows()), faults.CharacterizationIdle)
+	}
+}
+
 // BenchmarkReadBack prices one full-array read-back scan on the default
 // geometry after a checkerboard fill and one characterization idle, at
 // several worker counts (results are byte-identical at all of them).

@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"memcon/internal/dram"
 	"memcon/internal/faults"
@@ -52,6 +53,7 @@ func run(args []string, out io.Writer) error {
 		guard    = fs.Float64("guardband", 1.25, "profiling idle-time guardband (with -profile)")
 		idleMs   = fs.Int64("idle", 328, "idle time in ms (328 ms = paper's 4 s at 45C)")
 		seed     = fs.Int64("seed", 42, "chip seed")
+		mapping  = fs.String("mapping", "", "address mapping scheme: "+strings.Join(dram.MappingNames(), ", ")+" (default mapping when empty)")
 		rows     = fs.Int("rows", 4096, "rows per bank")
 		nworkers = fs.Int("parallel", runtime.NumCPU(), "worker count for the -allfail, -pattern, and -content scans (results are identical for any value)")
 		metrics  = fs.String("metrics", "", `write aggregated run metrics to this file ("-" for stdout)`)
@@ -86,7 +88,7 @@ func run(args []string, out io.Writer) error {
 
 	geom := dram.DefaultGeometry()
 	geom.RowsPerBank = *rows
-	tester, model, err := buildChip(geom, uint64(*seed))
+	tester, model, err := buildChip(geom, uint64(*seed), *mapping)
 	if err != nil {
 		return err
 	}
@@ -178,8 +180,11 @@ func writeMetrics(path string, out io.Writer, reg *obs.Registry, format obs.Form
 	return f.Close()
 }
 
-func buildChip(geom dram.Geometry, seed uint64) (*softmc.Tester, *faults.Model, error) {
-	scr := dram.NewScrambler(geom, seed, nil)
+func buildChip(geom dram.Geometry, seed uint64, mapping string) (*softmc.Tester, *faults.Model, error) {
+	scr, err := dram.NewMappedScrambler(geom, seed, nil, mapping)
+	if err != nil {
+		return nil, nil, err
+	}
 	model, err := faults.NewModel(geom, scr, seed, faults.DefaultParams())
 	if err != nil {
 		return nil, nil, err

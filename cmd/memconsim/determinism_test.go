@@ -61,6 +61,42 @@ func TestParallelInvariantAll(t *testing.T) {
 	assertParallelInvariant(t, "-all", "-scale", "0.05", "-simtime", "200000", "-mixes", "3")
 }
 
+// TestParallelInvariantMappings extends the -parallel contract across
+// the vendor address mappings on a chip-level experiment: each mapping
+// must be internally deterministic for any worker count, and distinct
+// mappings must produce distinct reports (the selector is live, not
+// cosmetic).
+func TestParallelInvariantMappings(t *testing.T) {
+	outputs := make(map[string]string)
+	for _, m := range []string{"default", "gray", "linear", "mirror"} {
+		assertParallelInvariant(t, "-exp", "fig3", "-scale", "0.04", "-mapping", m)
+		outputs[m] = runString(t, "-exp", "fig3", "-scale", "0.04", "-mapping", m, "-parallel", "4")
+	}
+	if outputs["default"] == outputs["gray"] || outputs["default"] == outputs["mirror"] ||
+		outputs["gray"] == outputs["linear"] {
+		t.Error("distinct mappings produced identical fig3 reports")
+	}
+}
+
+// TestMappingDefaultSpellings pins that -mapping default and the
+// absent flag are the same request: byte-identical output (the
+// Normalize canonicalization, observed end to end).
+func TestMappingDefaultSpellings(t *testing.T) {
+	bare := runString(t, "-exp", "fig3", "-scale", "0.04", "-parallel", "4")
+	def := runString(t, "-exp", "fig3", "-scale", "0.04", "-mapping", "default", "-parallel", "4")
+	if bare != def {
+		t.Error("-mapping default differs from the absent flag")
+	}
+}
+
+func TestUnknownMappingRejected(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-exp", "fig3", "-scale", "0.04", "-mapping", "zigzag"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "unknown address mapping") {
+		t.Errorf("-mapping zigzag: err = %v, want unknown-mapping error", err)
+	}
+}
+
 // TestRepeatedRunsIdentical guards against nondeterminism that does not
 // come from scheduling at all (map iteration order leaking into float
 // accumulation): two runs of the same process must agree byte for byte.

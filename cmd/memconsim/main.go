@@ -66,6 +66,7 @@ import (
 	"syscall"
 
 	"memcon/internal/core"
+	"memcon/internal/dram"
 	"memcon/internal/experiments"
 	"memcon/internal/obs"
 	"memcon/internal/parallel"
@@ -102,6 +103,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		simtime  = fs.Int64("simtime", defaults.SimTimeNs, "performance-simulation time per run (ns)")
 		mixes    = fs.Int("mixes", defaults.Mixes, "multiprogrammed mixes for performance runs")
 		fleetN   = fs.Int("fleet", 0, "module count for fleet experiments (0 derives a scale-proportional size)")
+		mapping  = fs.String("mapping", "", "address mapping for chip-level experiments: "+strings.Join(dram.MappingNames(), ", ")+" (default mapping when empty)")
 		fleetOut = fs.String("fleet-out", "", "with -exp fleet-*: also write the CE event log to this file (compact format)")
 		outFmt   = fs.String("format", "table", "output format: table, csv, or json")
 		outDir   = fs.String("out", "", "also write each run's canonical JSON report to DIR/<id>.json")
@@ -161,7 +163,8 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	// bookkeeping (the old Options.SeedSet special-casing).
 	req := experiments.Request{
 		Experiment: *exp, Seed: *seed, Scale: *scale,
-		SimTimeNs: *simtime, Mixes: *mixes, Fleet: *fleetN, Version: *version,
+		SimTimeNs: *simtime, Mixes: *mixes, Fleet: *fleetN,
+		Mapping: *mapping, Version: *version,
 	}
 	rt := experiments.Runtime{Workers: *nworkers}
 
@@ -413,6 +416,7 @@ func runDiff(ctx context.Context, out io.Writer, path string, flags experiments.
 		"simtime":        func() { req.SimTimeNs = flags.SimTimeNs },
 		"mixes":          func() { req.Mixes = flags.Mixes },
 		"fleet":          func() { req.Fleet = flags.Fleet },
+		"mapping":        func() { req.Mapping = flags.Mapping },
 		"report-version": func() { req.Version = flags.Version },
 	} {
 		if explicit[flag] {

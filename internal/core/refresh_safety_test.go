@@ -1,0 +1,25 @@
+package core
+
+import (
+	"testing"
+
+	"memcon/internal/dram"
+	"memcon/internal/faults"
+)
+
+// TestDefaultConfigHiRefSafeUnderMaxStress pins the window-ratio
+// precondition faults.ParamsForRefresh documents: the default HI-REF
+// window must sit below LoRef*(1-MaxStress), or rows in the HI-REF
+// state could fail before their next refresh under adversarial
+// content — exactly the failure MEMCON's HI-REF state is meant to rule
+// out. The abstract engine cannot enforce this itself (it never sees
+// MaxStress), so the default wiring is checked here.
+func TestDefaultConfigHiRefSafeUnderMaxStress(t *testing.T) {
+	cfg := DefaultConfig()
+	p := faults.ParamsForRefresh(cfg.LoRef)
+	worst := dram.Nanoseconds(float64(p.RetentionFloor) * (1 - p.MaxStress))
+	if worst <= cfg.HiRef {
+		t.Fatalf("DefaultConfig HI-REF %d not covered by worst-case retention %d (LoRef %d, MaxStress %v)",
+			cfg.HiRef, worst, cfg.LoRef, p.MaxStress)
+	}
+}

@@ -181,6 +181,25 @@ func (m *Module) IdleTime(a RowAddress, now Nanoseconds) Nanoseconds {
 	return d
 }
 
+// IdleAtIndex is IdleTime for a pre-resolved flat row index
+// (Geometry.RowIndex order); the parallel read-back scan uses it to
+// avoid re-deriving the index per row.
+func (m *Module) IdleAtIndex(idx int, now Nanoseconds) Nanoseconds {
+	d := now - m.lastCharge[idx]
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// RechargeAll recharges every row at time now, as a full read-back or
+// refresh sweep does once it has visited the whole array.
+func (m *Module) RechargeAll(now Nanoseconds) {
+	for i := range m.lastCharge {
+		m.lastCharge[i] = now
+	}
+}
+
 // Refresh recharges the addressed row at time now, exactly as an
 // activation would (a refresh is an activate+precharge).
 func (m *Module) Refresh(a RowAddress, now Nanoseconds) {

@@ -1,9 +1,5 @@
 package dram
 
-import (
-	"math/bits"
-)
-
 // Scrambler implements the vendor-internal, per-chip mapping from system
 // addresses to physical cell locations (paper §2, Fig. 2a). Two rows (or
 // columns) that are adjacent in system address space are generally not
@@ -12,43 +8,50 @@ import (
 // through the system-facing Module API — only the faults package, which
 // plays the role of silicon, consults it.
 //
-// The row permutation is a small Feistel-style network over the row index
-// bits and the column permutation is an XOR/rotate swizzle, mirroring how
-// real devices scramble via bitline/wordline routing.
+// The translation scheme itself is pluggable (AddressMapping): the
+// default is the original Feistel-style row network with an XOR/rotate
+// column swizzle, and DRAMDig-style vendor alternatives are registered
+// in addrmap.go. The Scrambler layers the manufacturing-time faulty
+// column remap (Fig. 2b) on top of whichever mapping is installed.
 type Scrambler struct {
 	geom     Geometry
-	seed     uint64
-	rowBits  uint
-	rowMask  int
-	colXor   int
-	colRot   int
+	mapping  AddressMapping
 	remap    []int // system column -> physical column (after remapping)
 	remapped map[int]bool
 }
 
-// NewScrambler builds the vendor mapping for a chip. faultyCols lists
-// manufacturing-time faulty physical columns that are remapped to the
-// redundant region at the right edge of the array (Fig. 2b); at most
+// NewScrambler builds the default vendor mapping for a chip. faultyCols
+// lists manufacturing-time faulty physical columns that are remapped to
+// the redundant region at the right edge of the array (Fig. 2b); at most
 // geom.RedundantCols entries are honoured, extras are ignored (a real
 // vendor would discard such a chip).
 func NewScrambler(geom Geometry, seed uint64, faultyCols []int) *Scrambler {
+	return NewScramblerWithMapping(geom, faultyCols, newFeistelMapping(geom, seed))
+}
+
+// NewMappedScrambler builds a scrambler using the named vendor mapping
+// ("" or "default" selects the scheme NewScrambler uses). It fails only
+// on an unknown mapping name.
+func NewMappedScrambler(geom Geometry, seed uint64, faultyCols []int, mapping string) (*Scrambler, error) {
+	m, err := NewMapping(mapping, geom, seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewScramblerWithMapping(geom, faultyCols, m), nil
+}
+
+// NewScramblerWithMapping builds a scrambler over an explicit address
+// mapping, layering the faulty-column remap on the mapping's BaseCol.
+func NewScramblerWithMapping(geom Geometry, faultyCols []int, m AddressMapping) *Scrambler {
 	s := &Scrambler{
 		geom:     geom,
-		seed:     seed,
+		mapping:  m,
 		remapped: make(map[int]bool),
 	}
-	s.rowBits = uint(bits.Len(uint(geom.RowsPerBank - 1)))
-	if s.rowBits == 0 {
-		s.rowBits = 1
-	}
-	s.rowMask = (1 << s.rowBits) - 1
-	s.colXor = int(splitmix(seed) % uint64(geom.ColsPerRow))
-	s.colRot = int(splitmix(seed^0x9e3779b97f4a7c15)%uint64(bits.Len(uint(geom.ColsPerRow)))) + 1
-
-	// Base column mapping: XOR-swizzle within the regular array.
+	// Base column mapping, from the installed scheme.
 	s.remap = make([]int, geom.ColsPerRow)
 	for c := range s.remap {
-		s.remap[c] = s.baseCol(c)
+		s.remap[c] = m.BaseCol(c)
 	}
 	// Column remapping: redirect system columns whose base physical
 	// column is faulty into the redundant region.
@@ -78,22 +81,6 @@ func splitmix(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// baseCol computes the pre-remap physical column of a system column.
-func (s *Scrambler) baseCol(col int) int {
-	// XOR swizzle keeps the mapping a bijection when ColsPerRow is a
-	// power of two; otherwise fall back to an affine map with a stride
-	// coprime to the column count.
-	n := s.geom.ColsPerRow
-	if n&(n-1) == 0 {
-		return col ^ (s.colXor & (n - 1))
-	}
-	stride := int(splitmix(s.seed^0xabcdef)%uint64(n-1)) + 1
-	for gcd(stride, n) != 1 {
-		stride++
-	}
-	return (col*stride + s.colXor) % n
-}
-
 func gcd(a, b int) int {
 	for b != 0 {
 		a, b = b, a%b
@@ -101,35 +88,12 @@ func gcd(a, b int) int {
 	return a
 }
 
+// MappingName reports which vendor mapping scheme this scrambler uses.
+func (s *Scrambler) MappingName() string { return s.mapping.Name() }
+
 // PhysRow maps a system row index (within a bank) to its physical row.
-// The mapping composes bijective steps over the power-of-two domain
-// [0, 2^rowBits) — multiply by an odd constant, XOR, and bit rotation —
-// and cycle-walks results that land outside [0, RowsPerBank) back into
-// range, so the overall mapping is a bijection on the row space.
 func (s *Scrambler) PhysRow(bank, row int) int {
-	r := row
-	for {
-		r = s.permuteRow(bank, r)
-		if r < s.geom.RowsPerBank {
-			return r
-		}
-	}
-}
-
-func (s *Scrambler) permuteRow(bank, row int) int {
-	k := splitmix(s.seed ^ uint64(bank)*0x2545f4914f6cdd1d)
-	mul := (k | 1) & uint64(s.rowMask) // odd multiplier: bijective mod 2^rowBits
-	xor := splitmix(k) & uint64(s.rowMask)
-	rot := uint(splitmix(k^0x5bf0) % uint64(s.rowBits))
-
-	r := uint64(row)
-	r = (r * mul) & uint64(s.rowMask)
-	r ^= xor
-	// Rotate within rowBits.
-	if rot > 0 {
-		r = ((r << rot) | (r >> (s.rowBits - rot))) & uint64(s.rowMask)
-	}
-	return int(r)
+	return s.mapping.PhysRow(bank, row)
 }
 
 // PhysCol maps a system column to its physical column, honouring the

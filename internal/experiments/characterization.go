@@ -23,9 +23,13 @@ func charGeometry(scale float64) dram.Geometry {
 }
 
 // newChip builds one simulated chip: scrambler + fault model + module +
-// tester.
-func newChip(geom dram.Geometry, seed uint64, params faults.Params) (*softmc.Tester, error) {
-	scr := dram.NewScrambler(geom, seed, nil)
+// tester. mapping selects the vendor address-mapping scheme; "" means
+// the default (see dram.NewMappedScrambler).
+func newChip(geom dram.Geometry, seed uint64, params faults.Params, mapping string) (*softmc.Tester, error) {
+	scr, err := dram.NewMappedScrambler(geom, seed, nil, mapping)
+	if err != nil {
+		return nil, err
+	}
 	model, err := faults.NewModel(geom, scr, seed, params)
 	if err != nil {
 		return nil, err
@@ -69,7 +73,7 @@ func RunFig3(opts Options) (Result, error) {
 	patterns := softmc.StandardPatterns(100)
 
 	fails, err := forUnits(opts, len(patterns), func(i int) ([]softmc.RowFailure, error) {
-		tester, err := newChip(geom, uint64(opts.Seed), params)
+		tester, err := newChip(geom, uint64(opts.Seed), params, opts.Mapping)
 		if err != nil {
 			return nil, err
 		}
@@ -175,7 +179,7 @@ func RunFig4(opts Options) (Result, error) {
 	idle := faults.CharacterizationIdle
 	const phases = 5
 
-	tester, err := newChip(geom, uint64(opts.Seed), params)
+	tester, err := newChip(geom, uint64(opts.Seed), params, opts.Mapping)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +192,7 @@ func RunFig4(opts Options) (Result, error) {
 	specs := workload.SPECContents()
 	rows, err := forUnits(opts, len(specs), func(i int) (Fig4Row, error) {
 		spec := specs[i]
-		tester, err := newChip(geom, uint64(opts.Seed), params)
+		tester, err := newChip(geom, uint64(opts.Seed), params, opts.Mapping)
 		if err != nil {
 			return Fig4Row{}, err
 		}

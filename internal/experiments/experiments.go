@@ -37,6 +37,12 @@ type Options struct {
 	// below 1 derive a scale-proportional default (160 at full scale,
 	// floor 4). Single-module experiments ignore it.
 	Fleet int
+	// Mapping names the vendor address-mapping scheme chip-level
+	// experiments build their scramblers with (dram.MappingNames lists
+	// the registry; "" and "default" both select the original
+	// Feistel-style scrambler). Experiments that build no chips ignore
+	// it — see mappedExperiments.
+	Mapping string
 	// Workers bounds the fan-out of the parallel sweep loops; values
 	// below 1 select runtime.GOMAXPROCS(0). Every experiment produces
 	// byte-identical output for any worker count (per-unit seeds are
@@ -171,6 +177,21 @@ var registry = map[string]entry{
 		"Fleet: early-CE features and UE risk prediction", true},
 }
 
+// mappedExperiments marks the experiments whose numbers depend on the
+// chip address mapping — the ones that build scramblers (directly or
+// via newChip). Only these stamp Options.Mapping into provenance and
+// cache keys; for every other id Normalize zeroes the field, so
+// trace-driven and analytical reports stay byte-identical to their
+// pre-mapping form no matter what -mapping the caller passed.
+var mappedExperiments = map[string]bool{
+	"fig3":      true,
+	"fig4":      true,
+	"vrt":       true,
+	"profile":   true,
+	"abl-remap": true,
+	"motiv":     true,
+}
+
 // IDs returns the registered experiment ids, sorted.
 func IDs() []string {
 	ids := make([]string, 0, len(registry))
@@ -207,6 +228,7 @@ func Run(id string, opts Options) (Result, error) {
 		SimTimeNs:  opts.SimTimeNs,
 		Mixes:      opts.Mixes,
 		Fleet:      opts.Fleet,
+		Mapping:    opts.Mapping,
 		Version:    opts.Version,
 	}
 	return RunRequest(opts.Ctx, req, Runtime{

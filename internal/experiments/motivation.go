@@ -40,7 +40,7 @@ func RunMotivation(opts Options) (Result, error) {
 	geom.BanksPerChip = 2
 	params := faults.DefaultParams()
 	params.WeakCellFraction = 2e-3 // denser population for stable statistics
-	tester, err := newChip(geom, uint64(opts.Seed), params)
+	tester, err := newChip(geom, uint64(opts.Seed), params, opts.Mapping)
 	if err != nil {
 		return nil, err
 	}

@@ -50,7 +50,10 @@ func RunProfile(opts Options) (Result, error) {
 	res := &ProfileResult{}
 	for _, guard := range []float64{1.0, 1.25, 1.5, 2.0} {
 		// A fresh chip per campaign: profiling consumes the test clock.
-		scr := dram.NewScrambler(geom, uint64(opts.Seed), nil)
+		scr, err := dram.NewMappedScrambler(geom, uint64(opts.Seed), nil, opts.Mapping)
+		if err != nil {
+			return nil, err
+		}
 		model, err := faults.NewModel(geom, scr, uint64(opts.Seed), params)
 		if err != nil {
 			return nil, err
@@ -134,7 +137,10 @@ func RunAblRemap(opts Options) (Result, error) {
 		return tr
 	}
 	run := func(withRemap bool) (core.Report, int, error) {
-		scr := dram.NewScrambler(geom, uint64(opts.Seed), nil)
+		scr, err := dram.NewMappedScrambler(geom, uint64(opts.Seed), nil, opts.Mapping)
+		if err != nil {
+			return core.Report{}, 0, err
+		}
 		params := faults.ParamsForRefresh(dram.RefreshWindowDefault)
 		params.WeakCellFraction = 3e-2
 		model, err := faults.NewModel(geom, scr, uint64(opts.Seed), params)

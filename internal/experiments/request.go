@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"memcon/internal/dram"
 	"memcon/internal/obs"
 	"memcon/internal/report"
 )
@@ -46,6 +47,12 @@ type Request struct {
 	// experiment leaves it below 1, so the canonical form never carries
 	// an input the numbers do not depend on.
 	Fleet int `json:"fleet,omitempty"`
+	// Mapping names the vendor address-mapping scheme for chip-level
+	// experiments (dram.MappingNames lists the registry). Normalize
+	// canonicalizes "default" to "" and zeroes the field for experiments
+	// that build no chips, so the canonical form — and therefore the
+	// cache key — never carries a mapping the numbers do not depend on.
+	Mapping string `json:"mapping,omitempty"`
 	// Version is an opaque build identifier stamped into report
 	// provenance. It never influences the numbers, but it does appear
 	// in the report bytes, so it participates in the cache key.
@@ -81,6 +88,7 @@ func RequestFromProvenance(p report.Provenance) Request {
 		SimTimeNs:  p.SimTimeNs,
 		Mixes:      p.Mixes,
 		Fleet:      p.Fleet,
+		Mapping:    p.Mapping,
 		Version:    p.Version,
 	}
 }
@@ -124,6 +132,18 @@ func (r *Request) Normalize() error {
 	} else if r.Fleet < 1 {
 		r.Fleet = deriveFleet(r.Scale)
 	}
+	// "default" and "" select the same scrambler; canonicalize to ""
+	// so both spellings share a cache key (and the default keeps the
+	// exact pre-mapping key bytes).
+	if r.Mapping == dram.DefaultMappingName {
+		r.Mapping = ""
+	}
+	if !mappedExperiments[r.Experiment] {
+		r.Mapping = ""
+	} else if !dram.KnownMapping(r.Mapping) {
+		return fmt.Errorf("experiments: unknown address mapping %q (known: %s)",
+			r.Mapping, strings.Join(dram.MappingNames(), ", "))
+	}
 	return nil
 }
 
@@ -133,7 +153,7 @@ const cacheKeyDomain = "memcon-request-v1"
 
 // CacheKey returns the SHA-256 content address of the request: a hash
 // over the canonicalized (experiment, seed, scale, simtime, mixes,
-// fleet, version) tuple plus the report schema version. Two normalized
+// fleet, mapping, version) tuple plus the report schema version. Two normalized
 // requests share a key exactly when their canonical report JSON is
 // byte-identical, which is what lets cmd/memcond serve repeat requests
 // from the cache without re-running anything.
@@ -158,6 +178,13 @@ func (r Request) CacheKey() [32]byte {
 	fmt.Fprintf(h, "mixes=%d\n", r.Mixes)
 	fmt.Fprintf(h, "fleet=%d\n", r.Fleet)
 	fmt.Fprintf(h, "version=%s\n", r.Version)
+	// Appended conditionally so every pre-mapping request — including
+	// all 28 pinned golden keys — hashes the exact same bytes as before
+	// the field existed. Normalize canonicalizes the default mapping to
+	// "", so only genuinely non-default requests take the new line.
+	if r.Mapping != "" {
+		fmt.Fprintf(h, "mapping=%s\n", r.Mapping)
+	}
 	var key [32]byte
 	h.Sum(key[:0])
 	return key
@@ -219,6 +246,7 @@ func RunRequest(ctx context.Context, req Request, rt Runtime) (Result, error) {
 		SimTimeNs: req.SimTimeNs,
 		Mixes:     req.Mixes,
 		Fleet:     req.Fleet,
+		Mapping:   req.Mapping,
 		Workers:   rt.Workers,
 		Version:   req.Version,
 		Ctx:       ctx,
@@ -236,6 +264,7 @@ func RunRequest(ctx context.Context, req Request, rt Runtime) (Result, error) {
 		SimTimeNs:  req.SimTimeNs,
 		Mixes:      req.Mixes,
 		Fleet:      req.Fleet,
+		Mapping:    req.Mapping,
 		Version:    req.Version,
 	})
 	return res, nil

@@ -45,7 +45,10 @@ type VRTResult struct {
 func RunVRT(opts Options) (Result, error) {
 	geom := charGeometry(opts.Scale * 0.5)
 	geom.BanksPerChip = 1
-	scr := dram.NewScrambler(geom, uint64(opts.Seed), nil)
+	scr, err := dram.NewMappedScrambler(geom, uint64(opts.Seed), nil, opts.Mapping)
+	if err != nil {
+		return nil, err
+	}
 	params := faults.ParamsForRefresh(dram.RefreshWindowDefault)
 	params.WeakCellFraction = 5e-3
 	base, err := faults.NewModel(geom, scr, uint64(opts.Seed), params)

@@ -33,7 +33,9 @@ package faults
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
+	"runtime"
 	"sort"
 
 	"memcon/internal/dram"
@@ -84,11 +86,17 @@ func DefaultParams() Params {
 const CharacterizationIdle = 328 * dram.Millisecond
 
 // ParamsForRefresh returns parameters scaled so that data-dependent
-// failures matter exactly at the given LO-REF window: no cell can fail
-// within the aggressive HI-REF window even under maximum stress (the
-// HI-REF state is unconditionally safe), while content-dependent
-// failures occur within one LO-REF window for aggressive content. This
-// is the configuration the full-fidelity MEMCON system runs with.
+// failures matter exactly at the given LO-REF window: content-dependent
+// failures occur within one LO-REF window for aggressive content, while
+// the HI-REF state stays unconditionally safe PROVIDED the HI-REF
+// window is shorter than loRef*(1-MaxStress). The guarantee is a
+// property of the window ratio, not of the floor alone: with the floor
+// at loRef and MaxStress 0.6, a fully-stressed floor cell retains for
+// 0.4*loRef, so e.g. the shipped 64 ms LO-REF / 16 ms HI-REF pair
+// keeps a 25.6 ms worst case above HI-REF with margin, but a HI-REF at
+// or above 0.4*loRef would NOT be safe. TestParamsForRefreshHiRefSafe
+// pins both sides of that boundary, and a core-side test pins the
+// ratio for the default windows the full-fidelity system runs with.
 func ParamsForRefresh(loRef dram.Nanoseconds) Params {
 	p := DefaultParams()
 	p.RetentionFloor = loRef
@@ -199,9 +207,88 @@ type bankFaults struct {
 	// single comparison and keeps full-array scans walking this table
 	// sequentially instead of through the scrambled row permutation.
 	minWorstBySysRow []dram.Nanoseconds
+	// weakRows lists, in ascending order, the system rows whose mapped
+	// physical row holds at least one weak cell; weakFloors is parallel
+	// to it, carrying that row's minWorstBySysRow value. Full-array
+	// scans iterate this dense worklist instead of testing every row.
+	weakRows   []int32
+	weakFloors []dram.Nanoseconds
 	// count is the sampled weak-cell total, including cells on
 	// unmapped physical columns that never store data.
 	count int
+
+	// Bit-parallel kernel: the same mapped cells regrouped by the
+	// 64-bit word of their SYSTEM column, so one AND/XOR pass over a
+	// row word classifies 64 candidate cells at once. The groups of
+	// SYSTEM row r are groups[groupOff[r]:groupOff[r+1]], and a
+	// group's cells are packed[cellBase:cellBase+popcount(mask)] in
+	// ascending system-column (= bit) order. Indexing by system row —
+	// the order full-array scans visit rows — lays groups and packed
+	// cells out as one forward stream, so the scan's index loads ride
+	// the hardware prefetcher instead of chasing the row permutation.
+	groupOff []int32
+	groups   []wordGroup
+	packed   []packedCell
+	// neigh caches, per SYSTEM row, the kernel's view of the row
+	// permutation: the system rows of both physical neighbours and the
+	// true-cell orientations of the row and its neighbours. Read in
+	// scan order it is one sequential stream, replacing three random
+	// permutation lookups per evaluated row.
+	neigh []rowNeigh
+}
+
+// rowNeigh is one bank row's entry in bankFaults.neigh. upSys/dnSys
+// are -1 when the physical row sits at the array edge.
+type rowNeigh struct {
+	upSys, dnSys int32
+	flags        uint32
+}
+
+const (
+	neighSelfTrue = 1 << iota // the row itself stores true cells
+	neighUpTrue               // physical row above stores true cells
+	neighDnTrue               // physical row below stores true cells
+)
+
+// wordGroup is the word-level index of the packed kernel: the weak
+// cells of one physical row that share one 64-bit word of the system
+// row buffer.
+type wordGroup struct {
+	// mask has a bit set at each weak cell's system-column bit.
+	mask uint64
+	// word is the row-word index (system column / 64).
+	word int32
+	// cellBase indexes the group's first cell in bankFaults.packed.
+	cellBase int32
+	// minWorst is the minimum worstRetention over the group's cells:
+	// one compare rejects the whole word at low idle times.
+	minWorst dram.Nanoseconds
+}
+
+// packedCell is the word-kernel view of one weak cell. The charge test
+// is hoisted to the group mask; what remains per surviving candidate is
+// the stress sum, with both bitline neighbours resolved to system
+// columns of the victim's OWN row and both wordline neighbours read
+// straight from the adjacent rows' words (they share the victim's
+// column because the column swizzle is row-independent).
+type packedCell struct {
+	baseRetention  dram.Nanoseconds
+	worstRetention dram.Nanoseconds
+	// wL/wR/wU/wD are the left/right/up/down coupling weights (0 when
+	// the neighbour is outside the array).
+	wL, wR, wU, wD float64
+	// lConstW/rConstW are the constant stress contributions of bitline
+	// neighbours on unmapped physical columns (which store 0 forever:
+	// they aggress iff this row's cells charge as 1).
+	lConstW, rConstW float64
+	// lCol/rCol are the bitline neighbours' system columns, or -1 when
+	// unmapped or outside the array.
+	lCol, rCol int32
+	// sysCol is the cell's own system column.
+	sysCol int32
+	// rank is the cell's index within its row's CSR span (physical
+	// column order), used to restore the kernel's output order.
+	rank int32
 }
 
 // NewModel builds a failure model over the given geometry. The scrambler
@@ -300,7 +387,8 @@ func (m *Model) buildBank(b int) *bankFaults {
 		minByPhysRow[pr] = neverFails
 	}
 	bf.cells = make([]flatCell, 0, len(raw))
-	next := 0 // next physical row whose offset is unset
+	seeds := make([]weakCell, 0, len(raw)) // mapped cells, parallel to bf.cells
+	next := 0                              // next physical row whose offset is unset
 	for _, wc := range raw {
 		sysCol := m.sysColOfPhys[wc.physCol]
 		if sysCol < 0 {
@@ -312,6 +400,7 @@ func (m *Model) buildBank(b int) *bankFaults {
 		}
 		fc := m.compileCell(b, wc, sysCol)
 		bf.cells = append(bf.cells, fc)
+		seeds = append(seeds, wc)
 		if fc.worstRetention < minByPhysRow[wc.physRow] {
 			minByPhysRow[wc.physRow] = fc.worstRetention
 		}
@@ -320,9 +409,76 @@ func (m *Model) buildBank(b int) *bankFaults {
 		bf.offsets[next] = int32(len(bf.cells))
 	}
 	for r := 0; r < rows; r++ {
-		bf.minWorstBySysRow[r] = minByPhysRow[m.physRowOfSys[b][r]]
+		worst := minByPhysRow[m.physRowOfSys[b][r]]
+		bf.minWorstBySysRow[r] = worst
+		if worst != neverFails {
+			bf.weakRows = append(bf.weakRows, int32(r))
+			bf.weakFloors = append(bf.weakFloors, worst)
+		}
 	}
+	m.buildPacked(b, bf, seeds)
 	return bf
+}
+
+// buildPacked regroups a bank's mapped weak cells (seeds is parallel to
+// bf.cells) into the word-indexed bit-parallel kernel: per row, cells
+// are re-sorted by system column and split into one wordGroup per
+// 64-bit row word. Rows are emitted in ascending SYSTEM row order (see
+// the groupOff field comment) by walking the row permutation here,
+// once, at build time.
+func (m *Model) buildPacked(b int, bf *bankFaults, seeds []weakCell) {
+	rows := m.geom.RowsPerBank
+	bf.groupOff = make([]int32, rows+1)
+	bf.packed = make([]packedCell, 0, len(seeds))
+	bf.neigh = make([]rowNeigh, rows)
+	var order []int32 // CSR indices of one row, sorted by system column
+	for r := 0; r < rows; r++ {
+		pr := int(m.physRowOfSys[b][r])
+		ni := rowNeigh{upSys: -1, dnSys: -1}
+		if m.trueCell(pr) {
+			ni.flags |= neighSelfTrue
+		}
+		if pr > 0 {
+			ni.upSys = int32(m.sysRowOfPhys[b][pr-1])
+			if m.trueCell(pr - 1) {
+				ni.flags |= neighUpTrue
+			}
+		}
+		if pr+1 < rows {
+			ni.dnSys = int32(m.sysRowOfPhys[b][pr+1])
+			if m.trueCell(pr + 1) {
+				ni.flags |= neighDnTrue
+			}
+		}
+		bf.neigh[r] = ni
+		lo, hi := bf.offsets[pr], bf.offsets[pr+1]
+		order = order[:0]
+		for i := lo; i < hi; i++ {
+			order = append(order, i)
+		}
+		sort.Slice(order, func(x, y int) bool {
+			return bf.cells[order[x]].sysCol < bf.cells[order[y]].sysCol
+		})
+		lastWord := int32(-1)
+		for _, i := range order {
+			sysCol := bf.cells[i].sysCol
+			if word := sysCol >> 6; word != lastWord {
+				bf.groups = append(bf.groups, wordGroup{
+					word:     word,
+					cellBase: int32(len(bf.packed)),
+					minWorst: neverFails,
+				})
+				lastWord = word
+			}
+			g := &bf.groups[len(bf.groups)-1]
+			g.mask |= 1 << uint(sysCol&63)
+			if w := bf.cells[i].worstRetention; w < g.minWorst {
+				g.minWorst = w
+			}
+			bf.packed = append(bf.packed, m.compilePacked(seeds[i], sysCol, i-lo, bf.cells[i].worstRetention))
+		}
+		bf.groupOff[r+1] = int32(len(bf.groups))
+	}
 }
 
 // compileCell resolves one mapped weak cell into its flat kernel form:
@@ -362,6 +518,48 @@ func (m *Model) compileCell(b int, wc weakCell, sysCol int) flatCell {
 	}
 	fc.worstRetention = dram.Nanoseconds(float64(wc.baseRetention) * (1 - m.params.MaxStress*worst))
 	return fc
+}
+
+// compilePacked resolves one mapped weak cell into its word-kernel
+// form. Bitline (left/right) neighbours live in the victim's own
+// system row: mapped ones get their system column, unmapped ones fold
+// to a constant stress term (they store 0 forever and aggress exactly
+// when the victim's row charges as 1). Wordline (up/down) neighbours
+// keep only their weights — they are read word-wide from the adjacent
+// rows at query time.
+func (m *Model) compilePacked(wc weakCell, sysCol, rank int32, worst dram.Nanoseconds) packedCell {
+	p := packedCell{
+		baseRetention:  wc.baseRetention,
+		worstRetention: worst,
+		sysCol:         sysCol,
+		rank:           rank,
+		lCol:           -1,
+		rCol:           -1,
+	}
+	charged1 := m.trueCell(wc.physRow) // bitline neighbours share the victim's orientation
+	if wc.physCol-1 >= 0 {
+		p.wL = wc.w[0]
+		if nsc := m.sysColOfPhys[wc.physCol-1]; nsc >= 0 {
+			p.lCol = int32(nsc)
+		} else if charged1 {
+			p.lConstW = wc.w[0]
+		}
+	}
+	if wc.physCol+1 < m.geom.PhysCols() {
+		p.wR = wc.w[1]
+		if nsc := m.sysColOfPhys[wc.physCol+1]; nsc >= 0 {
+			p.rCol = int32(nsc)
+		} else if charged1 {
+			p.rConstW = wc.w[1]
+		}
+	}
+	if wc.physRow-1 >= 0 {
+		p.wU = wc.w[2]
+	}
+	if wc.physRow+1 < m.geom.RowsPerBank {
+		p.wD = wc.w[3]
+	}
+	return p
 }
 
 // neighborOffsets is the fixed left, right, up, down neighbour order of
@@ -439,10 +637,194 @@ func (m *Model) FailingCells(mod *dram.Module, a dram.RowAddress, idle dram.Nano
 	return m.AppendFailingCells(nil, mod, a, idle)
 }
 
+// maxRowFails bounds the word kernel's on-stack result staging. Rows
+// that fail in more cells than this (possible only under extreme
+// WeakCellFraction) fall back to the scalar path for the whole row.
+const maxRowFails = 64
+
 // AppendFailingCells is FailingCells appending into dst, so steady-state
 // callers (the online-test and audit hot paths) can reuse one buffer
 // instead of allocating per query.
+//
+// This is the bit-parallel kernel: per 64-bit row word, one XOR+AND
+// classifies which weak cells currently hold charge, and the wordline
+// neighbours' discharge states come from the SAME word of the two
+// physically adjacent rows (the column swizzle is row-independent, so
+// an up/down neighbour shares the victim's system column). Only
+// charged candidates pay the per-cell stress sum, which accumulates
+// the left, right, up, down terms in the scalar path's order so the
+// float result — and therefore every verdict — is bit-identical to
+// appendFailingCellsScalar.
 func (m *Model) AppendFailingCells(dst []int, mod *dram.Module, a dram.RowAddress, idle dram.Nanoseconds) []int {
+	bf := m.banks[a.Bank]
+	if idle <= bf.minWorstBySysRow[a.Row] {
+		return dst // no cell of this row fails even under worst-case stress
+	}
+	gl, gh := bf.groupOff[a.Row], bf.groupOff[a.Row+1]
+	if gl == gh {
+		return dst
+	}
+	ni := &bf.neigh[a.Row]
+	row := mod.RowRef(a)
+	cb := uint8(0)
+	candXor := ^uint64(0) // anti-cell rows: charge is a stored 0
+	if ni.flags&neighSelfTrue != 0 {
+		cb, candXor = 1, 0
+	}
+	// The physically adjacent rows resolve lazily, on the first charged
+	// candidate that also clears its worst-case retention bound: rows
+	// whose candidates all read as discharged or all reject on the
+	// bound never touch the two neighbour rows at all, and those
+	// scrambled-row loads are the kernel's cache misses. disXor turns a
+	// neighbour's raw words into discharge masks (bit set = neighbour
+	// aggresses; a missing neighbour leaves wU/wD at 0, so its du/dd
+	// value is never observed).
+	bankBase := a.Bank * m.geom.RowsPerBank
+	var up, dn dram.Row
+	var disXorU, disXorD uint64
+	neighbours := false
+	var ranks, cols [maxRowFails]int32
+	nf := 0
+	for gi := gl; gi < gh; gi++ {
+		g := &bf.groups[gi]
+		if idle <= g.minWorst {
+			continue // whole word rejected by its retention bound
+		}
+		cand := (row[g.word] ^ candXor) & g.mask
+		if cand == 0 {
+			continue // no charged weak cell in this word
+		}
+		var du, dd uint64
+		duddReady := false
+		for c := cand; c != 0; c &= c - 1 {
+			bit := uint(bits.TrailingZeros64(c))
+			lane := bits.OnesCount64(g.mask & (1<<bit - 1))
+			p := &bf.packed[int(g.cellBase)+lane]
+			if idle <= p.worstRetention {
+				continue
+			}
+			if !duddReady {
+				duddReady = true
+				if !neighbours {
+					neighbours = true
+					if ni.upSys >= 0 {
+						up = mod.RowAt(bankBase + int(ni.upSys))
+						if ni.flags&neighUpTrue != 0 {
+							disXorU = ^uint64(0)
+						}
+					}
+					if ni.dnSys >= 0 {
+						dn = mod.RowAt(bankBase + int(ni.dnSys))
+						if ni.flags&neighDnTrue != 0 {
+							disXorD = ^uint64(0)
+						}
+					}
+				}
+				if up != nil {
+					du = up[g.word] ^ disXorU
+				}
+				if dn != nil {
+					dd = dn[g.word] ^ disXorD
+				}
+			}
+			var s float64
+			if p.lCol >= 0 {
+				if uint8(row.Bit(int(p.lCol))) != cb {
+					s += p.wL
+				}
+			} else {
+				s += p.lConstW
+			}
+			if p.rCol >= 0 {
+				if uint8(row.Bit(int(p.rCol))) != cb {
+					s += p.wR
+				}
+			} else {
+				s += p.rConstW
+			}
+			s += p.wU * float64(du>>bit&1)
+			s += p.wD * float64(dd>>bit&1)
+			if idle > dram.Nanoseconds(float64(p.baseRetention)*(1-m.params.MaxStress*s)) {
+				if nf == maxRowFails {
+					return m.appendFailingCellsScalar(dst, mod, a, idle)
+				}
+				ranks[nf], cols[nf] = p.rank, p.sysCol
+				nf++
+			}
+		}
+	}
+	// The kernel visits cells in system-column order; restore the CSR
+	// (physical-column) order the scalar path reports.
+	for i := 1; i < nf; i++ {
+		for j := i; j > 0 && ranks[j] < ranks[j-1]; j-- {
+			ranks[j], ranks[j-1] = ranks[j-1], ranks[j]
+			cols[j], cols[j-1] = cols[j-1], cols[j]
+		}
+	}
+	for i := 0; i < nf; i++ {
+		dst = append(dst, int(cols[i]))
+	}
+	return dst
+}
+
+// AppendFailingRows runs the word kernel over entries [lo, hi) of the
+// bank's weak-row worklist (WeakRowFloors order) against current
+// content at time now. Each failing row appends its failing cells to
+// cells, its system row to rows, and the new len(cells) to offs —
+// extending the caller's CSR bookkeeping (offs must already hold its
+// leading sentinel). Verdicts are exactly AppendFailingCells's, row by
+// row; the only addition is a lookahead touch of a future row's hot
+// words, which keeps several cache misses in flight where a
+// row-at-a-time caller would serialise on each miss in turn.
+func (m *Model) AppendFailingRows(mod *dram.Module, bank, lo, hi int, now dram.Nanoseconds, cells []int, rows, offs []int32) ([]int, []int32, []int32) {
+	bf := m.banks[bank]
+	base := bank * m.geom.RowsPerBank
+	// 8 rows ahead ≈ the distance a row's evaluation takes to catch up
+	// with an L3-latency load issued now.
+	const lookahead = 8
+	var pre uint64
+	for i := lo; i < hi; i++ {
+		if j := i + lookahead; j < hi {
+			if r := int(bf.weakRows[j]); mod.IdleAtIndex(base+r, now) > bf.weakFloors[j] {
+				g := &bf.groups[bf.groupOff[r]]
+				pre += uint64(mod.RowAt(base + r)[g.word])
+				pre += uint64(bf.packed[g.cellBase].worstRetention)
+				// Touch both neighbour words too: roughly half the
+				// rows that pass the floor keep a candidate alive long
+				// enough to read them, and their scrambled-row misses
+				// are the scan's longest stalls.
+				if ni := &bf.neigh[r]; ni.upSys >= 0 {
+					pre += uint64(mod.RowAt(base + int(ni.upSys))[g.word])
+					if ni.dnSys >= 0 {
+						pre += uint64(mod.RowAt(base + int(ni.dnSys))[g.word])
+					}
+				} else if ni.dnSys >= 0 {
+					pre += uint64(mod.RowAt(base + int(ni.dnSys))[g.word])
+				}
+			}
+		}
+		r := int(bf.weakRows[i])
+		idle := mod.IdleAtIndex(base+r, now)
+		if idle <= bf.weakFloors[i] {
+			continue
+		}
+		n0 := len(cells)
+		cells = m.AppendFailingCells(cells, mod, dram.RowAddress{Bank: bank, Row: r}, idle)
+		if len(cells) > n0 {
+			rows = append(rows, int32(r))
+			offs = append(offs, int32(len(cells)))
+		}
+	}
+	// The lookahead loads exist only for their cache side effect; keep
+	// the compiler from proving them dead.
+	runtime.KeepAlive(pre)
+	return cells, rows, offs
+}
+
+// appendFailingCellsScalar is the frozen per-cell evaluation the word
+// kernel is differential-tested against (and its spill fallback for
+// rows with more than maxRowFails failing cells).
+func (m *Model) appendFailingCellsScalar(dst []int, mod *dram.Module, a dram.RowAddress, idle dram.Nanoseconds) []int {
 	bf := m.banks[a.Bank]
 	if idle <= bf.minWorstBySysRow[a.Row] {
 		return dst // no cell of this row fails even under worst-case stress
@@ -476,6 +858,19 @@ func (m *Model) RowCanFail(a dram.RowAddress, idle dram.Nanoseconds) bool {
 	return idle > m.banks[a.Bank].minWorstBySysRow[a.Row]
 }
 
+// WeakRowFloors returns, in ascending system-row order, the rows of the
+// bank that hold at least one weak cell, together with each row's
+// RowCanFail floor (the idle time a query must exceed for any cell of
+// the row to fail under any pattern). A full-array scan that walks this
+// dense worklist instead of probing all RowsPerBank rows visits only
+// the ~WeakCellFraction*rows candidates that can matter; rows absent
+// from the list never fail at any idle time. Both slices are owned by
+// the model and must not be modified.
+func (m *Model) WeakRowFloors(bank int) ([]int32, []dram.Nanoseconds) {
+	bf := m.banks[bank]
+	return bf.weakRows, bf.weakFloors
+}
+
 // NeighborSysRows returns the system addresses of the rows that are
 // PHYSICALLY adjacent to the given system row — the rows whose cells'
 // stress changes when this row's content changes (wordline coupling).
@@ -501,26 +896,18 @@ func (m *Model) NeighborSysRows(a dram.RowAddress) []dram.RowAddress {
 // change once those cells flip. A read-back pass that evaluated rows
 // against pre-flip content re-evaluates exactly these rows after
 // committing flips, which keeps batched evaluation bit-identical to a
-// strictly sequential commit-as-you-go scan.
+// strictly sequential commit-as-you-go scan. The flipped cells must be
+// cells FailingCells reported for row a (flips only ever land on the
+// row's own weak cells); the fast paths below rely on that.
 func (m *Model) AffectedNeighborRows(a dram.RowAddress, flipped []int) []dram.RowAddress {
 	bf := m.banks[a.Bank]
 	inv := m.sysRowOfPhys[a.Bank]
 	pr := int(m.physRowOfSys[a.Bank][a.Row])
-	var out []dram.RowAddress
-	appendRow := func(sysRow int) {
-		addr := dram.RowAddress{Bank: a.Bank, Row: sysRow}
-		for _, seen := range out {
-			if seen == addr {
-				return
-			}
-		}
-		out = append(out, addr)
-	}
 	// A weak cell at physical (qr, qc) reads the flipped cell at
 	// (pr, pc) as a neighbour iff qr==pr, |qc-pc|==1 (bitline) or
 	// qc==pc, |qr-pr|==1 (wordline).
 	hasWeakAt := func(qr, qc int) bool {
-		if qr < 0 || qr >= m.geom.RowsPerBank || qc < 0 || qc >= m.geom.PhysCols() {
+		if qc < 0 || qc >= m.geom.PhysCols() {
 			return false
 		}
 		for i := bf.offsets[qr]; i < bf.offsets[qr+1]; i++ {
@@ -533,16 +920,34 @@ func (m *Model) AffectedNeighborRows(a dram.RowAddress, flipped []int) []dram.Ro
 		}
 		return false
 	}
+	// Only three rows can ever be affected — this row and its two
+	// physical neighbours — and each is decided at most once: a
+	// candidate's need flag drops when the row is appended, and starts
+	// false when no flip can match it. The self row needs a SECOND weak
+	// cell bitline-adjacent to a flipped one (the flipped cell is
+	// itself weak), so single-weak-cell rows — the common case at
+	// realistic weak-cell densities — return without a single column
+	// probe; a neighbour row without weak cells likewise never scans.
+	needSelf := bf.offsets[pr+1]-bf.offsets[pr] >= 2
+	needUp := pr > 0 && bf.offsets[pr] > bf.offsets[pr-1]
+	needDn := pr+1 < m.geom.RowsPerBank && bf.offsets[pr+2] > bf.offsets[pr+1]
+	var out []dram.RowAddress
 	for _, c := range flipped {
+		if !needSelf && !needUp && !needDn {
+			break
+		}
 		pc := m.scr.PhysCol(c)
-		if hasWeakAt(pr, pc-1) || hasWeakAt(pr, pc+1) {
-			appendRow(inv[pr])
+		if needSelf && (hasWeakAt(pr, pc-1) || hasWeakAt(pr, pc+1)) {
+			out = append(out, dram.RowAddress{Bank: a.Bank, Row: inv[pr]})
+			needSelf = false
 		}
-		if hasWeakAt(pr-1, pc) {
-			appendRow(inv[pr-1])
+		if needUp && hasWeakAt(pr-1, pc) {
+			out = append(out, dram.RowAddress{Bank: a.Bank, Row: inv[pr-1]})
+			needUp = false
 		}
-		if hasWeakAt(pr+1, pc) {
-			appendRow(inv[pr+1])
+		if needDn && hasWeakAt(pr+1, pc) {
+			out = append(out, dram.RowAddress{Bank: a.Bank, Row: inv[pr+1]})
+			needDn = false
 		}
 	}
 	return out

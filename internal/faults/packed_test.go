@@ -1,0 +1,61 @@
+package faults
+
+import (
+	"testing"
+
+	"memcon/internal/dram"
+)
+
+// TestWordKernelMatchesScalar differential-tests the bit-parallel
+// AppendFailingCells against the retained scalar path, byte for byte —
+// same cells, same output order — across seeds, geometries, vendor
+// address mappings, contents and idle times. The tiny-seed17-spill
+// config packs more than maxRowFails failing cells into single rows,
+// so the on-stack overflow fallback is exercised too (asserted below,
+// not assumed).
+func TestWordKernelMatchesScalar(t *testing.T) {
+	for _, cfg := range diffConfigs() {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			scr := newDiffScrambler(t, cfg)
+			model, err := NewModel(cfg.geom, scr, cfg.seed, cfg.params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			maxFails := 0
+			for ci, fill := range []func(*dram.Module){
+				func(m *dram.Module) { fillRandom(t, m, 1) },
+				func(m *dram.Module) { fillRandom(t, m, 6) },
+				func(m *dram.Module) { fillSolid(t, m, 0) },
+				func(m *dram.Module) { fillSolid(t, m, ^uint64(0)) },
+				func(m *dram.Module) { fillSolid(t, m, 0xAAAAAAAAAAAAAAAA) },
+			} {
+				mod, err := dram.NewModule(cfg.geom)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fill(mod)
+				for _, idle := range diffIdles(cfg.params) {
+					for b := 0; b < cfg.geom.BanksPerChip; b++ {
+						for r := 0; r < cfg.geom.RowsPerBank; r++ {
+							a := dram.RowAddress{Bank: b, Row: r}
+							got := model.AppendFailingCells(nil, mod, a, idle)
+							want := model.appendFailingCellsScalar(nil, mod, a, idle)
+							if !equalInts(got, want) {
+								t.Fatalf("content %d idle %d bank %d row %d: word kernel %v, scalar %v",
+									ci, idle, b, r, got, want)
+							}
+							if len(got) > maxFails {
+								maxFails = len(got)
+							}
+						}
+					}
+				}
+			}
+			if cfg.wantSpill && maxFails <= maxRowFails {
+				t.Fatalf("spill config topped out at %d failing cells per row; need > %d to cover the fallback",
+					maxFails, maxRowFails)
+			}
+		})
+	}
+}

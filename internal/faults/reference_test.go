@@ -178,6 +178,11 @@ type diffConfig struct {
 	seed       uint64
 	params     Params
 	faultyCols []int
+	// mapping selects the vendor address mapping ("" = default).
+	mapping string
+	// wantSpill marks configs dense enough that some row must overflow
+	// the word kernel's on-stack staging and take the scalar fallback.
+	wantSpill bool
 }
 
 func diffConfigs() []diffConfig {
@@ -190,15 +195,37 @@ func diffConfigs() []diffConfig {
 		Ranks: 1, ChipsPerRank: 1, BanksPerChip: 2,
 		RowsPerBank: 192, ColsPerRow: 256, RedundantCols: 8,
 	}
+	tiny := dram.Geometry{
+		Ranks: 1, ChipsPerRank: 1, BanksPerChip: 1,
+		RowsPerBank: 64, ColsPerRow: 128, RedundantCols: 8,
+	}
 	denseParams := DefaultParams()
 	denseParams.WeakCellFraction = 2e-2 // dense enough for edge cells and adjacent weak pairs
+	spillParams := DefaultParams()
+	spillParams.WeakCellFraction = 0.6 // >64 weak cells per row word span: forces the spill fallback
 	return []diffConfig{
 		{name: "small-seed3", geom: small, seed: 3, params: DefaultParams()},
 		{name: "small-seed42-dense", geom: dense, seed: 42, params: denseParams},
 		{name: "small-seed99-remapped", geom: small, seed: 99, params: denseParams,
 			faultyCols: []int{0, 1, 7, 100, 101, 511}},
 		{name: "oddrows-seed7", geom: odd, seed: 7, params: denseParams},
+		{name: "small-seed5-gray", geom: small, seed: 5, params: denseParams, mapping: "gray"},
+		{name: "small-seed13-linear", geom: small, seed: 13, params: denseParams, mapping: "linear",
+			faultyCols: []int{2, 3, 200, 201}},
+		{name: "oddrows-seed11-mirror", geom: odd, seed: 11, params: denseParams, mapping: "mirror"},
+		{name: "tiny-seed17-spill", geom: tiny, seed: 17, params: spillParams, wantSpill: true},
 	}
+}
+
+// newDiffScrambler builds a config's scrambler through the mapping
+// registry, so every differential test sweeps vendor mappings.
+func newDiffScrambler(tb testing.TB, cfg diffConfig) *dram.Scrambler {
+	tb.Helper()
+	scr, err := dram.NewMappedScrambler(cfg.geom, cfg.seed, cfg.faultyCols, cfg.mapping)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return scr
 }
 
 // diffIdles returns the idle times each config is checked at: below the
@@ -252,7 +279,7 @@ func TestFlatKernelMatchesReference(t *testing.T) {
 	for _, cfg := range diffConfigs() {
 		cfg := cfg
 		t.Run(cfg.name, func(t *testing.T) {
-			scr := dram.NewScrambler(cfg.geom, cfg.seed, cfg.faultyCols)
+			scr := newDiffScrambler(t, cfg)
 			model, err := NewModel(cfg.geom, scr, cfg.seed, cfg.params)
 			if err != nil {
 				t.Fatal(err)
@@ -408,7 +435,7 @@ func TestAppendFailingCellsReusesBuffer(t *testing.T) {
 // probe contents at that idle time.
 func TestRowCanFailMonotone(t *testing.T) {
 	cfg := diffConfigs()[1]
-	scr := dram.NewScrambler(cfg.geom, cfg.seed, cfg.faultyCols)
+	scr := newDiffScrambler(t, cfg)
 	model, err := NewModel(cfg.geom, scr, cfg.seed, cfg.params)
 	if err != nil {
 		t.Fatal(err)
@@ -438,7 +465,7 @@ func BenchmarkReferenceParity(b *testing.B) {
 	// reference model compiling and sampling, so the differential
 	// oracle cannot silently rot. Runs one row end to end.
 	cfg := diffConfigs()[0]
-	scr := dram.NewScrambler(cfg.geom, cfg.seed, cfg.faultyCols)
+	scr := newDiffScrambler(b, cfg)
 	model, err := NewModel(cfg.geom, scr, cfg.seed, cfg.params)
 	if err != nil {
 		b.Fatal(err)

@@ -1,0 +1,66 @@
+package faults
+
+import (
+	"testing"
+
+	"memcon/internal/dram"
+)
+
+// TestParamsForRefreshHiRefSafe pins the guarantee ParamsForRefresh
+// documents: with the retention floor at loRef, the HI-REF window is
+// unconditionally safe iff hiRef < loRef*(1-MaxStress). The original
+// doc claimed safety "even under maximum stress" unconditionally, which
+// the arithmetic does not support — a fully-stressed floor cell retains
+// for only 0.4*loRef — so this test checks both the shipped-window side
+// (64 ms / 16 ms holds with margin) and the boundary side (a tighter
+// LO-REF really does break the claim).
+func TestParamsForRefreshHiRefSafe(t *testing.T) {
+	p := ParamsForRefresh(dram.RefreshWindowDefault)
+	hiRef := dram.RefreshWindowAggressive
+
+	// Arithmetic bound: the worst effective retention of a floor cell.
+	worst := dram.Nanoseconds(float64(p.RetentionFloor) * (1 - p.MaxStress))
+	if worst <= hiRef {
+		t.Fatalf("shipped windows violate the claim: floor*(1-MaxStress) = %d <= HI-REF %d", worst, hiRef)
+	}
+
+	// Empirical, worst-case patterns: across seeds and a dense
+	// population, no row may fail within HI-REF under ANY pattern
+	// (RowCanFail is the per-row worst-achievable-stress bound).
+	dense := p
+	dense.WeakCellFraction = 2e-2
+	for _, seed := range []uint64{1, 42, 12345} {
+		m, mod := newTestModel(t, seed, dense)
+		geom := m.Geometry()
+		for b := 0; b < geom.BanksPerChip; b++ {
+			for r := 0; r < geom.RowsPerBank; r++ {
+				a := dram.RowAddress{Bank: b, Row: r}
+				if m.RowCanFail(a, hiRef) {
+					t.Fatalf("seed %d: row (%d,%d) can fail within HI-REF %d", seed, b, r, hiRef)
+				}
+				if cells := m.FailingCells(mod, a, hiRef); len(cells) != 0 {
+					t.Fatalf("seed %d: row (%d,%d) fails at HI-REF under zero content: %v", seed, b, r, cells)
+				}
+			}
+		}
+	}
+
+	// Boundary: a LO-REF below hiRef/(1-MaxStress) breaks the
+	// guarantee — some cell's worst-case retention drops under HI-REF.
+	tight := ParamsForRefresh(dram.Nanoseconds(float64(hiRef) / (1 - p.MaxStress) * 0.99))
+	tight.WeakCellFraction = 2e-2
+	m, _ := newTestModel(t, 42, tight)
+	geom := m.Geometry()
+	vulnerable := false
+	for b := 0; b < geom.BanksPerChip && !vulnerable; b++ {
+		for r := 0; r < geom.RowsPerBank; r++ {
+			if m.RowCanFail(dram.RowAddress{Bank: b, Row: r}, hiRef) {
+				vulnerable = true
+				break
+			}
+		}
+	}
+	if !vulnerable {
+		t.Fatal("expected HI-REF-vulnerable rows once loRef*(1-MaxStress) < hiRef")
+	}
+}

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"math/rand"
+	"sort"
 
 	"memcon/internal/dram"
 )
@@ -144,9 +145,29 @@ func (v *VRTModel) FailingCellsVRT(mod *dram.Module, a dram.RowAddress, idle dra
 
 // ToggledCells reports how many tracked cells are currently degraded —
 // instrumentation for VRT experiments.
+//
+// The walk visits cells in sorted key order, never Go's randomized map
+// order: cellState draws from the shared rng when it applies elapsed
+// toggles, so the iteration order here IS the rng consumption order,
+// and identically-seeded models must consume identically or their
+// subsequent per-cell states diverge run to run.
 func (v *VRTModel) ToggledCells() int {
-	n := 0
+	keys := make([]vrtKey, 0, len(v.state))
 	for k := range v.state {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.bank != b.bank {
+			return a.bank < b.bank
+		}
+		if a.physRow != b.physRow {
+			return a.physRow < b.physRow
+		}
+		return a.physCol < b.physCol
+	})
+	n := 0
+	for _, k := range keys {
 		if v.cellState(k).degraded {
 			n++
 		}

@@ -126,3 +126,43 @@ func TestVRTStateVisibleToFreshTests(t *testing.T) {
 	}
 	_ = before
 }
+
+// TestVRTToggledCellsDeterministic pins the rng-order bugfix: two
+// identically-seeded VRT models driven through an identical query
+// sequence must agree on every count AND every subsequent per-cell
+// state. Before ToggledCells iterated in sorted key order it walked
+// v.state in Go's randomized map order, and because cellState draws
+// elapsed-toggle steps from the shared rng, the draw order — and so the
+// post-walk per-cell states — differed run to run.
+func TestVRTToggledCellsDeterministic(t *testing.T) {
+	run := func() ([]int, []float64) {
+		params := VRTParams{ToggleRate: 5, DegradeFactor: 0.5, AffectedFraction: 0.7}
+		v, _ := newVRT(t, params, 1e-3)
+		// Touch a spread of cells so the state map has many keys.
+		for i := 0; i < 400; i++ {
+			v.RetentionScaleAt(i%2, (i*37)%1024, (i*13)%1024)
+		}
+		var counts []int
+		for step := 1; step <= 4; step++ {
+			v.Advance(dram.Nanoseconds(step) * 20 * 3600 * dram.Second)
+			counts = append(counts, v.ToggledCells())
+		}
+		var scales []float64
+		for i := 0; i < 400; i++ {
+			scales = append(scales, v.RetentionScaleAt(i%2, (i*37)%1024, (i*13)%1024))
+		}
+		return counts, scales
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("ToggledCells diverged between identical runs at step %d: %d vs %d", i, c1[i], c2[i])
+		}
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("per-cell state diverged between identical runs at cell %d: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+}

@@ -88,7 +88,8 @@ func (d *DiffReport) String() string {
 
 // Diff compares two reports cell by cell. Provenance fields that
 // determine the numbers (experiment, seed, scale, simtime, mixes,
-// schema) gate like data; version and title mismatches are notes.
+// fleet, mapping, schema) gate like data; version and title mismatches
+// are notes.
 // Data tables are matched by key; presentation (TextOnly) blocks and
 // prose are not compared. Hidden rows are compared like visible ones.
 func Diff(a, b *Report, tol Tolerance) *DiffReport {
@@ -117,6 +118,9 @@ func Diff(a, b *Report, tol Tolerance) *DiffReport {
 	}
 	if pa.Fleet != pb.Fleet {
 		add("provenance.fleet", "", fmt.Sprint(pa.Fleet), fmt.Sprint(pb.Fleet), 0)
+	}
+	if pa.Mapping != pb.Mapping {
+		add("provenance.mapping", "", pa.Mapping, pb.Mapping, 0)
 	}
 	if pa.Title != pb.Title {
 		d.Notes = append(d.Notes, fmt.Sprintf("title differs: %q vs %q", pa.Title, pb.Title))

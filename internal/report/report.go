@@ -91,6 +91,11 @@ type Provenance struct {
 	// single-module experiments (and omitted from their JSON, keeping
 	// pre-fleet reports byte-identical).
 	Fleet int `json:"fleet,omitempty"`
+	// Mapping is the vendor address-mapping scheme of chip-level
+	// experiments; empty for the default mapping and for experiments
+	// that build no chips (and omitted from their JSON, keeping
+	// pre-mapping reports byte-identical).
+	Mapping string `json:"mapping,omitempty"`
 	// Version is an opaque caller-supplied build identifier (for
 	// example a git-describe string). Empty means unrecorded.
 	Version string `json:"version,omitempty"`

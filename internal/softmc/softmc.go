@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"memcon/internal/dram"
 	"memcon/internal/faults"
@@ -162,6 +163,29 @@ type Tester struct {
 	// installed when workers > 1. ReadBack is the exception: its events
 	// are emitted from the sequential commit pass regardless of workers.
 	obs obs.Observer
+
+	// scan holds ReadBack's frozen-pass scratch, one unit per (bank,
+	// chunk), reused across calls so repeated read-backs stop paying the
+	// per-row copy allocations PR 3's parallel scan introduced. Reusing
+	// it means a Tester must not run overlapping ReadBack calls — which
+	// was already the contract (ReadBack mutates the module).
+	scan []scanUnit
+	// commitBuf is the commit pass's dirty-row re-evaluation buffer.
+	commitBuf []int
+	// pending is the commit pass's sorted dirty-row worklist.
+	pending []int
+	// spans stages per-failure arena offsets until the arena stops
+	// growing and Cells slices can be cut from it.
+	spans []int32
+}
+
+// scanUnit is one chunk's reusable frozen-pass result: the failing rows
+// and their cells in CSR form (rows[i]'s cells are
+// cells[offs[i]:offs[i+1]]).
+type scanUnit struct {
+	rows  []int32
+	offs  []int32
+	cells []int
 }
 
 // NewTester creates a tester over the module and fault model, which must
@@ -267,52 +291,92 @@ func (t *Tester) ReadBack() []RowFailure {
 // order.
 func (t *Tester) ReadBackParallel(ctx context.Context, workers int) ([]RowFailure, error) {
 	g := t.mod.Geometry()
-	frozen, err := parallel.Map(ctx, g.BanksPerChip*chunksPerBank, workers, func(u int) ([]RowFailure, error) {
+	units := g.BanksPerChip * chunksPerBank
+	if len(t.scan) != units {
+		t.scan = make([]scanUnit, units)
+	}
+	err := parallel.ForEach(ctx, units, workers, func(u int) error {
+		sc := &t.scan[u]
+		sc.rows = sc.rows[:0]
+		sc.offs = append(sc.offs[:0], 0)
+		sc.cells = sc.cells[:0]
 		b := u / chunksPerBank
-		lo, hi := chunkBounds(g.RowsPerBank, u%chunksPerBank)
-		var fails []RowFailure
-		var scratch []int
-		for r := lo; r < hi; r++ {
-			a := dram.RowAddress{Bank: b, Row: r}
-			idle := t.mod.IdleTime(a, t.now)
-			scratch = t.model.AppendFailingCells(scratch[:0], t.mod, a, idle)
-			if len(scratch) > 0 {
-				fails = append(fails, RowFailure{Addr: a, Cells: append([]int(nil), scratch...)})
-			}
-		}
-		return fails, nil
+		// Scan the bank's weak-row worklist instead of all RowsPerBank
+		// rows: rows without weak cells can never fail, and at the
+		// default weak-cell density that skips ~70% of the bank without
+		// even an idle-time lookup. weakRows is ascending, so chunking
+		// it keeps each unit's rows sorted and the units concatenating
+		// into scan order — the commit-pass merge below is unchanged.
+		weakRows, _ := t.model.WeakRowFloors(b)
+		lo, hi := chunkBounds(len(weakRows), u%chunksPerBank)
+		sc.cells, sc.rows, sc.offs = t.model.AppendFailingRows(
+			t.mod, b, lo, hi, t.now, sc.cells, sc.rows, sc.offs)
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	// Commit pass: sequential, in global row order. The chunk units are
 	// ordered by (bank, row range), so their frozen results concatenate
-	// into scan order and a cursor replaces any per-row index structure.
-	var fails []RowFailure
-	cu, ci := 0, 0 // cursor into frozen[cu][ci]
+	// into scan order; the walk merges that stream with the sorted
+	// dirty-row worklist instead of visiting every row. Result cells are
+	// packed into one arena (cut into per-row slices once it stops
+	// growing), so a call allocates O(log n) slice growths rather than
+	// one copy per failing row.
+	// The frozen pass counted (almost) the final totals: commit-time
+	// re-evaluation can add a few rows and cells, so the counts are a
+	// capacity hint, not a bound.
+	nRows, nCells := 0, 0
+	for u := range t.scan {
+		nRows += len(t.scan[u].rows)
+		nCells += len(t.scan[u].cells)
+	}
+	fails := make([]RowFailure, 0, nRows+8)
+	arena := make([]int, 0, nCells+16)
+	t.spans = t.spans[:0]
 	for b := 0; b < g.BanksPerChip; b++ {
-		// dirty marks rows of THIS bank whose frozen verdict may
-		// under-report (physical neighbours never cross banks); nil
-		// until a committed flip actually lands next to a weak cell.
-		var dirty map[int]bool
-		for r := 0; r < g.RowsPerBank; r++ {
+		// pending holds rows of THIS bank whose frozen verdict may
+		// under-report (physical neighbours never cross banks); rows
+		// enter only when a committed flip lands next to a weak cell,
+		// and always lie past the scan cursor.
+		t.pending = t.pending[:0]
+		u := b * chunksPerBank
+		uEnd := u + chunksPerBank
+		ri := 0 // cursor into t.scan[u].rows
+		for {
+			for u < uEnd && ri >= len(t.scan[u].rows) {
+				u, ri = u+1, 0
+			}
+			fr := g.RowsPerBank // next frozen failing row (sentinel: none)
+			if u < uEnd {
+				fr = int(t.scan[u].rows[ri])
+			}
+			r := fr
+			if len(t.pending) > 0 && t.pending[0] < r {
+				r = t.pending[0]
+			}
+			if r == g.RowsPerBank {
+				break
+			}
 			a := dram.RowAddress{Bank: b, Row: r}
 			var cells []int
-			for cu < len(frozen) && ci >= len(frozen[cu]) {
-				cu, ci = cu+1, 0
+			if fr == r {
+				sc := &t.scan[u]
+				cells = sc.cells[sc.offs[ri]:sc.offs[ri+1]]
+				ri++
 			}
-			if cu < len(frozen) && frozen[cu][ci].Addr == a {
-				cells = frozen[cu][ci].Cells
-				ci++
-			}
-			if dirty[r] {
+			if len(t.pending) > 0 && t.pending[0] == r {
+				t.pending = t.pending[1:]
 				// An earlier committed flip may have added stress here;
 				// the frozen verdict can under-report, never over-report.
-				cells = t.model.FailingCells(t.mod, a, t.mod.IdleTime(a, t.now))
+				t.commitBuf = t.model.AppendFailingCells(t.commitBuf[:0], t.mod, a, t.mod.IdleTime(a, t.now))
+				cells = t.commitBuf
 			}
 			if len(cells) > 0 {
 				t.mod.ApplyFlips(a, cells)
-				fails = append(fails, RowFailure{Addr: a, Cells: cells})
+				t.spans = append(t.spans, int32(len(arena)))
+				arena = append(arena, cells...)
+				fails = append(fails, RowFailure{Addr: a})
 				if t.obs != nil {
 					t.obs.OnEvent(obs.Event{
 						Kind: obs.KindRowFailure,
@@ -326,17 +390,36 @@ func (t *Tester) ReadBackParallel(ctx context.Context, workers int) ([]RowFailur
 					// before these flips existed, exactly as a
 					// sequential scan would have.
 					if nb.Row > r {
-						if dirty == nil {
-							dirty = make(map[int]bool)
-						}
-						dirty[nb.Row] = true
+						t.pending = insertRow(t.pending, nb.Row)
 					}
 				}
 			}
-			t.mod.Activate(a, t.now)
 		}
 	}
+	// Every row was read, so every row recharges — exactly what the
+	// per-row Activate calls of the row-by-row walk amounted to.
+	t.mod.RechargeAll(t.now)
+	for i := range fails {
+		lo := int(t.spans[i])
+		hi := len(arena)
+		if i+1 < len(fails) {
+			hi = int(t.spans[i+1])
+		}
+		fails[i].Cells = arena[lo:hi:hi]
+	}
 	return fails, nil
+}
+
+// insertRow inserts r into the sorted worklist p, keeping it unique.
+func insertRow(p []int, r int) []int {
+	i := sort.SearchInts(p, r)
+	if i < len(p) && p[i] == r {
+		return p
+	}
+	p = append(p, 0)
+	copy(p[i+1:], p[i:])
+	p[i] = r
+	return p
 }
 
 // TestRow checks a single row for failures after its current idle time

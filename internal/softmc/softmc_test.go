@@ -482,3 +482,39 @@ func TestReadBackEventsOrderedAcrossWorkers(t *testing.T) {
 		}
 	}
 }
+
+// TestReadBackAllocsBounded pins the allocation fix for the parallel
+// read-back: the frozen pass reuses per-unit scratch and the commit
+// pass packs result cells into one arena, so a steady-state ReadBack
+// allocates a bounded handful of slices (result growth + fan-out
+// plumbing) instead of one copy per failing row. The bound is loose
+// enough for goroutine scheduling noise but far below the per-row
+// regime this guards against (hundreds of failing rows per pass here).
+func TestReadBackAllocsBounded(t *testing.T) {
+	tester := newTester(t, 7, 5e-3)
+	tester.SetParallelism(4)
+	pattern := CheckerboardPattern(0)
+	// Prime the reusable scratch; the first call pays the warm-up.
+	if _, err := tester.RunPattern(pattern, faults.CharacterizationIdle); err != nil {
+		t.Fatal(err)
+	}
+	failRows := 0
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := tester.FillPattern(pattern); err != nil {
+			t.Error(err)
+			return
+		}
+		tester.Idle(faults.CharacterizationIdle)
+		failRows = len(tester.ReadBack())
+	})
+	if failRows == 0 {
+		t.Fatal("expected failing rows; the allocation bound would be vacuous")
+	}
+	// FillPattern allocates one row buffer; everything else is
+	// ReadBack. 100 covers result-slice growth and parallel fan-out
+	// with slack, while the pre-fix per-failing-row copies alone
+	// exceeded it several times over.
+	if allocs > 100 {
+		t.Fatalf("ReadBack cycle allocated %.0f times (bound 100, %d failing rows)", allocs, failRows)
+	}
+}

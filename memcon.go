@@ -234,9 +234,24 @@ type Chip struct {
 
 // NewChip builds a simulated chip with the given geometry and seed using
 // fault-model parameters scaled to the LO-REF window, ready for use with
-// NewSystem or the softmc characterization flows.
+// NewSystem or the softmc characterization flows. It uses the default
+// vendor address mapping; NewChipMapped selects another.
 func NewChip(geom Geometry, seed uint64) (*Chip, error) {
-	scr := dram.NewScrambler(geom, seed, nil)
+	return NewChipMapped(geom, seed, "")
+}
+
+// MappingNames lists the registered vendor address-mapping schemes a
+// chip can be built with (see NewChipMapped).
+func MappingNames() []string { return dram.MappingNames() }
+
+// NewChipMapped is NewChip with an explicit vendor address-mapping
+// scheme; the empty string and "default" both select the original
+// scrambler, and unknown names are errors naming the registry.
+func NewChipMapped(geom Geometry, seed uint64, mapping string) (*Chip, error) {
+	scr, err := dram.NewMappedScrambler(geom, seed, nil, mapping)
+	if err != nil {
+		return nil, fmt.Errorf("memcon: %w", err)
+	}
 	model, err := faults.NewModel(geom, scr, seed, faults.ParamsForRefresh(dram.RefreshWindowDefault))
 	if err != nil {
 		return nil, fmt.Errorf("memcon: building fault model: %w", err)

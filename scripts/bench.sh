@@ -5,12 +5,15 @@
 # simulation). Each section prints the raw `go test -bench` output and
 # rewrites its JSON document.
 #
-# Runs BenchmarkFailingCells and BenchmarkReadBack (workers 1/4/8) on
-# the default geometry and rewrites BENCH_hotpath.json. The "baseline"
-# block is pinned to the numbers measured at commit 41aed67 (map-based
-# lazy fault model, sequential commit-as-you-go ReadBack) on the same
-# machine class; re-measure it by checking out that commit and running
-# these benchmarks there.
+# Runs BenchmarkFailingCells (sparse and dense populations) and
+# BenchmarkReadBack (workers 1/4/8) on the default geometry and
+# rewrites BENCH_hotpath.json. Two pinned comparison blocks:
+# "baseline" holds the numbers measured at commit 41aed67 (map-based
+# lazy fault model, sequential commit-as-you-go ReadBack), "pr3" the
+# numbers after the flat-CSR kernel and frozen-parallel ReadBack but
+# before the bit-parallel word kernel and the scan-scratch reuse.
+# Re-measure either by checking out that commit and running these
+# benchmarks there (BenchmarkFailingCellsDense exists only after pr3).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,7 +31,8 @@ function emit(name, line,    f) {
 }
 /^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
 /^go/ { }
-/^BenchmarkFailingCells/        { fc = $0 }
+/^BenchmarkFailingCells-|^BenchmarkFailingCells / { fc = $0 }
+/^BenchmarkFailingCellsDense/   { fcd = $0 }
 /^BenchmarkReadBack\/workers-1/ { rb1 = $0 }
 /^BenchmarkReadBack\/workers-4/ { rb4 = $0 }
 /^BenchmarkReadBack\/workers-8/ { rb8 = $0 }
@@ -42,9 +46,17 @@ END {
 	print "    \"BenchmarkFailingCells\": {\"ns_per_op\": 106.5, \"bytes_per_op\": 0, \"allocs_per_op\": 0},"
 	print "    \"BenchmarkReadBack/workers-1\": {\"ns_per_op\": 3475589, \"bytes_per_op\": 169072, \"allocs_per_op\": 1690}"
 	print "  },"
+	print "  \"pr3\": {"
+	print "    \"cpu\": \"Intel(R) Xeon(R) Processor @ 2.10GHz\","
+	print "    \"BenchmarkFailingCells\": {\"ns_per_op\": 31.20, \"bytes_per_op\": 0, \"allocs_per_op\": 0},"
+	print "    \"BenchmarkReadBack/workers-1\": {\"ns_per_op\": 1527545, \"bytes_per_op\": 345969, \"allocs_per_op\": 2133},"
+	print "    \"BenchmarkReadBack/workers-4\": {\"ns_per_op\": 1478864, \"bytes_per_op\": 346386, \"allocs_per_op\": 2139},"
+	print "    \"BenchmarkReadBack/workers-8\": {\"ns_per_op\": 1595760, \"bytes_per_op\": 346770, \"allocs_per_op\": 2143}"
+	print "  },"
 	print "  \"after\": {"
 	printf "    \"cpu\": \"%s\",\n", cpu
 	emit("BenchmarkFailingCells", fc); printf ",\n"
+	emit("BenchmarkFailingCellsDense", fcd); printf ",\n"
 	emit("BenchmarkReadBack/workers-1", rb1); printf ",\n"
 	emit("BenchmarkReadBack/workers-4", rb4); printf ",\n"
 	emit("BenchmarkReadBack/workers-8", rb8); printf "\n"

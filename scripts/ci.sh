@@ -55,7 +55,18 @@ go test -race -run 'TestFleet' ./cmd/memconsim
 # scripts/bench.sh, which rewrites BENCH_hotpath.json,
 # BENCH_engine.json and BENCH_fleet.json.
 echo "== bench smoke =="
-go test -run '^$' -bench 'BenchmarkReadBack|BenchmarkFailingCells|BenchmarkEngineRun|BenchmarkFleetRun' -benchtime=1x .
+go test -run '^$' -bench 'BenchmarkReadBack|BenchmarkFailingCells|BenchmarkFailingCellsDense|BenchmarkEngineRun|BenchmarkFleetRun' -benchtime=1x .
+
+# Mapping sweep smoke: one chip-level experiment per vendor address
+# mapping, race-instrumented and fanned out over 4 workers. Catches a
+# mapping whose permutation breaks under concurrency (the bit-parallel
+# kernel reads neighbour rows of whatever layout the mapping chose) and
+# keeps the -mapping flag wired end to end.
+echo "== mapping sweep smoke (race) =="
+for pair in "fig3 default" "fig4 gray" "vrt linear" "profile mirror"; do
+    set -- $pair
+    go run -race ./cmd/memconsim -exp "$1" -mapping "$2" -scale 0.05 -parallel 4 > /dev/null
+done
 
 # Report regression: re-run every experiment from its committed
 # reference document and fail on any numeric drift. `make reports`
