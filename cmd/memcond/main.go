@@ -10,6 +10,15 @@
 // run (singleflight). The determinism contract the CLI pins with its
 // golden files is what makes this sound: a cache hit IS the answer.
 //
+// The cache is two-tier: a sharded in-memory LRU in front of an
+// optional content-addressed disk store (-cache-dir). Every miss is
+// written through to disk; a restarted daemon warm-boots by scanning
+// the directory and serves its prior corpus without re-running a
+// single experiment (X-Memcond-Cache: disk). Entries carry
+// precomputed wire bytes — canonical JSON and its gzip form — so a
+// warm hit does no encoding or compression, and ETag = cache key
+// lets revalidating clients get 304 Not Modified with no body at all.
+//
 // Endpoints:
 //
 //	GET  /v1/experiments       catalogue of ids and titles
@@ -17,16 +26,20 @@
 //	POST /v1/revalidate        re-run a cached entry, diff against it
 //	GET  /metrics              Prometheus text exposition
 //	GET  /healthz              liveness + cache stats
+//	GET  /readyz               routability: 503 while starting/draining
 //
 // With Accept: text/event-stream (or ?progress=sse) the experiment
 // endpoint streams progress snapshots of the run's engine event
-// counters before the result. SIGTERM drains gracefully: in-flight
-// requests finish, new connections are refused.
+// counters before the result. SIGTERM drains gracefully: /readyz
+// flips to 503, in-flight requests finish, new connections are
+// refused.
 //
 // Usage:
 //
 //	memcond [-addr host:port] [-addr-file path] [-workers n] [-queue n]
-//	        [-timeout d] [-cache n] [-report-version v] [-max-scale f]
+//	        [-timeout d] [-cache n] [-cache-mem bytes] [-cache-shards n]
+//	        [-cache-dir path] [-cache-disk bytes]
+//	        [-report-version v] [-max-scale f]
 //
 // -addr-file writes the bound address (useful with -addr :0) so
 // scripts can find the server without racing the log output.
@@ -52,25 +65,37 @@ func main() {
 
 func run() int {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
-		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "experiments running concurrently")
-		queue    = flag.Int("queue", 64, "requests allowed to wait for a worker beyond those running")
-		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request run budget before 504")
-		cacheN   = flag.Int("cache", 1024, "result cache entries (LRU)")
-		version  = flag.String("report-version", "", "version stamped into reports when the client sends none")
-		maxScale = flag.Float64("max-scale", 0, "largest scale a request may ask for (0 = no cap)")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile  = flag.String("addr-file", "", "write the bound address to this file once listening")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "experiments running concurrently")
+		queue     = flag.Int("queue", 64, "requests allowed to wait for a worker beyond those running")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request run budget before 504")
+		cacheN    = flag.Int("cache", 1024, "result cache entries per tier (LRU)")
+		cacheMem  = flag.Int64("cache-mem", 0, "memory cache byte budget, 0 = unlimited")
+		shards    = flag.Int("cache-shards", 16, "memory cache shard count")
+		cacheDir  = flag.String("cache-dir", "", "persist results to this directory (restart-surviving cache)")
+		cacheDisk = flag.Int64("cache-disk", 0, "disk cache byte budget, 0 = unlimited")
+		version   = flag.String("report-version", "", "version stamped into reports when the client sends none")
+		maxScale  = flag.Float64("max-scale", 0, "largest scale a request may ask for (0 = no cap)")
 	)
 	flag.Parse()
 
-	srv := NewServer(Config{
-		Workers:      *workers,
-		Queue:        *queue,
-		Timeout:      *timeout,
-		CacheEntries: *cacheN,
-		Version:      *version,
-		MaxScale:     *maxScale,
+	srv, err := NewServer(Config{
+		Workers:        *workers,
+		Queue:          *queue,
+		Timeout:        *timeout,
+		CacheEntries:   *cacheN,
+		CacheShards:    *shards,
+		CacheMemBytes:  *cacheMem,
+		CacheDir:       *cacheDir,
+		CacheDiskBytes: *cacheDisk,
+		Version:        *version,
+		MaxScale:       *maxScale,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memcond: %v\n", err)
+		return 1
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -83,8 +108,22 @@ func run() int {
 			return 1
 		}
 	}
-	fmt.Fprintf(os.Stderr, "memcond: listening on %s (%d workers, queue %d, cache %d)\n",
-		ln.Addr(), srv.cfg.Workers, srv.cfg.Queue, srv.cfg.CacheEntries)
+	fmt.Fprintf(os.Stderr, "memcond: listening on %s (%d workers, queue %d, cache %d x %d shards)\n",
+		ln.Addr(), srv.cfg.Workers, srv.cfg.Queue, srv.cfg.CacheEntries, srv.cfg.CacheShards)
+
+	// Warm-boot in the background: the listener is up (so health
+	// probes answer) but /readyz stays 503 until the persisted corpus
+	// is indexed and every prior result is servable without a re-run.
+	go func() {
+		n, err := srv.WarmBoot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memcond: warm boot: %v\n", err)
+			return
+		}
+		if srv.cfg.CacheDir != "" {
+			fmt.Fprintf(os.Stderr, "memcond: warm boot indexed %d persisted entries from %s\n", n, srv.cfg.CacheDir)
+		}
+	}()
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -29,8 +30,22 @@ type Config struct {
 	// Timeout is the per-request run budget; an experiment exceeding it
 	// is cancelled and answered 504. Zero selects 2 minutes.
 	Timeout time.Duration
-	// CacheEntries bounds the result cache (LRU); zero selects 1024.
+	// CacheEntries bounds the result cache's memory tier (LRU); zero
+	// selects 1024.
 	CacheEntries int
+	// CacheShards is the memory tier's key-prefix shard count; zero
+	// selects 16.
+	CacheShards int
+	// CacheMemBytes bounds the memory tier's payload bytes; zero
+	// selects unbounded.
+	CacheMemBytes int64
+	// CacheDir, when set, enables the persistent disk tier: every
+	// computed result is written through to one content-addressed file
+	// under this directory, and a restarted daemon serves its prior
+	// corpus from there without re-running anything.
+	CacheDir string
+	// CacheDiskBytes bounds the disk tier; zero selects unbounded.
+	CacheDiskBytes int64
 	// Version is the build identifier stamped into report provenance
 	// when the client does not supply one.
 	Version string
@@ -55,6 +70,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries < 1 {
 		c.CacheEntries = 1024
 	}
+	if c.CacheShards < 1 {
+		c.CacheShards = 16
+	}
 	if c.ProgressInterval <= 0 {
 		c.ProgressInterval = 250 * time.Millisecond
 	}
@@ -70,11 +88,13 @@ var errBusy = errors.New("memcond: worker queue full")
 type Server struct {
 	cfg      Config
 	cache    *servecache.Cache
+	store    *servecache.Store // nil without -cache-dir
 	reg      *obs.Registry
 	engineMx *obs.Metrics // aggregates engine lifecycle events across all runs
 	sem      chan struct{}
 	queued   atomic.Int64
 	draining atomic.Bool
+	ready    atomic.Bool // flipped by WarmBoot; gates /readyz
 	hubs     *hubSet
 
 	// run executes one normalized request and returns the canonical
@@ -84,8 +104,11 @@ type Server struct {
 
 	requests     *obs.Counter
 	cacheHits    *obs.Counter
+	cacheDisk    *obs.Counter
 	cacheMisses  *obs.Counter
 	cacheShared  *obs.Counter
+	notModified  *obs.Counter
+	gzipServed   *obs.Counter
 	errorsTotal  *obs.Counter
 	busyTotal    *obs.Counter
 	timeouts     *obs.Counter
@@ -93,24 +116,52 @@ type Server struct {
 	revalDrifted *obs.Counter
 	inflight     *obs.Gauge
 	latency      *obs.Histogram
+
+	// Scrape-time gauges filled from cache/store snapshots.
+	memEntries   *obs.Gauge
+	memBytes     *obs.Gauge
+	diskEntries  *obs.Gauge
+	diskBytes    *obs.Gauge
+	diskCorrupt  *obs.Gauge
+	shardReqs    []*obs.Gauge
+	shardEntries []*obs.Gauge
 }
 
-// NewServer builds the daemon with the given configuration.
-func NewServer(cfg Config) *Server {
+// NewServer builds the daemon with the given configuration. When
+// cfg.CacheDir is set the persistent disk tier is opened (its warm-boot
+// index scan runs in WarmBoot, which the caller must invoke).
+func NewServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	var store *servecache.Store
+	if cfg.CacheDir != "" {
+		var err error
+		store, err = servecache.OpenStore(cfg.CacheDir, cfg.CacheDiskBytes)
+		if err != nil {
+			return nil, err
+		}
+	}
 	reg := obs.NewRegistry()
 	s := &Server{
-		cfg:      cfg,
-		cache:    servecache.New(cfg.CacheEntries),
+		cfg: cfg,
+		cache: servecache.NewWithOptions(servecache.Options{
+			Shards:     cfg.CacheShards,
+			MaxEntries: cfg.CacheEntries,
+			MaxBytes:   cfg.CacheMemBytes,
+			Store:      store,
+		}),
+		store:    store,
 		reg:      reg,
 		engineMx: obs.NewMetrics(reg),
 		sem:      make(chan struct{}, cfg.Workers),
 		hubs:     newHubSet(),
 
 		requests:     reg.Counter("memcond_requests_total", "experiment requests received"),
-		cacheHits:    reg.Counter("memcond_cache_hits_total", "requests served from the result cache"),
+		cacheHits:    reg.Counter("memcond_cache_hits_total", "requests served from the memory tier"),
+		cacheDisk:    reg.Counter("memcond_cache_disk_hits_total", "requests served from the disk tier"),
 		cacheMisses:  reg.Counter("memcond_cache_misses_total", "requests that ran an experiment"),
 		cacheShared:  reg.Counter("memcond_cache_shared_total", "requests that joined an in-flight identical run"),
+		notModified:  reg.Counter("memcond_not_modified_total", "requests answered 304 via If-None-Match"),
+		gzipServed:   reg.Counter("memcond_gzip_total", "responses served from the precomputed gzip variant"),
 		errorsTotal:  reg.Counter("memcond_errors_total", "requests answered with a non-2xx status"),
 		busyTotal:    reg.Counter("memcond_busy_total", "requests rejected because the worker queue was full"),
 		timeouts:     reg.Counter("memcond_timeouts_total", "runs cancelled by the per-request timeout"),
@@ -119,9 +170,39 @@ func NewServer(cfg Config) *Server {
 		inflight:     reg.Gauge("memcond_inflight_runs", "experiments currently executing", false),
 		latency: reg.Histogram("memcond_request_ns",
 			"request latency in nanoseconds (log2 buckets)", 4096, 32),
+
+		memEntries:  reg.Gauge("memcond_cache_mem_entries", "memory-tier entries", false),
+		memBytes:    reg.Gauge("memcond_cache_mem_bytes", "memory-tier payload bytes", false),
+		diskEntries: reg.Gauge("memcond_cache_disk_entries", "disk-tier entries", false),
+		diskBytes:   reg.Gauge("memcond_cache_disk_bytes", "disk-tier bytes", false),
+		diskCorrupt: reg.Gauge("memcond_cache_disk_corrupt_dropped", "disk entries dropped after failing verification", false),
+	}
+	s.shardReqs = make([]*obs.Gauge, cfg.CacheShards)
+	s.shardEntries = make([]*obs.Gauge, cfg.CacheShards)
+	for i := range s.shardReqs {
+		s.shardReqs[i] = reg.Gauge(fmt.Sprintf("memcond_cache_shard%d_requests", i),
+			fmt.Sprintf("cache requests resolved by shard %d", i), false)
+		s.shardEntries[i] = reg.Gauge(fmt.Sprintf("memcond_cache_shard%d_entries", i),
+			fmt.Sprintf("memory-tier entries held by shard %d", i), false)
 	}
 	s.run = s.realRun
-	return s
+	return s, nil
+}
+
+// WarmBoot runs the disk tier's index scan (if any) and then marks the
+// server ready; /readyz answers 503 until it completes, so a load
+// balancer does not route to a daemon still indexing its corpus. It
+// returns the number of persisted entries indexed. Serving is safe
+// before WarmBoot — disk reads verify files directly — so main runs
+// this concurrently with the listener.
+func (s *Server) WarmBoot() (int, error) {
+	n := 0
+	var err error
+	if s.store != nil {
+		n, err = s.store.Scan()
+	}
+	s.ready.Store(true)
+	return n, err
 }
 
 // realRun executes one experiment on the registry and renders its
@@ -143,6 +224,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/revalidate", s.handleRevalidate)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -266,29 +348,114 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Warm 304 fast path: the client already holds the bytes for this
+	// key (ETag = cache key) and a tier has them resident — answer with
+	// zero encoding, compression, or body work.
+	if etagMatch(r.Header.Get("If-None-Match"), key) {
+		if _, tier, ok := s.cache.Probe(key); ok {
+			s.countOutcome(tier)
+			s.writeNotModified(w, key, tier)
+			s.latency.Observe(time.Since(start).Nanoseconds())
+			return
+		}
+	}
+
 	if wantsSSE(r) {
 		s.streamExperiment(w, r, req, key, reqJSON)
 		s.latency.Observe(time.Since(start).Nanoseconds())
 		return
 	}
 
-	data, outcome, err := s.cache.Do(r.Context(), key, reqJSON, s.computeFor(req, key))
+	entry, outcome, err := s.cache.Do(r.Context(), key, reqJSON, s.computeFor(req, key))
 	s.countOutcome(outcome)
 	if err != nil {
 		s.failRun(w, r, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Memcond-Cache", outcome.String())
-	w.Header().Set("X-Memcond-Key", key.String())
-	w.Write(data)
+	s.writeEntry(w, r, entry, outcome, key)
 	s.latency.Observe(time.Since(start).Nanoseconds())
+}
+
+// etagMatch reports whether an If-None-Match header names the entity
+// tag of key (a quoted cache-key hex, weak validators tolerated) or is
+// the wildcard.
+func etagMatch(inm string, key servecache.Key) bool {
+	if inm == "" {
+		return false
+	}
+	want := key.String()
+	for _, part := range strings.Split(inm, ",") {
+		tag := strings.TrimSpace(part)
+		if tag == "*" {
+			return true
+		}
+		tag = strings.TrimPrefix(tag, "W/")
+		tag = strings.Trim(tag, `"`)
+		if tag == want {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptsGzip reports whether the client's Accept-Encoding admits the
+// precomputed gzip variant.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, q, hasQ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(enc) != "gzip" {
+			continue
+		}
+		if hasQ && strings.TrimSpace(q) == "q=0" {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// writeNotModified answers 304: headers only, no body.
+func (s *Server) writeNotModified(w http.ResponseWriter, key servecache.Key, tier servecache.Outcome) {
+	s.notModified.Inc()
+	h := w.Header()
+	h.Set("ETag", `"`+key.String()+`"`)
+	h.Set("X-Memcond-Cache", tier.String())
+	h.Set("X-Memcond-Key", key.String())
+	w.WriteHeader(http.StatusNotModified)
+}
+
+// writeEntry serves a cache entry zero-copy: the stored wire bytes
+// (identity or precomputed gzip, negotiated via Accept-Encoding) go
+// straight to the response writer, and a matching If-None-Match
+// collapses to 304. No encoding or compression happens here.
+func (s *Server) writeEntry(w http.ResponseWriter, r *http.Request, e *servecache.Entry, outcome servecache.Outcome, key servecache.Key) {
+	if etagMatch(r.Header.Get("If-None-Match"), key) {
+		s.writeNotModified(w, key, outcome)
+		return
+	}
+	h := w.Header()
+	h.Set("ETag", `"`+key.String()+`"`)
+	h.Set("X-Memcond-Cache", outcome.String())
+	h.Set("X-Memcond-Key", key.String())
+	h.Set("Content-Type", "application/json")
+	h.Set("Vary", "Accept-Encoding")
+	if e.Gzip != nil && acceptsGzip(r) {
+		s.gzipServed.Inc()
+		h.Set("Content-Encoding", "gzip")
+		h.Set("Content-Length", strconv.Itoa(len(e.Gzip)))
+		w.Write(e.Gzip)
+		return
+	}
+	h.Set("Content-Length", strconv.Itoa(len(e.Data)))
+	w.Write(e.Data)
 }
 
 func (s *Server) countOutcome(o servecache.Outcome) {
 	switch o {
 	case servecache.Hit:
 		s.cacheHits.Inc()
+	case servecache.Disk:
+		s.cacheDisk.Inc()
 	case servecache.Miss:
 		s.cacheMisses.Inc()
 	case servecache.Shared:
@@ -431,25 +598,65 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleMetrics serves the Prometheus text exposition: the memcond_*
-// request family plus the memcon_* engine aggregates of every run the
-// daemon executed.
+// request family (per tier and per shard) plus the memcon_* engine
+// aggregates of every run the daemon executed. Tier and shard gauges
+// are refreshed from cache snapshots at scrape time.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	mem := s.cache.StatsSnapshot()
+	s.memEntries.Set(float64(mem.Entries))
+	s.memBytes.Set(float64(mem.Bytes))
+	if s.store != nil {
+		disk := s.store.StatsSnapshot()
+		s.diskEntries.Set(float64(disk.Entries))
+		s.diskBytes.Set(float64(disk.Bytes))
+		s.diskCorrupt.Set(float64(disk.Corrupt))
+	}
+	for i, st := range s.cache.ShardStats() {
+		if i >= len(s.shardReqs) {
+			break
+		}
+		s.shardReqs[i].Set(float64(st.Hits + st.DiskHits + st.Misses + st.Shared))
+		s.shardEntries[i].Set(float64(st.Entries))
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.reg.WritePrometheus(w)
 }
 
+// handleHealthz is pure liveness: 200 as long as the process can
+// answer, even while draining — a draining daemon is alive, it just
+// should not receive NEW traffic, which is /readyz's job.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	status := "ok"
-	if s.draining.Load() {
-		status = "draining"
+	doc := map[string]any{
+		"status":   "ok",
+		"ready":    s.ready.Load(),
+		"draining": s.draining.Load(),
+		"cache":    s.cache.StatsSnapshot(),
+		"workers":  s.cfg.Workers,
 	}
-	st := s.cache.StatsSnapshot()
+	if s.store != nil {
+		doc["disk"] = s.store.StatsSnapshot()
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
-		"status":  status,
-		"cache":   st,
-		"workers": s.cfg.Workers,
-	})
+	json.NewEncoder(w).Encode(doc)
+}
+
+// handleReadyz is the routability signal for load balancers: 503
+// before the warm-boot scan completes (the daemon would answer, but
+// its persisted corpus is not fully indexed yet) and 503 again from
+// the moment SIGTERM starts the drain — so balancers stop routing
+// before the listener actually closes.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	switch {
+	case s.draining.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+	case !s.ready.Load():
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "starting"})
+	default:
+		json.NewEncoder(w).Encode(map[string]string{"status": "ready"})
+	}
 }
 
 func wantsSSE(r *http.Request) bool {

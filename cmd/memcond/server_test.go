@@ -3,12 +3,16 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -24,6 +28,20 @@ import (
 // smallBody is a cheap real-run request (the same working point the
 // CLI's regression tests use).
 const smallBody = `{"scale":0.05,"simtime_ns":200000,"mixes":3}`
+
+// mustServer builds a ready-to-serve daemon: NewServer plus the
+// warm-boot scan, so /readyz is green from the first request.
+func mustServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if _, err := srv.WarmBoot(); err != nil {
+		t.Fatalf("WarmBoot: %v", err)
+	}
+	return srv
+}
 
 func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
 	t.Helper()
@@ -43,7 +61,7 @@ func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
 // response must come from the cache and carry the exact bytes of the
 // first — the determinism contract, served.
 func TestHitMissByteIdentical(t *testing.T) {
-	srv := NewServer(Config{})
+	srv := mustServer(t, Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -90,7 +108,7 @@ func stub(srv *Server, fn func(ctx context.Context, req experiments.Request, rt 
 }
 
 func TestSeedZeroAndDefaultsDecode(t *testing.T) {
-	srv := NewServer(Config{Version: "srv-v1"})
+	srv := mustServer(t, Config{Version: "srv-v1"})
 	stub(srv, func(_ context.Context, req experiments.Request, _ experiments.Runtime) ([]byte, error) {
 		return req.MarshalCanonical()
 	})
@@ -135,7 +153,7 @@ func TestSeedZeroAndDefaultsDecode(t *testing.T) {
 }
 
 func TestRequestErrors(t *testing.T) {
-	srv := NewServer(Config{MaxScale: 0.5})
+	srv := mustServer(t, Config{MaxScale: 0.5})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -171,7 +189,7 @@ func TestRequestErrors(t *testing.T) {
 }
 
 func TestList(t *testing.T) {
-	srv := NewServer(Config{})
+	srv := mustServer(t, Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -200,7 +218,7 @@ func TestList(t *testing.T) {
 // TestSingleflightShared collapses concurrent identical requests onto
 // one run: exactly one miss, the rest shared, all byte-identical.
 func TestSingleflightShared(t *testing.T) {
-	srv := NewServer(Config{Workers: 4})
+	srv := mustServer(t, Config{Workers: 4})
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
@@ -268,7 +286,7 @@ func TestSingleflightShared(t *testing.T) {
 // snapshot with the emitted event counts, then the outcome and the
 // result reassembled from its data lines.
 func TestSSEProgress(t *testing.T) {
-	srv := NewServer(Config{ProgressInterval: 5 * time.Millisecond})
+	srv := mustServer(t, Config{ProgressInterval: 5 * time.Millisecond})
 	release := make(chan struct{})
 	resultDoc := "{\n  \"doc\": \"line two\"\n}\n"
 	stub(srv, func(ctx context.Context, req experiments.Request, rt experiments.Runtime) ([]byte, error) {
@@ -353,7 +371,7 @@ func TestSSEProgress(t *testing.T) {
 // TestCancellationMidRun pins that a client abandoning its request
 // cancels the underlying run and caches nothing.
 func TestCancellationMidRun(t *testing.T) {
-	srv := NewServer(Config{})
+	srv := mustServer(t, Config{})
 	started := make(chan struct{})
 	stopped := make(chan error, 1)
 	stub(srv, func(ctx context.Context, req experiments.Request, _ experiments.Runtime) ([]byte, error) {
@@ -393,7 +411,7 @@ func TestCancellationMidRun(t *testing.T) {
 // TestTimeout pins the per-request budget: a run exceeding it is
 // cancelled and answered 504.
 func TestTimeout(t *testing.T) {
-	srv := NewServer(Config{Timeout: 20 * time.Millisecond})
+	srv := mustServer(t, Config{Timeout: 20 * time.Millisecond})
 	stub(srv, func(ctx context.Context, req experiments.Request, _ experiments.Runtime) ([]byte, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
@@ -416,7 +434,7 @@ func TestTimeout(t *testing.T) {
 // TestBusy fills the one-worker pool and its one-deep queue; the third
 // distinct request must be refused with 503 immediately.
 func TestBusy(t *testing.T) {
-	srv := NewServer(Config{Workers: 1, Queue: 1})
+	srv := mustServer(t, Config{Workers: 1, Queue: 1})
 	started := make(chan struct{}, 3)
 	release := make(chan struct{})
 	stub(srv, func(ctx context.Context, req experiments.Request, _ experiments.Runtime) ([]byte, error) {
@@ -464,7 +482,7 @@ func TestBusy(t *testing.T) {
 // undrifted entry, a populated diff plus a cache refresh on injected
 // drift, and clean again afterwards.
 func TestRevalidate(t *testing.T) {
-	srv := NewServer(Config{})
+	srv := mustServer(t, Config{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -559,7 +577,7 @@ func TestRevalidate(t *testing.T) {
 // TestMetricsEndpoint checks the Prometheus exposition carries the
 // request counters.
 func TestMetricsEndpoint(t *testing.T) {
-	srv := NewServer(Config{})
+	srv := mustServer(t, Config{})
 	stub(srv, func(context.Context, experiments.Request, experiments.Runtime) ([]byte, error) {
 		return []byte(`{}`), nil
 	})
@@ -593,7 +611,7 @@ func TestMetricsEndpoint(t *testing.T) {
 // Shutdown waits for the in-flight run to finish and the client still
 // receives its full response.
 func TestGracefulDrain(t *testing.T) {
-	srv := NewServer(Config{})
+	srv := mustServer(t, Config{})
 	started := make(chan struct{})
 	release := make(chan struct{})
 	stub(srv, func(ctx context.Context, req experiments.Request, _ experiments.Runtime) ([]byte, error) {
@@ -655,5 +673,257 @@ func TestGracefulDrain(t *testing.T) {
 	// New connections are refused after the drain.
 	if _, err := http.Post(url, "application/json", strings.NewReader(smallBody)); err == nil {
 		t.Error("request accepted after drain completed")
+	}
+}
+
+// TestReadyzLifecycle pins both unready windows: before the warm-boot
+// scan completes and after SIGTERM starts the drain. /healthz stays
+// 200 throughout — the process is alive in both windows, it just must
+// not receive new traffic.
+func TestReadyzLifecycle(t *testing.T) {
+	srv, err := NewServer(Config{CacheDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	// Window 1: listener up, warm boot not yet run.
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "starting") {
+		t.Errorf("pre-warm-boot /readyz = %d %q, want 503 starting", code, body)
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, `"ready":false`) {
+		t.Errorf("pre-warm-boot /healthz = %d %q, want 200 with ready:false", code, body)
+	}
+
+	if _, err := srv.WarmBoot(); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Errorf("warm /readyz = %d %q, want 200 ready", code, body)
+	}
+
+	// Window 2: drain started.
+	srv.SetDraining()
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Errorf("draining /readyz = %d %q, want 503 draining", code, body)
+	}
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, `"draining":true`) {
+		t.Errorf("draining /healthz = %d %q, want 200 with draining:true", code, body)
+	}
+}
+
+// TestETagNotModified pins the revalidation path: ETag is the cache
+// key, and If-None-Match answers 304 with no body — including on a
+// cold key, where the run still happens (populating the cache) but no
+// bytes travel.
+func TestETagNotModified(t *testing.T) {
+	srv := mustServer(t, Config{})
+	var runs atomic.Int64
+	stub(srv, func(context.Context, experiments.Request, experiments.Runtime) ([]byte, error) {
+		runs.Add(1)
+		return []byte(`{"etag":"test"}`), nil
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/v1/experiments/fig4"
+
+	resp, body := postJSON(t, url, smallBody)
+	etag := resp.Header.Get("ETag")
+	if etag == "" || etag != `"`+resp.Header.Get("X-Memcond-Key")+`"` {
+		t.Fatalf("ETag = %q, want quoted cache key %q", etag, resp.Header.Get("X-Memcond-Key"))
+	}
+
+	post := func(inm string) (*http.Response, []byte) {
+		t.Helper()
+		req, _ := http.NewRequest("POST", url, strings.NewReader(smallBody))
+		req.Header.Set("Content-Type", "application/json")
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, b
+	}
+
+	// Matching tag (exact, list, weak, wildcard): 304, empty body, no run.
+	for _, inm := range []string{etag, `"zzz", ` + etag, "W/" + etag, "*"} {
+		resp, b := post(inm)
+		if resp.StatusCode != http.StatusNotModified || len(b) != 0 {
+			t.Errorf("If-None-Match %q = %d with %d body bytes, want 304 empty", inm, resp.StatusCode, len(b))
+		}
+		if got := resp.Header.Get("X-Memcond-Cache"); got != "hit" {
+			t.Errorf("If-None-Match %q tier = %q, want hit", inm, got)
+		}
+	}
+	// Stale tag: full 200 body.
+	if resp, b := post(`"0000"`); resp.StatusCode != http.StatusOK || !bytes.Equal(b, body) {
+		t.Errorf("stale If-None-Match = %d %q, want 200 with original bytes", resp.StatusCode, b)
+	}
+	if n := runs.Load(); n != 1 {
+		t.Errorf("experiment ran %d times across revalidations, want 1", n)
+	}
+
+	// Cold key + wildcard: the run happens, the answer is still 304.
+	req, _ := http.NewRequest("POST", url, strings.NewReader(`{"seed":3,"scale":0.05,"simtime_ns":200000,"mixes":3}`))
+	req.Header.Set("If-None-Match", "*")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Errorf("cold-key If-None-Match = %d, want 304", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Memcond-Cache"); got != "miss" {
+		t.Errorf("cold-key 304 tier = %q, want miss", got)
+	}
+	if n := runs.Load(); n != 2 {
+		t.Errorf("cold-key revalidation ran %d times total, want 2", n)
+	}
+	if n := srv.notModified.Value(); n != 5 {
+		t.Errorf("not_modified_total = %d, want 5", n)
+	}
+}
+
+// TestGzipNegotiation pins zero-copy content encoding: the precomputed
+// gzip variant decompresses to exactly the identity bytes, and q=0
+// (or absence) keeps the identity form.
+func TestGzipNegotiation(t *testing.T) {
+	srv := mustServer(t, Config{})
+	payload := `{"gzip":"` + strings.Repeat("x", 2048) + `"}`
+	stub(srv, func(context.Context, experiments.Request, experiments.Runtime) ([]byte, error) {
+		return []byte(payload), nil
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	url := ts.URL + "/v1/experiments/fig4"
+
+	post := func(acceptEncoding string) (*http.Response, []byte) {
+		t.Helper()
+		req, _ := http.NewRequest("POST", url, strings.NewReader(smallBody))
+		req.Header.Set("Content-Type", "application/json")
+		if acceptEncoding != "" {
+			// Setting the header manually disables the transport's
+			// transparent decompression: we see the raw wire bytes.
+			req.Header.Set("Accept-Encoding", acceptEncoding)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, b
+	}
+
+	resp, identity := post("identity")
+	if enc := resp.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("identity request got Content-Encoding %q", enc)
+	}
+	if string(identity) != payload {
+		t.Fatalf("identity body = %q", identity)
+	}
+
+	resp, wire := post("gzip")
+	if enc := resp.Header.Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("gzip request got Content-Encoding %q", enc)
+	}
+	if resp.Header.Get("Content-Length") != strconv.Itoa(len(wire)) {
+		t.Errorf("gzip Content-Length = %q, want %d", resp.Header.Get("Content-Length"), len(wire))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(decoded, identity) {
+		t.Error("gzip variant does not decompress to the identity bytes")
+	}
+
+	if resp, b := post("gzip;q=0, identity"); resp.Header.Get("Content-Encoding") != "" || !bytes.Equal(b, identity) {
+		t.Errorf("q=0 request served encoding %q", resp.Header.Get("Content-Encoding"))
+	}
+	if n := srv.gzipServed.Value(); n != 1 {
+		t.Errorf("gzip_total = %d, want 1", n)
+	}
+}
+
+// TestDiskTierRestart pins the tentpole invariant end-to-end: a new
+// daemon over the same cache directory serves the prior run's exact
+// bytes from disk — no recompute — and promotes the entry to memory.
+func TestDiskTierRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv1 := mustServer(t, Config{CacheDir: dir})
+	ts1 := httptest.NewServer(srv1.Handler())
+	url1 := ts1.URL + "/v1/experiments/fig4"
+	resp, original := postJSON(t, url1, smallBody)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Memcond-Cache") != "miss" {
+		t.Fatalf("seed run = %d %s", resp.StatusCode, resp.Header.Get("X-Memcond-Cache"))
+	}
+	etag := resp.Header.Get("ETag")
+	ts1.Close()
+
+	// "Restart": a fresh server over the same directory, with a run
+	// function that must never fire.
+	srv2 := mustServer(t, Config{CacheDir: dir})
+	stub(srv2, func(context.Context, experiments.Request, experiments.Runtime) ([]byte, error) {
+		return nil, errors.New("restarted daemon re-ran a persisted experiment")
+	})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	url2 := ts2.URL + "/v1/experiments/fig4"
+
+	resp, served := postJSON(t, url2, smallBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restarted serve = %d: %s", resp.StatusCode, served)
+	}
+	if got := resp.Header.Get("X-Memcond-Cache"); got != "disk" {
+		t.Errorf("restarted tier = %q, want disk", got)
+	}
+	if !bytes.Equal(served, original) {
+		t.Error("disk-served bytes differ from the original run")
+	}
+	if resp.Header.Get("ETag") != etag {
+		t.Errorf("ETag changed across restart: %q vs %q", resp.Header.Get("ETag"), etag)
+	}
+
+	// The disk hit promoted the entry: the next request is a memory hit,
+	// and a 304 revalidation needs no body either way.
+	resp, promoted := postJSON(t, url2, smallBody)
+	if got := resp.Header.Get("X-Memcond-Cache"); got != "hit" {
+		t.Errorf("post-promotion tier = %q, want hit", got)
+	}
+	if !bytes.Equal(promoted, original) {
+		t.Error("promoted bytes differ from the original run")
+	}
+
+	req, _ := http.NewRequest("POST", url2, strings.NewReader(smallBody))
+	req.Header.Set("If-None-Match", etag)
+	resp304, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp304.Body.Close()
+	if resp304.StatusCode != http.StatusNotModified {
+		t.Errorf("restart revalidation = %d, want 304", resp304.StatusCode)
 	}
 }

@@ -180,14 +180,14 @@ func (s *Server) streamExperiment(w http.ResponseWriter, r *http.Request, req ex
 	flusher.Flush()
 
 	type doResult struct {
-		data    []byte
+		entry   *servecache.Entry
 		outcome servecache.Outcome
 		err     error
 	}
 	ch := make(chan doResult, 1)
 	go func() {
-		data, outcome, err := s.cache.Do(r.Context(), key, reqJSON, s.computeFor(req, key))
-		ch <- doResult{data, outcome, err}
+		entry, outcome, err := s.cache.Do(r.Context(), key, reqJSON, s.computeFor(req, key))
+		ch <- doResult{entry, outcome, err}
 	}()
 
 	for {
@@ -202,7 +202,7 @@ func (s *Server) streamExperiment(w http.ResponseWriter, r *http.Request, req ex
 				writeSSE(w, "error", []byte(fmt.Sprintf(`{"error":%q}`, res.err.Error())))
 			} else {
 				writeSSE(w, "outcome", []byte(fmt.Sprintf(`{"cache":%q,"key":%q}`, res.outcome.String(), key.String())))
-				writeSSE(w, "result", res.data)
+				writeSSE(w, "result", res.entry.Data)
 			}
 			flusher.Flush()
 			return

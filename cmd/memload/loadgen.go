@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bufio"
 	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -23,34 +27,45 @@ type loadConfig struct {
 	Mixes     int
 	Version   string
 	Timeout   time.Duration
+	// ETag remembers each key's entity tag and sends If-None-Match on
+	// repeat requests, exercising the daemon's 304 path.
+	ETag bool
+
+	// etags maps "id|seed" to the last ETag seen for that request shape.
+	etags sync.Map
 }
 
 // outcome is one request's observation.
 type outcome struct {
 	status  int
-	cache   string // hit | miss | shared | "" on transport error
+	cache   string // hit | disk | miss | shared | "" on transport error
 	key     string
 	hash    [32]byte
+	hasBody bool // false for 304 (nothing to hash)
 	latency time.Duration
 	err     error
 }
 
 // summary aggregates a load run.
 type summary struct {
-	Total, Errors        int64
-	Hits, Misses, Shared int64
-	Statuses             map[int]int64
-	Keys                 int
-	IdentityViolations   int64
-	Elapsed              time.Duration
-	Min, P50, P95, Max   time.Duration
-	RPS                  float64
+	Total, Errors            int64
+	Hits, Disk, Miss, Shared int64
+	NotModified              int64
+	Statuses                 map[int]int64
+	Keys                     int
+	IdentityViolations       int64
+	DigestMismatches         int64
+	Elapsed                  time.Duration
+	Min, P50, P95, P99, Max  time.Duration
+	RPS                      float64
+
+	byKey map[string][32]byte
 }
 
 // runLoad fires cfg.Requests POSTs at the daemon with cfg.Workers in
 // flight and verifies that every response observed for one cache key
 // carried identical bytes.
-func runLoad(cfg loadConfig) (*summary, error) {
+func runLoad(cfg *loadConfig) (*summary, error) {
 	if cfg.Requests < 1 || cfg.Workers < 1 || len(cfg.IDs) == 0 {
 		return nil, fmt.Errorf("need at least one request, one worker and one experiment id")
 	}
@@ -88,12 +103,11 @@ func runLoad(cfg loadConfig) (*summary, error) {
 		close(results)
 	}()
 
-	sum := &summary{Statuses: make(map[int]int64)}
-	byKey := make(map[string][32]byte)
+	sum := &summary{Statuses: make(map[int]int64), byKey: make(map[string][32]byte)}
 	latencies := make([]time.Duration, 0, cfg.Requests)
 	for r := range results {
 		sum.Total++
-		if r.err != nil || r.status != http.StatusOK {
+		if r.err != nil || (r.status != http.StatusOK && r.status != http.StatusNotModified) {
 			sum.Errors++
 			if r.status != 0 {
 				sum.Statuses[r.status]++
@@ -102,26 +116,33 @@ func runLoad(cfg loadConfig) (*summary, error) {
 		}
 		sum.Statuses[r.status]++
 		latencies = append(latencies, r.latency)
+		if r.status == http.StatusNotModified {
+			// The daemon confirmed the bytes we already hold; there is no
+			// body to hash, and the tier header says which tier vouched.
+			sum.NotModified++
+		}
 		switch r.cache {
 		case "hit":
 			sum.Hits++
+		case "disk":
+			sum.Disk++
 		case "miss":
-			sum.Misses++
+			sum.Miss++
 		case "shared":
 			sum.Shared++
 		}
-		if r.key != "" {
-			if prev, ok := byKey[r.key]; ok {
+		if r.key != "" && r.hasBody {
+			if prev, ok := sum.byKey[r.key]; ok {
 				if prev != r.hash {
 					sum.IdentityViolations++
 				}
 			} else {
-				byKey[r.key] = r.hash
+				sum.byKey[r.key] = r.hash
 			}
 		}
 	}
 	sum.Elapsed = time.Since(start)
-	sum.Keys = len(byKey)
+	sum.Keys = len(sum.byKey)
 	if sum.Elapsed > 0 {
 		sum.RPS = float64(sum.Total) / sum.Elapsed.Seconds()
 	}
@@ -131,13 +152,16 @@ func runLoad(cfg loadConfig) (*summary, error) {
 		sum.Max = latencies[len(latencies)-1]
 		sum.P50 = latencies[len(latencies)/2]
 		sum.P95 = latencies[len(latencies)*95/100]
+		sum.P99 = latencies[len(latencies)*99/100]
 	}
 	return sum, nil
 }
 
 // fire sends request i: ids round-robin, seeds cycling above them, so
-// consecutive requests touch different keys and each key recurs.
-func (cfg loadConfig) fire(client *http.Client, i int) outcome {
+// consecutive requests touch different keys and each key recurs. In
+// -etag mode a repeat request for a shape whose ETag we already hold
+// sends If-None-Match and accepts 304 as the answer.
+func (cfg *loadConfig) fire(client *http.Client, i int) outcome {
 	id := cfg.IDs[i%len(cfg.IDs)]
 	seed := (i / len(cfg.IDs)) % cfg.Seeds
 	body := fmt.Sprintf(`{"seed":%d,"scale":%v,"simtime_ns":%d,"mixes":%d`,
@@ -146,9 +170,21 @@ func (cfg loadConfig) fire(client *http.Client, i int) outcome {
 		body += fmt.Sprintf(`,"version":%q`, cfg.Version)
 	}
 	body += "}"
+	shape := fmt.Sprintf("%s|%d", id, seed)
+
+	req, err := http.NewRequest("POST", cfg.Base+"/v1/experiments/"+id, strings.NewReader(body))
+	if err != nil {
+		return outcome{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if cfg.ETag {
+		if tag, ok := cfg.etags.Load(shape); ok {
+			req.Header.Set("If-None-Match", tag.(string))
+		}
+	}
 
 	start := time.Now()
-	resp, err := client.Post(cfg.Base+"/v1/experiments/"+id, "application/json", strings.NewReader(body))
+	resp, err := client.Do(req)
 	if err != nil {
 		return outcome{err: err, latency: time.Since(start)}
 	}
@@ -158,11 +194,17 @@ func (cfg loadConfig) fire(client *http.Client, i int) outcome {
 	if err != nil {
 		return outcome{status: resp.StatusCode, err: err, latency: lat}
 	}
+	if cfg.ETag && resp.StatusCode == http.StatusOK {
+		if tag := resp.Header.Get("ETag"); tag != "" {
+			cfg.etags.Store(shape, tag)
+		}
+	}
 	return outcome{
 		status:  resp.StatusCode,
 		cache:   resp.Header.Get("X-Memcond-Cache"),
 		key:     resp.Header.Get("X-Memcond-Key"),
 		hash:    sha256.Sum256(data),
+		hasBody: resp.StatusCode == http.StatusOK,
 		latency: lat,
 	}
 }
@@ -189,10 +231,81 @@ func printServerMetrics(w io.Writer, base string) error {
 	return nil
 }
 
+// checkDigests compares this run's per-key body hashes against a
+// digests file from an earlier run — the cross-restart byte-identity
+// check. Keys absent from the file are appended, so the first run
+// seeds it and later runs (against a restarted daemon) verify it.
+func (s *summary) checkDigests(path string) error {
+	known := make(map[string]string)
+	if f, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			key, digest, ok := strings.Cut(strings.TrimSpace(sc.Text()), " ")
+			if ok {
+				known[key] = digest
+			}
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("reading digests file: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	for key, hash := range s.byKey {
+		got := hex.EncodeToString(hash[:])
+		if prev, ok := known[key]; ok {
+			if prev != got {
+				s.DigestMismatches++
+			}
+		} else {
+			known[key] = got
+		}
+	}
+	keys := make([]string, 0, len(known))
+	for k := range known {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %s\n", k, known[k])
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// writeJSON renders the machine summary (scripts/bench.sh consumes it).
+func (s *summary) writeJSON(w io.Writer) error {
+	doc := map[string]any{
+		"requests":            s.Total,
+		"errors":              s.Errors,
+		"hits":                s.Hits,
+		"disk_hits":           s.Disk,
+		"misses":              s.Miss,
+		"shared":              s.Shared,
+		"not_modified":        s.NotModified,
+		"keys":                s.Keys,
+		"identity_violations": s.IdentityViolations,
+		"digest_mismatches":   s.DigestMismatches,
+		"elapsed_ms":          float64(s.Elapsed.Microseconds()) / 1000,
+		"rps":                 s.RPS,
+		"latency_ms": map[string]float64{
+			"min": float64(s.Min.Microseconds()) / 1000,
+			"p50": float64(s.P50.Microseconds()) / 1000,
+			"p95": float64(s.P95.Microseconds()) / 1000,
+			"p99": float64(s.P99.Microseconds()) / 1000,
+			"max": float64(s.Max.Microseconds()) / 1000,
+		},
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
 // write renders the human summary.
 func (s *summary) write(w io.Writer) {
 	fmt.Fprintf(w, "requests   %d in %v (%.0f req/s)\n", s.Total, s.Elapsed.Round(time.Millisecond), s.RPS)
-	fmt.Fprintf(w, "outcomes   %d hit, %d miss, %d shared, %d errors\n", s.Hits, s.Misses, s.Shared, s.Errors)
+	fmt.Fprintf(w, "outcomes   %d hit, %d disk, %d miss, %d shared, %d not-modified, %d errors\n",
+		s.Hits, s.Disk, s.Miss, s.Shared, s.NotModified, s.Errors)
 	var codes []int
 	for c := range s.Statuses {
 		codes = append(codes, c)
@@ -203,8 +316,9 @@ func (s *summary) write(w io.Writer) {
 		parts = append(parts, fmt.Sprintf("%d×%d", c, s.Statuses[c]))
 	}
 	fmt.Fprintf(w, "statuses   %s\n", strings.Join(parts, " "))
-	fmt.Fprintf(w, "keys       %d distinct, %d identity violations\n", s.Keys, s.IdentityViolations)
-	fmt.Fprintf(w, "latency    min %v  p50 %v  p95 %v  max %v\n",
+	fmt.Fprintf(w, "keys       %d distinct, %d identity violations, %d digest mismatches\n",
+		s.Keys, s.IdentityViolations, s.DigestMismatches)
+	fmt.Fprintf(w, "latency    min %v  p50 %v  p95 %v  p99 %v  max %v\n",
 		s.Min.Round(time.Microsecond), s.P50.Round(time.Microsecond),
-		s.P95.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
 }

@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -14,13 +17,17 @@ import (
 
 // fakeDaemon emulates memcond's cache contract: the first request per
 // body is a miss that fixes the bytes, every later one is a hit
-// serving the same bytes.
+// serving the same bytes. It also speaks the daemon's revalidation
+// dialect (ETag = key, If-None-Match → 304) and can label hits as
+// disk-tier.
 type fakeDaemon struct {
 	mu      sync.Mutex
 	entries map[string][]byte
 	// corruptHits makes hit responses differ from the stored bytes, to
 	// prove memload catches determinism violations.
 	corruptHits bool
+	// diskHits labels every hit as served from the disk tier.
+	diskHits bool
 }
 
 func (f *fakeDaemon) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -41,23 +48,36 @@ func (f *fakeDaemon) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		data = []byte(fmt.Sprintf(`{"report":"%s","seed":%d}`, r.URL.Path, req.Seed))
 		f.entries[key] = data
 		f.mu.Unlock()
+		w.Header().Set("ETag", `"`+key+`"`)
 		w.Header().Set("X-Memcond-Cache", "miss")
 		w.Header().Set("X-Memcond-Key", key)
 		w.Write(data)
 		return
 	}
 	f.mu.Unlock()
+	tier := "hit"
+	if f.diskHits {
+		tier = "disk"
+	}
+	if strings.Contains(r.Header.Get("If-None-Match"), `"`+key+`"`) {
+		w.Header().Set("ETag", `"`+key+`"`)
+		w.Header().Set("X-Memcond-Cache", tier)
+		w.Header().Set("X-Memcond-Key", key)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	if f.corruptHits {
 		data = append([]byte(nil), data...)
 		data[0] = '['
 	}
-	w.Header().Set("X-Memcond-Cache", "hit")
+	w.Header().Set("ETag", `"`+key+`"`)
+	w.Header().Set("X-Memcond-Cache", tier)
 	w.Header().Set("X-Memcond-Key", key)
 	w.Write(data)
 }
 
-func testConfig(base string) loadConfig {
-	return loadConfig{
+func testConfig(base string) *loadConfig {
+	return &loadConfig{
 		Base:      base,
 		IDs:       []string{"fig4", "fig6"},
 		Requests:  60,
@@ -86,8 +106,8 @@ func TestRunLoadCountsOutcomes(t *testing.T) {
 	if sum.Keys != 6 {
 		t.Errorf("keys = %d, want 6", sum.Keys)
 	}
-	if sum.Misses != 6 || sum.Hits != 54 {
-		t.Errorf("outcomes = %d miss %d hit, want 6/54", sum.Misses, sum.Hits)
+	if sum.Miss != 6 || sum.Hits != 54 {
+		t.Errorf("outcomes = %d miss %d hit, want 6/54", sum.Miss, sum.Hits)
 	}
 	if sum.IdentityViolations != 0 {
 		t.Errorf("identity violations = %d, want 0", sum.IdentityViolations)
@@ -95,8 +115,116 @@ func TestRunLoadCountsOutcomes(t *testing.T) {
 	if sum.Statuses[http.StatusOK] != 60 {
 		t.Errorf("statuses = %v", sum.Statuses)
 	}
-	if sum.Max < sum.Min || sum.P95 < sum.P50 {
+	if sum.Max < sum.Min || sum.P95 < sum.P50 || sum.P99 < sum.P95 {
 		t.Errorf("latency ordering broken: %+v", sum)
+	}
+}
+
+// TestRunLoadCountsDiskTier attributes X-Memcond-Cache: disk responses
+// to their own bucket.
+func TestRunLoadCountsDiskTier(t *testing.T) {
+	fd := &fakeDaemon{entries: make(map[string][]byte), diskHits: true}
+	ts := httptest.NewServer(fd)
+	defer ts.Close()
+
+	sum, err := runLoad(testConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Miss != 6 || sum.Disk != 54 || sum.Hits != 0 {
+		t.Errorf("outcomes = %d miss %d disk %d hit, want 6/54/0", sum.Miss, sum.Disk, sum.Hits)
+	}
+}
+
+// TestRunLoadETagMode revalidates repeats with If-None-Match: after
+// each shape's first 200, later requests for it are answered 304 and
+// counted as successes in the not-modified bucket.
+func TestRunLoadETagMode(t *testing.T) {
+	fd := &fakeDaemon{entries: make(map[string][]byte)}
+	ts := httptest.NewServer(fd)
+	defer ts.Close()
+
+	cfg := testConfig(ts.URL)
+	cfg.Workers = 1 // serialize so every repeat already holds the ETag
+	cfg.ETag = true
+	sum, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Errors != 0 {
+		t.Fatalf("errors = %d: %v", sum.Errors, sum.Statuses)
+	}
+	if sum.NotModified != 54 || sum.Statuses[http.StatusNotModified] != 54 {
+		t.Errorf("not modified = %d (statuses %v), want 54", sum.NotModified, sum.Statuses)
+	}
+	if sum.Keys != 6 || sum.IdentityViolations != 0 {
+		t.Errorf("keys %d violations %d, want 6/0", sum.Keys, sum.IdentityViolations)
+	}
+}
+
+// TestCheckDigests pins the cross-restart identity check: the first
+// run seeds the file, an identical run verifies clean, and a drifted
+// daemon is caught.
+func TestCheckDigests(t *testing.T) {
+	fd := &fakeDaemon{entries: make(map[string][]byte)}
+	ts := httptest.NewServer(fd)
+	defer ts.Close()
+	path := filepath.Join(t.TempDir(), "digests.txt")
+
+	sum, err := runLoad(testConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum.checkDigests(path); err != nil {
+		t.Fatal(err)
+	}
+	if sum.DigestMismatches != 0 {
+		t.Fatalf("seeding run reported %d mismatches", sum.DigestMismatches)
+	}
+	seeded, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(strings.Split(strings.TrimSpace(string(seeded)), "\n")); n != 6 {
+		t.Fatalf("digests file has %d lines, want 6", n)
+	}
+
+	// Same daemon again: clean.
+	sum2, err := runLoad(testConfig(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sum2.checkDigests(path); err != nil {
+		t.Fatal(err)
+	}
+	if sum2.DigestMismatches != 0 {
+		t.Errorf("identical rerun reported %d mismatches", sum2.DigestMismatches)
+	}
+
+	// A "restarted" daemon that recomputed different bytes: caught.
+	fd2 := &fakeDaemon{entries: make(map[string][]byte)}
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r2 := r.Clone(r.Context())
+		fd2.ServeHTTP(w, r2)
+	}))
+	defer ts2.Close()
+	cfg := testConfig(ts2.URL)
+	cfg.Scale = 0.05 // same request shapes...
+	sum3, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...but poison the observed hashes to emulate drifted bytes.
+	for k := range sum3.byKey {
+		h := sum3.byKey[k]
+		h[0] ^= 0xff
+		sum3.byKey[k] = h
+	}
+	if err := sum3.checkDigests(path); err != nil {
+		t.Fatal(err)
+	}
+	if sum3.DigestMismatches != 6 {
+		t.Errorf("drifted daemon produced %d mismatches, want 6", sum3.DigestMismatches)
 	}
 }
 
@@ -132,7 +260,7 @@ func TestRunLoadCountsFailures(t *testing.T) {
 }
 
 func TestRunLoadValidatesConfig(t *testing.T) {
-	if _, err := runLoad(loadConfig{}); err == nil {
+	if _, err := runLoad(&loadConfig{}); err == nil {
 		t.Error("empty config accepted")
 	}
 }

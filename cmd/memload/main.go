@@ -11,15 +11,24 @@
 // exercises all three cache outcomes: the first arrival per key is a
 // miss, concurrent arrivals share its flight, and later arrivals hit.
 //
+// Responses are attributed to cache tiers from the daemon's
+// X-Memcond-Cache header (hit, disk, miss, shared) plus 304 Not
+// Modified as its own bucket. -etag remembers each key's ETag and
+// revalidates with If-None-Match on repeats; -digests FILE extends
+// byte-identity across daemon restarts (first run seeds the file,
+// later runs verify against it).
+//
 // Usage:
 //
 //	memload -addr http://127.0.0.1:8080 -exp fig4,fig6 [-n 2000] [-c 1000]
 //	        [-seeds 2] [-scale 0.05] [-simtime 200000] [-mixes 3]
-//	        [-min-hits 1] [-timeout 2m]
+//	        [-min-hits 1] [-min-disk 1] [-etag] [-digests FILE]
+//	        [-json] [-timeout 2m]
 //
 // The exit status is non-zero when any request failed, when two
-// responses for one key differed (a determinism violation), or when
-// fewer than -min-hits cache hits were observed.
+// responses for one key differed (a determinism violation, within this
+// run or against -digests), or when fewer than -min-hits memory hits /
+// -min-disk disk hits were observed.
 package main
 
 import (
@@ -42,7 +51,11 @@ func main() {
 		mixes   = flag.Int("mixes", 3, "content mixes sent with each request")
 		version = flag.String("report-version", "", "report version sent with each request (empty = server default)")
 		timeout = flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
-		minHits = flag.Int64("min-hits", 0, "fail unless at least this many cache hits were observed")
+		minHits = flag.Int64("min-hits", 0, "fail unless at least this many memory-tier hits were observed")
+		minDisk = flag.Int64("min-disk", 0, "fail unless at least this many disk-tier hits were observed")
+		etag    = flag.Bool("etag", false, "remember ETags and revalidate repeats with If-None-Match")
+		digests = flag.String("digests", "", "persist per-key body digests to this file and verify repeats against it")
+		asJSON  = flag.Bool("json", false, "print the summary as one JSON object instead of the human form")
 		showMx  = flag.Bool("show-metrics", false, "fetch /metrics after the run and print the memcond_* family")
 	)
 	flag.Parse()
@@ -56,7 +69,7 @@ func main() {
 		ids[i] = strings.TrimSpace(ids[i])
 	}
 
-	cfg := loadConfig{
+	cfg := &loadConfig{
 		Base:      strings.TrimRight(base, "/"),
 		IDs:       ids,
 		Requests:  *n,
@@ -67,13 +80,27 @@ func main() {
 		Mixes:     *mixes,
 		Version:   *version,
 		Timeout:   *timeout,
+		ETag:      *etag,
 	}
 	sum, err := runLoad(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "memload: %v\n", err)
 		os.Exit(1)
 	}
-	sum.write(os.Stdout)
+	if *digests != "" {
+		if err := sum.checkDigests(*digests); err != nil {
+			fmt.Fprintf(os.Stderr, "memload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *asJSON {
+		if err := sum.writeJSON(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "memload: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		sum.write(os.Stdout)
+	}
 	if *showMx {
 		if err := printServerMetrics(os.Stdout, cfg.Base); err != nil {
 			fmt.Fprintf(os.Stderr, "memload: fetching /metrics: %v\n", err)
@@ -84,11 +111,17 @@ func main() {
 	case sum.IdentityViolations > 0:
 		fmt.Fprintf(os.Stderr, "memload: FAIL: %d responses broke byte-identity for their cache key\n", sum.IdentityViolations)
 		os.Exit(1)
+	case sum.DigestMismatches > 0:
+		fmt.Fprintf(os.Stderr, "memload: FAIL: %d keys drifted from the digests file %s\n", sum.DigestMismatches, *digests)
+		os.Exit(1)
 	case sum.Errors > 0:
 		fmt.Fprintf(os.Stderr, "memload: FAIL: %d requests failed\n", sum.Errors)
 		os.Exit(1)
 	case sum.Hits < *minHits:
 		fmt.Fprintf(os.Stderr, "memload: FAIL: %d cache hits, need at least %d\n", sum.Hits, *minHits)
+		os.Exit(1)
+	case sum.Disk < *minDisk:
+		fmt.Fprintf(os.Stderr, "memload: FAIL: %d disk hits, need at least %d\n", sum.Disk, *minDisk)
 		os.Exit(1)
 	}
 }

@@ -1,26 +1,36 @@
 // Package servecache is the content-addressed result cache behind the
 // experiment-serving daemon (cmd/memcond). Entries are keyed by the
 // SHA-256 cache key of a canonical experiments.Request and hold the
-// byte-exact canonical JSON report that request produced — the repo's
+// byte-exact wire forms of the report that request produced — the
+// canonical JSON plus a precomputed gzip variant — so a warm hit is
+// served without encoding, compression, or allocation. The repo's
 // determinism contract (byte-identical reports for identical inputs)
 // is what makes a content-addressed cache sound here: a hit IS the
 // answer, not an approximation of it.
 //
-// The cache collapses concurrent identical requests into one
-// computation (singleflight): the first caller starts the run, later
-// callers with the same key wait on it, and every waiter receives the
-// same bytes. Flights are reference-counted against their waiters —
-// when the last interested caller cancels, the flight's context is
-// cancelled too, so an abandoned run stops burning worker-pool slots
-// mid-sweep instead of completing for nobody.
+// The cache is two tiers. The memory tier is split into key-prefix
+// shards, each with its own mutex, LRU list and singleflight table, so
+// high request concurrency does not serialize on one lock. The
+// optional disk tier (Store) persists every computed result
+// (write-through on miss) and survives daemon restarts: a memory miss
+// consults the disk before running anything, and a disk hit is lazily
+// promoted back into memory. Both tiers evict by byte budget.
 //
-// Bounded memory comes from LRU eviction over a fixed entry budget.
-// Everything is safe for concurrent use.
+// Concurrent identical requests collapse into one computation
+// (singleflight): the first caller starts the run, later callers with
+// the same key wait on it, and every waiter receives the same bytes.
+// Flights are reference-counted against their waiters — when the last
+// interested caller cancels, the flight's context is cancelled too, so
+// an abandoned run stops burning worker-pool slots mid-sweep instead
+// of completing for nobody.
 package servecache
 
 import (
+	"bytes"
+	"compress/gzip"
 	"container/list"
 	"context"
+	"encoding/binary"
 	"encoding/hex"
 	"sync"
 )
@@ -35,15 +45,18 @@ func (k Key) String() string { return hex.EncodeToString(k[:]) }
 type Outcome uint8
 
 const (
-	// Hit: the bytes came straight from the cache.
+	// Hit: the bytes came straight from the memory tier.
 	Hit Outcome = iota
 	// Miss: this caller started the computation.
 	Miss
 	// Shared: the caller joined another caller's in-flight computation.
 	Shared
+	// Disk: the bytes came from the disk tier (and were promoted to
+	// memory) without running anything.
+	Disk
 )
 
-var outcomeNames = [...]string{"hit", "miss", "shared"}
+var outcomeNames = [...]string{"hit", "miss", "shared", "disk"}
 
 // String returns the outcome's stable wire name (used in the
 // X-Memcond-Cache response header and the memload summary).
@@ -54,7 +67,7 @@ func (o Outcome) String() string {
 	return "unknown"
 }
 
-// Entry is one cached result.
+// Entry is one cached result in wire form.
 type Entry struct {
 	// Key is the entry's content address.
 	Key Key
@@ -62,20 +75,57 @@ type Entry struct {
 	// data (kept so revalidation can re-run an entry without the
 	// original client).
 	Request []byte
-	// Data is the canonical JSON report document.
+	// Data is the canonical JSON report document — the identity wire
+	// form.
 	Data []byte
+	// Gzip is the precomputed gzip form of Data, built once when the
+	// entry is stored so Accept-Encoding negotiation costs nothing at
+	// serve time. Nil when compression failed (serve Data instead).
+	Gzip []byte
 	// Hits counts cache hits served from this entry.
 	Hits int64
 }
 
-// Stats are the cache's cumulative counters.
+// entryOverhead approximates the bookkeeping bytes an entry costs
+// beyond its payload slices (struct, map slot, list element).
+const entryOverhead = 160
+
+func (e *Entry) size() int64 {
+	return int64(len(e.Request)+len(e.Data)+len(e.Gzip)) + entryOverhead
+}
+
+// newEntry builds the wire forms for one result, compressing Data once.
+func newEntry(k Key, request, data []byte) *Entry {
+	e := &Entry{Key: k, Request: request, Data: data}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(data); err == nil && zw.Close() == nil {
+		e.Gzip = buf.Bytes()
+	}
+	return e
+}
+
+// Stats are cumulative cache counters (per shard, or merged across
+// shards by StatsSnapshot).
 type Stats struct {
-	// Hits, Misses, Shared count Do outcomes.
-	Hits, Misses, Shared int64
-	// Evictions counts entries dropped by the LRU bound.
+	// Hits, Misses, Shared count Do outcomes against the memory tier;
+	// DiskHits counts results served from the disk tier.
+	Hits, Misses, Shared, DiskHits int64
+	// Evictions counts memory-tier entries dropped by a budget.
 	Evictions int64
-	// Entries is the current entry count.
+	// Entries and Bytes describe the memory tier's current contents.
 	Entries int
+	Bytes   int64
+}
+
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Shared += o.Shared
+	s.DiskHits += o.DiskHits
+	s.Evictions += o.Evictions
+	s.Entries += o.Entries
+	s.Bytes += o.Bytes
 }
 
 // flight is one in-progress computation. refs counts the callers still
@@ -83,179 +133,394 @@ type Stats struct {
 // cancelled and the flight is detached from the cache so a late caller
 // starts fresh instead of inheriting a doomed run.
 type flight struct {
-	done   chan struct{} // closed when data/err are set
+	done   chan struct{} // closed when entry/err are set
 	cancel context.CancelFunc
 	refs   int
-	data   []byte
+	entry  *Entry
 	err    error
 }
 
+// shard is one key-prefix slice of the memory tier: its own lock, LRU
+// and flight table, so shards never contend with each other.
+type shard struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	entries    map[Key]*list.Element // values are *Entry wrapped in lru
+	lru        *list.List            // front = most recently used
+	inflight   map[Key]*flight
+	stats      Stats
+}
+
+// Options configures a cache.
+type Options struct {
+	// Shards is the key-prefix shard count for the memory tier; values
+	// below 1 select 16.
+	Shards int
+	// MaxEntries bounds the memory tier's total entry count across all
+	// shards (enforced as an even per-shard split); values below 1
+	// select unbounded.
+	MaxEntries int
+	// MaxBytes bounds the memory tier's total payload bytes across all
+	// shards (enforced as an even per-shard split); values below 1
+	// select unbounded.
+	MaxBytes int64
+	// Store is the optional disk tier: consulted between a memory miss
+	// and a run, written through on every computed or stored result.
+	Store *Store
+}
+
 // Cache is a bounded, content-addressed result store with singleflight
-// computation. The zero value is not usable; construct with New.
+// computation. The zero value is not usable; construct with New or
+// NewWithOptions.
 type Cache struct {
-	mu       sync.Mutex
-	max      int
-	entries  map[Key]*list.Element // values are *Entry wrapped in lru
-	lru      *list.List            // front = most recently used
-	inflight map[Key]*flight
-	stats    Stats
+	shards []*shard
+	store  *Store
 }
 
-// New builds a cache bounded to max entries; max < 1 selects an
-// effectively unbounded cache.
+// New builds a memory-only cache bounded to max entries with the
+// default shard count; max < 1 selects an effectively unbounded cache.
 func New(max int) *Cache {
-	if max < 1 {
-		max = int(^uint(0) >> 1)
-	}
-	return &Cache{
-		max:      max,
-		entries:  make(map[Key]*list.Element),
-		lru:      list.New(),
-		inflight: make(map[Key]*flight),
-	}
+	return NewWithOptions(Options{MaxEntries: max})
 }
 
-// Get returns the cached entry's data for k, if present, marking the
-// entry recently used. The returned slice must be treated as read-only.
+// NewWithOptions builds a cache from the full option set.
+func NewWithOptions(opts Options) *Cache {
+	n := opts.Shards
+	if n < 1 {
+		n = 16
+	}
+	perEntries := 0
+	if opts.MaxEntries > 0 {
+		perEntries = (opts.MaxEntries + n - 1) / n
+	}
+	var perBytes int64
+	if opts.MaxBytes > 0 {
+		perBytes = (opts.MaxBytes + int64(n) - 1) / int64(n)
+	}
+	c := &Cache{shards: make([]*shard, n), store: opts.Store}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			maxEntries: perEntries,
+			maxBytes:   perBytes,
+			entries:    make(map[Key]*list.Element),
+			lru:        list.New(),
+			inflight:   make(map[Key]*flight),
+		}
+	}
+	return c
+}
+
+// shardFor routes a key to its shard by prefix. Keys are SHA-256
+// content addresses, so the first word is uniformly distributed.
+func (c *Cache) shardFor(k Key) *shard {
+	return c.shards[binary.BigEndian.Uint32(k[:4])%uint32(len(c.shards))]
+}
+
+// Shards returns the shard count.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// Store returns the disk tier, or nil.
+func (c *Cache) Store() *Store { return c.store }
+
+// Get returns the cached entry's identity bytes for k from the memory
+// tier, if present, marking the entry recently used. The returned
+// slice must be treated as read-only.
 func (c *Cache) Get(k Key) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[k]
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[k]
 	if !ok {
 		return nil, false
 	}
-	c.lru.MoveToFront(el)
+	sh.lru.MoveToFront(el)
 	return el.Value.(*Entry).Data, true
 }
 
 // Lookup returns the full cached entry for k without counting a hit —
 // the revalidation path uses it to fetch the saved bytes and request.
+// A memory miss falls through to the disk tier (promoting on success),
+// so a restarted daemon can revalidate its prior corpus.
 func (c *Cache) Lookup(k Key) (*Entry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[k]
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	if el, ok := sh.entries[k]; ok {
+		sh.lru.MoveToFront(el)
+		e := el.Value.(*Entry)
+		cp := *e
+		sh.mu.Unlock()
+		return &cp, true
+	}
+	sh.mu.Unlock()
+	if e, ok := c.fromDisk(k); ok {
+		cp := *e
+		return &cp, true
+	}
+	return nil, false
+}
+
+// Probe resolves k against both tiers without ever computing: a memory
+// hit returns (entry, Hit), a disk hit promotes and returns
+// (entry, Disk), anything else reports false. The serving 304 fast
+// path uses it.
+func (c *Cache) Probe(k Key) (*Entry, Outcome, bool) {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	if el, ok := sh.entries[k]; ok {
+		sh.lru.MoveToFront(el)
+		e := el.Value.(*Entry)
+		e.Hits++
+		sh.stats.Hits++
+		sh.mu.Unlock()
+		return e, Hit, true
+	}
+	sh.mu.Unlock()
+	if e, ok := c.fromDisk(k); ok {
+		sh.mu.Lock()
+		sh.stats.DiskHits++
+		sh.mu.Unlock()
+		return e, Disk, true
+	}
+	return nil, Disk, false
+}
+
+// fromDisk reads k from the disk tier and promotes it into memory.
+// When a concurrent caller promoted (or a flight stored) the key
+// first, that resident entry wins — both callers see the same bytes.
+func (c *Cache) fromDisk(k Key) (*Entry, bool) {
+	if c.store == nil {
+		return nil, false
+	}
+	request, data, ok := c.store.Get(k)
 	if !ok {
 		return nil, false
 	}
-	c.lru.MoveToFront(el)
-	e := el.Value.(*Entry)
-	return &Entry{Key: e.Key, Request: e.Request, Data: e.Data, Hits: e.Hits}, true
+	e := newEntry(k, request, data)
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, resident := sh.entries[k]; resident {
+		return el.Value.(*Entry), true
+	}
+	sh.storeLocked(e)
+	return e, true
 }
 
-// Put stores (or replaces) the entry for k. Revalidation uses it to
-// refresh a drifted entry; tests use it to inject drift.
+// Put stores (or replaces) the entry for k in memory and, when a disk
+// tier is attached, writes it through. Revalidation uses it to refresh
+// a drifted entry; tests use it to inject drift.
 func (c *Cache) Put(k Key, request, data []byte) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.store(k, request, data)
-}
-
-// store inserts or replaces an entry and enforces the LRU bound.
-// Callers hold c.mu.
-func (c *Cache) store(k Key, request, data []byte) {
-	if el, ok := c.entries[k]; ok {
-		e := el.Value.(*Entry)
-		e.Request, e.Data = request, data
-		c.lru.MoveToFront(el)
-		return
+	e := newEntry(k, request, data)
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	if el, ok := sh.entries[k]; ok {
+		old := el.Value.(*Entry)
+		sh.bytes -= old.size()
+		el.Value = e
+		sh.bytes += e.size()
+		sh.lru.MoveToFront(el)
+		sh.enforceBudgetLocked()
+	} else {
+		sh.storeLocked(e)
 	}
-	c.entries[k] = c.lru.PushFront(&Entry{Key: k, Request: request, Data: data})
-	for c.lru.Len() > c.max {
-		oldest := c.lru.Back()
-		c.lru.Remove(oldest)
-		delete(c.entries, oldest.Value.(*Entry).Key)
-		c.stats.Evictions++
+	sh.mu.Unlock()
+	if c.store != nil {
+		c.store.Put(k, request, data)
 	}
 }
 
-// Len returns the current entry count.
+// storeLocked inserts a new entry and enforces the shard budgets.
+// Callers hold sh.mu and have checked the key is absent.
+func (sh *shard) storeLocked(e *Entry) {
+	sh.entries[e.Key] = sh.lru.PushFront(e)
+	sh.bytes += e.size()
+	sh.enforceBudgetLocked()
+}
+
+// enforceBudgetLocked evicts least-recently-used entries until the
+// shard fits its entry and byte budgets, always keeping at least one
+// entry. Callers hold sh.mu.
+func (sh *shard) enforceBudgetLocked() {
+	over := func() bool {
+		if sh.maxEntries > 0 && sh.lru.Len() > sh.maxEntries {
+			return true
+		}
+		return sh.maxBytes > 0 && sh.bytes > sh.maxBytes
+	}
+	for over() && sh.lru.Len() > 1 {
+		oldest := sh.lru.Back()
+		e := oldest.Value.(*Entry)
+		sh.lru.Remove(oldest)
+		delete(sh.entries, e.Key)
+		sh.bytes -= e.size()
+		sh.stats.Evictions++
+	}
+}
+
+// Len returns the memory tier's current entry count.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// StatsSnapshot returns the cumulative counters.
+// StatsSnapshot returns the cumulative counters merged across shards.
 func (c *Cache) StatsSnapshot() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = c.lru.Len()
+	var s Stats
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		st := sh.stats
+		st.Entries = sh.lru.Len()
+		st.Bytes = sh.bytes
+		sh.mu.Unlock()
+		s.add(st)
+	}
 	return s
 }
 
-// Do returns the bytes for k, computing them at most once across
-// concurrent callers. On a miss it runs compute in its own goroutine
-// under a context that stays alive while ANY caller still waits on the
-// flight; the caller's own ctx only governs how long this caller waits.
-// A successful computation is stored before anyone is woken, so a
-// subsequent Do is a Hit. A failed computation is not cached.
+// ShardStats returns one counter snapshot per shard, in shard order.
+func (c *Cache) ShardStats() []Stats {
+	out := make([]Stats, len(c.shards))
+	for i, sh := range c.shards {
+		sh.mu.Lock()
+		out[i] = sh.stats
+		out[i].Entries = sh.lru.Len()
+		out[i].Bytes = sh.bytes
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Do returns the entry for k, computing it at most once across
+// concurrent callers. The resolution order is: memory hit, join an
+// in-flight run, disk hit (promoted to memory), fresh run. On a miss
+// it runs compute in its own goroutine under a context that stays
+// alive while ANY caller still waits on the flight; the caller's own
+// ctx only governs how long this caller waits. A successful
+// computation is stored in memory and written through to the disk tier
+// before anyone is woken, so a subsequent Do is a Hit even across a
+// restart. A failed computation is not cached.
 //
-// request is the canonical request JSON stored alongside the data (used
-// for revalidation); only the caller that starts the flight needs to
-// supply it.
-func (c *Cache) Do(ctx context.Context, k Key, request []byte, compute func(context.Context) ([]byte, error)) ([]byte, Outcome, error) {
-	c.mu.Lock()
-	if el, ok := c.entries[k]; ok {
-		c.lru.MoveToFront(el)
+// request is the canonical request JSON stored alongside the data
+// (used for revalidation); only the caller that starts the flight
+// needs to supply it.
+func (c *Cache) Do(ctx context.Context, k Key, request []byte, compute func(context.Context) ([]byte, error)) (*Entry, Outcome, error) {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	if el, ok := sh.entries[k]; ok {
+		sh.lru.MoveToFront(el)
 		e := el.Value.(*Entry)
 		e.Hits++
-		c.stats.Hits++
-		data := e.Data
-		c.mu.Unlock()
-		return data, Hit, nil
+		sh.stats.Hits++
+		sh.mu.Unlock()
+		return e, Hit, nil
 	}
-	if f, ok := c.inflight[k]; ok {
+	if f, ok := sh.inflight[k]; ok {
 		f.refs++
-		c.stats.Shared++
-		c.mu.Unlock()
-		return c.wait(ctx, k, f, Shared)
+		sh.stats.Shared++
+		sh.mu.Unlock()
+		return sh.wait(ctx, k, f, Shared)
+	}
+	sh.mu.Unlock()
+
+	// Memory missed and nothing is in flight: the disk tier may already
+	// hold the answer (prior run, prior process). The read happens
+	// outside the shard lock; concurrent callers may both land here and
+	// both be served from disk — promotion is idempotent and nothing
+	// re-runs.
+	if e, ok := c.fromDisk(k); ok {
+		sh.mu.Lock()
+		sh.stats.DiskHits++
+		sh.mu.Unlock()
+		return e, Disk, nil
+	}
+
+	sh.mu.Lock()
+	// Re-check: the disk probe ran unlocked, so another caller may have
+	// promoted the entry or started a flight in the meantime.
+	if el, ok := sh.entries[k]; ok {
+		sh.lru.MoveToFront(el)
+		e := el.Value.(*Entry)
+		e.Hits++
+		sh.stats.Hits++
+		sh.mu.Unlock()
+		return e, Hit, nil
+	}
+	if f, ok := sh.inflight[k]; ok {
+		f.refs++
+		sh.stats.Shared++
+		sh.mu.Unlock()
+		return sh.wait(ctx, k, f, Shared)
 	}
 	fctx, cancel := context.WithCancel(context.Background())
 	f := &flight{done: make(chan struct{}), cancel: cancel, refs: 1}
-	c.inflight[k] = f
-	c.stats.Misses++
-	c.mu.Unlock()
+	sh.inflight[k] = f
+	sh.stats.Misses++
+	sh.mu.Unlock()
 
 	go func() {
 		data, err := compute(fctx)
-		c.mu.Lock()
-		f.data, f.err = data, err
-		if c.inflight[k] == f {
-			delete(c.inflight, k)
+		var e *Entry
+		if err == nil {
+			e = newEntry(k, request, data)
+		}
+		sh.mu.Lock()
+		f.entry, f.err = e, err
+		if sh.inflight[k] == f {
+			delete(sh.inflight, k)
 			if err == nil {
-				c.store(k, request, data)
+				if el, ok := sh.entries[k]; ok {
+					// A revalidation or promotion raced us in; its
+					// entry is already being served — replace it so
+					// the flight's waiters and future hits agree.
+					old := el.Value.(*Entry)
+					sh.bytes -= old.size()
+					el.Value = e
+					sh.bytes += e.size()
+					sh.lru.MoveToFront(el)
+				} else {
+					sh.storeLocked(e)
+				}
 			}
 		}
-		c.mu.Unlock()
+		sh.mu.Unlock()
+		if err == nil && c.store != nil {
+			c.store.Put(k, request, data) // write-through; restart serves this
+		}
 		cancel()
 		close(f.done)
 	}()
-	return c.wait(ctx, k, f, Miss)
+	return sh.wait(ctx, k, f, Miss)
 }
 
 // wait blocks until the flight completes or the caller's context is
 // done. A caller that gives up drops its reference; the last reference
 // out cancels the flight and detaches it so new callers start fresh.
-func (c *Cache) wait(ctx context.Context, k Key, f *flight, o Outcome) ([]byte, Outcome, error) {
+func (sh *shard) wait(ctx context.Context, k Key, f *flight, o Outcome) (*Entry, Outcome, error) {
 	// Prefer a completed flight over a racing cancellation: if the
 	// result is already there, return it.
 	select {
 	case <-f.done:
-		return f.data, o, f.err
+		return f.entry, o, f.err
 	default:
 	}
 	select {
 	case <-f.done:
-		return f.data, o, f.err
+		return f.entry, o, f.err
 	case <-ctx.Done():
-		c.mu.Lock()
+		sh.mu.Lock()
 		f.refs--
 		abandon := f.refs == 0
-		if abandon && c.inflight[k] == f {
-			delete(c.inflight, k)
+		if abandon && sh.inflight[k] == f {
+			delete(sh.inflight, k)
 		}
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		if abandon {
 			f.cancel()
 		}

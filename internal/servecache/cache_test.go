@@ -2,9 +2,11 @@ package servecache
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -17,6 +19,13 @@ func key(b byte) Key {
 	return k
 }
 
+// one returns a single-shard cache so eviction tests see one global
+// LRU instead of per-shard budgets.
+func one(opts Options) *Cache {
+	opts.Shards = 1
+	return NewWithOptions(opts)
+}
+
 func TestDoMissThenHit(t *testing.T) {
 	c := New(8)
 	var calls atomic.Int64
@@ -24,24 +33,61 @@ func TestDoMissThenHit(t *testing.T) {
 		calls.Add(1)
 		return []byte("result"), nil
 	}
-	data, o, err := c.Do(context.Background(), key(1), []byte("req"), compute)
-	if err != nil || o != Miss || string(data) != "result" {
-		t.Fatalf("first Do = %q, %v, %v", data, o, err)
+	e, o, err := c.Do(context.Background(), key(1), []byte("req"), compute)
+	if err != nil || o != Miss || string(e.Data) != "result" {
+		t.Fatalf("first Do = %+v, %v, %v", e, o, err)
 	}
-	data, o, err = c.Do(context.Background(), key(1), nil, compute)
-	if err != nil || o != Hit || string(data) != "result" {
-		t.Fatalf("second Do = %q, %v, %v", data, o, err)
+	e, o, err = c.Do(context.Background(), key(1), nil, compute)
+	if err != nil || o != Hit || string(e.Data) != "result" {
+		t.Fatalf("second Do = %+v, %v, %v", e, o, err)
 	}
 	if n := calls.Load(); n != 1 {
 		t.Errorf("compute ran %d times, want 1", n)
 	}
-	e, ok := c.Lookup(key(1))
-	if !ok || string(e.Request) != "req" || e.Hits != 1 {
-		t.Errorf("Lookup = %+v, %v", e, ok)
+	le, ok := c.Lookup(key(1))
+	if !ok || string(le.Request) != "req" || le.Hits != 1 {
+		t.Errorf("Lookup = %+v, %v", le, ok)
 	}
 	s := c.StatsSnapshot()
 	if s.Hits != 1 || s.Misses != 1 || s.Shared != 0 || s.Entries != 1 {
 		t.Errorf("stats = %+v", s)
+	}
+	if s.Bytes < int64(len("result")) {
+		t.Errorf("stats bytes = %d, want at least the payload", s.Bytes)
+	}
+}
+
+// TestEntryGzipRoundTrip pins the precomputed wire variant: the gzip
+// bytes stored with an entry decompress to exactly its identity bytes.
+func TestEntryGzipRoundTrip(t *testing.T) {
+	data := bytes.Repeat([]byte(`{"row":[1,2,3]}`+"\n"), 64)
+	c := New(8)
+	_, _, err := c.Do(context.Background(), key(1), nil, func(context.Context) ([]byte, error) {
+		return data, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := c.Lookup(key(1))
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if e.Gzip == nil {
+		t.Fatal("no precomputed gzip variant")
+	}
+	if len(e.Gzip) >= len(e.Data) {
+		t.Errorf("gzip variant (%d bytes) not smaller than identity (%d bytes)", len(e.Gzip), len(e.Data))
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(e.Gzip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, data) {
+		t.Error("gzip variant does not decompress to the identity bytes")
 	}
 }
 
@@ -58,11 +104,11 @@ func TestDoError(t *testing.T) {
 		t.Error("failed computation was cached")
 	}
 	// The key is recomputable after a failure.
-	data, o, err := c.Do(context.Background(), key(1), nil, func(context.Context) ([]byte, error) {
+	e, o, err := c.Do(context.Background(), key(1), nil, func(context.Context) ([]byte, error) {
 		return []byte("ok"), nil
 	})
-	if err != nil || o != Miss || string(data) != "ok" {
-		t.Fatalf("retry Do = %q, %v, %v", data, o, err)
+	if err != nil || o != Miss || string(e.Data) != "ok" {
+		t.Fatalf("retry Do = %+v, %v, %v", e, o, err)
 	}
 }
 
@@ -83,12 +129,12 @@ func TestSingleflight(t *testing.T) {
 	const n = 8
 	var wg sync.WaitGroup
 	outcomes := make([]Outcome, n)
-	datas := make([][]byte, n)
+	entries := make([]*Entry, n)
 	errs := make([]error, n)
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		datas[0], outcomes[0], errs[0] = c.Do(context.Background(), key(7), nil, compute)
+		entries[0], outcomes[0], errs[0] = c.Do(context.Background(), key(7), nil, compute)
 	}()
 	<-started // the flight exists before the followers arrive
 	for i := 1; i < n; i++ {
@@ -96,7 +142,7 @@ func TestSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			datas[i], outcomes[i], errs[i] = c.Do(context.Background(), key(7), nil, func(context.Context) ([]byte, error) {
+			entries[i], outcomes[i], errs[i] = c.Do(context.Background(), key(7), nil, func(context.Context) ([]byte, error) {
 				t.Error("follower's compute invoked")
 				return nil, nil
 			})
@@ -114,8 +160,8 @@ func TestSingleflight(t *testing.T) {
 		if errs[i] != nil {
 			t.Fatalf("caller %d: %v", i, errs[i])
 		}
-		if !bytes.Equal(datas[i], []byte("shared-result")) {
-			t.Errorf("caller %d data = %q", i, datas[i])
+		if !bytes.Equal(entries[i].Data, []byte("shared-result")) {
+			t.Errorf("caller %d data = %q", i, entries[i].Data)
 		}
 		switch outcomes[i] {
 		case Miss:
@@ -159,11 +205,11 @@ func TestAbandonedFlightCancelled(t *testing.T) {
 	if c.Len() != 0 {
 		t.Error("abandoned flight was cached")
 	}
-	data, o, err := c.Do(context.Background(), key(3), nil, func(context.Context) ([]byte, error) {
+	e, o, err := c.Do(context.Background(), key(3), nil, func(context.Context) ([]byte, error) {
 		return []byte("fresh"), nil
 	})
-	if err != nil || o != Miss || string(data) != "fresh" {
-		t.Fatalf("post-abandon Do = %q, %v, %v", data, o, err)
+	if err != nil || o != Miss || string(e.Data) != "fresh" {
+		t.Fatalf("post-abandon Do = %+v, %v, %v", e, o, err)
 	}
 }
 
@@ -193,11 +239,13 @@ func TestSurvivingWaiterKeepsFlight(t *testing.T) {
 
 	stayData := make(chan []byte, 1)
 	go func() {
-		data, _, err := c.Do(context.Background(), key(9), nil, compute)
+		e, _, err := c.Do(context.Background(), key(9), nil, compute)
 		if err != nil {
 			t.Errorf("surviving waiter: %v", err)
+			stayData <- nil
+			return
 		}
-		stayData <- data
+		stayData <- e.Data
 	}()
 	time.Sleep(10 * time.Millisecond) // let the second caller join the flight
 	quit()
@@ -214,7 +262,7 @@ func TestSurvivingWaiterKeepsFlight(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := New(2)
+	c := one(Options{MaxEntries: 2})
 	c.Put(key(1), nil, []byte("a"))
 	c.Put(key(2), nil, []byte("b"))
 	if _, ok := c.Get(key(1)); !ok { // refresh 1; 2 becomes oldest
@@ -232,6 +280,79 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if s := c.StatsSnapshot(); s.Evictions != 1 || s.Entries != 2 {
 		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestByteBudgetEviction pins the byte bound: entries are evicted
+// oldest-first once the summed wire sizes exceed the budget, but the
+// newest entry always survives even when it alone is over budget.
+func TestByteBudgetEviction(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 4096)
+	perEntry := newEntry(key(0), nil, payload).size()
+	c := one(Options{MaxBytes: 3 * perEntry})
+	for i := 1; i <= 5; i++ {
+		c.Put(key(byte(i)), nil, payload)
+	}
+	if got := c.Len(); got != 3 {
+		t.Errorf("entries after budget eviction = %d, want 3", got)
+	}
+	for i := 1; i <= 2; i++ {
+		if _, ok := c.Get(key(byte(i))); ok {
+			t.Errorf("oldest entry %d survived the byte budget", i)
+		}
+	}
+	for i := 3; i <= 5; i++ {
+		if _, ok := c.Get(key(byte(i))); !ok {
+			t.Errorf("recent entry %d evicted", i)
+		}
+	}
+	if s := c.StatsSnapshot(); s.Evictions != 2 || s.Bytes != 3*perEntry {
+		t.Errorf("stats = %+v, want 2 evictions and %d bytes", s, 3*perEntry)
+	}
+
+	// A budget smaller than one entry still holds the newest entry.
+	tiny := one(Options{MaxBytes: 1})
+	tiny.Put(key(1), nil, payload)
+	tiny.Put(key(2), nil, payload)
+	if _, ok := tiny.Get(key(2)); !ok || tiny.Len() != 1 {
+		t.Errorf("tiny budget: len=%d", tiny.Len())
+	}
+}
+
+// TestShardedDistribution pins that shards actually partition the key
+// space and that per-shard stats sum to the merged snapshot.
+func TestShardedDistribution(t *testing.T) {
+	c := NewWithOptions(Options{Shards: 4})
+	for i := 0; i < 64; i++ {
+		var k Key
+		k[0], k[3] = byte(i), byte(i*7)
+		if _, _, err := c.Do(context.Background(), k, nil, func(context.Context) ([]byte, error) {
+			return []byte{byte(i)}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := c.ShardStats()
+	if len(per) != 4 {
+		t.Fatalf("ShardStats len = %d", len(per))
+	}
+	var sum Stats
+	populated := 0
+	for _, st := range per {
+		sum.add(st)
+		if st.Entries > 0 {
+			populated++
+		}
+	}
+	if populated < 2 {
+		t.Errorf("only %d of 4 shards populated by 64 keys", populated)
+	}
+	merged := c.StatsSnapshot()
+	if sum != merged {
+		t.Errorf("shard stats sum %+v != merged %+v", sum, merged)
+	}
+	if merged.Misses != 64 || merged.Entries != 64 {
+		t.Errorf("merged = %+v", merged)
 	}
 }
 
@@ -253,7 +374,7 @@ func TestKeyAndOutcomeStrings(t *testing.T) {
 	if got := k.String(); len(got) != 64 || got[:2] != "ab" {
 		t.Errorf("key hex = %q", got)
 	}
-	for o, want := range map[Outcome]string{Hit: "hit", Miss: "miss", Shared: "shared", Outcome(9): "unknown"} {
+	for o, want := range map[Outcome]string{Hit: "hit", Miss: "miss", Shared: "shared", Disk: "disk", Outcome(9): "unknown"} {
 		if o.String() != want {
 			t.Errorf("Outcome(%d).String() = %q, want %q", o, o.String(), want)
 		}
@@ -270,5 +391,156 @@ func TestUnboundedCache(t *testing.T) {
 	}
 	if s := c.StatsSnapshot(); s.Evictions != 0 {
 		t.Errorf("evictions = %d", s.Evictions)
+	}
+}
+
+// diskCache builds a cache backed by a store in a test directory.
+func diskCache(t *testing.T, dir string, opts Options) *Cache {
+	t.Helper()
+	st, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Scan(); err != nil {
+		t.Fatal(err)
+	}
+	opts.Store = st
+	return NewWithOptions(opts)
+}
+
+// TestDiskWriteThroughAndRestart pins the persistence contract: a
+// computed result is written through to disk, and a fresh cache over
+// the same directory (a restarted daemon) serves it as a Disk outcome
+// with byte-identical data and no recompute; the next request is a
+// memory Hit (lazy promotion).
+func TestDiskWriteThroughAndRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1 := diskCache(t, dir, Options{})
+	e, o, err := c1.Do(context.Background(), key(1), []byte("req-1"), func(context.Context) ([]byte, error) {
+		return []byte("computed-once"), nil
+	})
+	if err != nil || o != Miss {
+		t.Fatalf("Do = %v, %v", o, err)
+	}
+	if c1.Store().Len() != 1 {
+		t.Fatalf("write-through missing: disk has %d entries", c1.Store().Len())
+	}
+
+	// "Restart": new cache, same directory.
+	c2 := diskCache(t, dir, Options{})
+	e2, o2, err := c2.Do(context.Background(), key(1), nil, func(context.Context) ([]byte, error) {
+		t.Error("restarted cache re-ran a persisted result")
+		return nil, nil
+	})
+	if err != nil || o2 != Disk {
+		t.Fatalf("post-restart Do = %v, %v", o2, err)
+	}
+	if !bytes.Equal(e2.Data, e.Data) || string(e2.Request) != "req-1" {
+		t.Errorf("post-restart entry = %q req %q", e2.Data, e2.Request)
+	}
+	// Promoted: now a memory hit.
+	_, o3, err := c2.Do(context.Background(), key(1), nil, nil)
+	if err != nil || o3 != Hit {
+		t.Fatalf("post-promotion Do = %v, %v", o3, err)
+	}
+	s := c2.StatsSnapshot()
+	if s.DiskHits != 1 || s.Hits != 1 || s.Misses != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestDiskCorruptEntryIsMissAndHeals pins the integrity contract end
+// to end: a corrupted on-disk entry is never served — the cache
+// recomputes, and the recompute heals the file.
+func TestDiskCorruptEntryIsMissAndHeals(t *testing.T) {
+	dir := t.TempDir()
+	c1 := diskCache(t, dir, Options{})
+	if _, _, err := c1.Do(context.Background(), key(1), nil, func(context.Context) ([]byte, error) {
+		return []byte("good-bytes"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, c1.Store().path(key(1)), 100)
+
+	c2 := diskCache(t, dir, Options{})
+	var ran atomic.Int64
+	e, o, err := c2.Do(context.Background(), key(1), nil, func(context.Context) ([]byte, error) {
+		ran.Add(1)
+		return []byte("good-bytes"), nil
+	})
+	if err != nil || o != Miss || ran.Load() != 1 {
+		t.Fatalf("Do over corrupt entry = %v, %v, ran %d", o, err, ran.Load())
+	}
+	if string(e.Data) != "good-bytes" {
+		t.Errorf("served %q", e.Data)
+	}
+	if st := c2.Store().StatsSnapshot(); st.Corrupt != 1 {
+		t.Errorf("store stats = %+v, want 1 corrupt drop", st)
+	}
+	// Healed: a third cache serves it from disk again.
+	c3 := diskCache(t, dir, Options{})
+	_, o, err = c3.Do(context.Background(), key(1), nil, nil)
+	if err != nil || o != Disk {
+		t.Fatalf("post-heal Do = %v, %v", o, err)
+	}
+}
+
+// TestProbe pins the 304 fast path's tier resolution.
+func TestProbe(t *testing.T) {
+	dir := t.TempDir()
+	c := diskCache(t, dir, Options{})
+	if _, _, ok := c.Probe(key(1)); ok {
+		t.Fatal("probe found a nonexistent key")
+	}
+	c.Put(key(1), nil, []byte("v"))
+	if e, o, ok := c.Probe(key(1)); !ok || o != Hit || string(e.Data) != "v" {
+		t.Fatalf("memory probe = %v %v %v", e, o, ok)
+	}
+	// A fresh cache sees it only on disk.
+	c2 := diskCache(t, dir, Options{})
+	if e, o, ok := c2.Probe(key(1)); !ok || o != Disk || string(e.Data) != "v" {
+		t.Fatalf("disk probe = %v %v %v", e, o, ok)
+	}
+	if _, o, ok := c2.Probe(key(1)); !ok || o != Hit {
+		t.Fatalf("promoted probe outcome = %v %v", o, ok)
+	}
+}
+
+// TestDiskConcurrentPromotion pins that concurrent Do callers racing
+// on a disk-resident key all receive identical bytes and none of them
+// recomputes.
+func TestDiskConcurrentPromotion(t *testing.T) {
+	dir := t.TempDir()
+	c1 := diskCache(t, dir, Options{})
+	if _, _, err := c1.Do(context.Background(), key(5), nil, func(context.Context) ([]byte, error) {
+		return []byte("persisted"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c2 := diskCache(t, dir, Options{})
+	const n = 16
+	var wg sync.WaitGroup
+	datas := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, _, err := c2.Do(context.Background(), key(5), nil, func(context.Context) ([]byte, error) {
+				t.Error("recompute despite disk entry")
+				return nil, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			datas[i] = e.Data
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(datas[i], datas[0]) {
+			t.Fatalf("caller %d saw different bytes", i)
+		}
 	}
 }

@@ -179,3 +179,118 @@ END {
 }' >BENCH_fleet.json
 
 echo "bench: BENCH_fleet.json updated"
+
+# --- Serving tier (BENCH_serve.json) ---
+# Before/after evidence for the persistent sharded cache and zero-copy
+# serving path. The pinned baseline block was measured immediately
+# before the refactor on the same machine: the single-mutex in-memory
+# cache (BenchmarkServeCacheBaseline/mem-hit-parallel, the architecture
+# the shards-1 case reproduces) and the pre-refactor daemon serving
+# 2000 warm memory hits at concurrency 1000 via memload. The "after"
+# block holds the sharded cache microbenchmarks plus a daemon ladder:
+# cold corpus, warm memory hits, ETag 304 revalidation, a warm restart
+# (same -cache-dir: zero re-runs, disk tier), and a cold restart
+# (cleared -cache-dir: every key re-runs).
+
+serve_out=$(go test -run '^$' -bench 'BenchmarkServeCache' \
+	-benchmem -benchtime=2s ./internal/servecache)
+echo "$serve_out"
+
+serve_cpu=$(echo "$serve_out" | awk '/^cpu:/ { sub(/^cpu: */, ""); print; exit }')
+serve_bench=$(echo "$serve_out" | awk '
+function field(line, unit,    f, i, n) {
+	n = split(line, f, /[ \t]+/)
+	for (i = 2; i <= n; i++) {
+		if (f[i] == unit) {
+			return f[i - 1]
+		}
+	}
+	return "null"
+}
+function emit(name, line) {
+	printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+		name, field(line, "ns/op"), field(line, "B/op"), field(line, "allocs/op")
+}
+$1 ~ /^BenchmarkServeCache\/mem-hit\/shards-1(-[0-9]+)?$/  { s1 = $0 }
+$1 ~ /^BenchmarkServeCache\/mem-hit\/shards-4(-[0-9]+)?$/  { s4 = $0 }
+$1 ~ /^BenchmarkServeCache\/mem-hit\/shards-16(-[0-9]+)?$/ { s16 = $0 }
+$1 ~ /^BenchmarkServeCache\/disk-hit(-[0-9]+)?$/           { dh = $0 }
+$1 ~ /^BenchmarkServeCache\/disk-write-through(-[0-9]+)?$/ { dw = $0 }
+END {
+	emit("BenchmarkServeCache/mem-hit/shards-1", s1); printf ",\n"
+	emit("BenchmarkServeCache/mem-hit/shards-4", s4); printf ",\n"
+	emit("BenchmarkServeCache/mem-hit/shards-16", s16); printf ",\n"
+	emit("BenchmarkServeCache/disk-hit", dh); printf ",\n"
+	emit("BenchmarkServeCache/disk-write-through", dw)
+}')
+
+servetmp=$(mktemp -d)
+memcond_pid=""
+trap 'kill "$memcond_pid" 2>/dev/null || true; rm -rf "$servetmp"' EXIT
+go build -o "$servetmp/memcond" ./cmd/memcond
+go build -o "$servetmp/memload" ./cmd/memload
+
+start_memcond() {
+	rm -f "$servetmp/addr"
+	"$servetmp/memcond" -addr 127.0.0.1:0 -addr-file "$servetmp/addr" \
+		-cache-dir "$servetmp/cache" 2>/dev/null &
+	memcond_pid=$!
+	i=0
+	while [ ! -s "$servetmp/addr" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "bench: memcond never wrote its address file" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+stop_memcond() {
+	kill -TERM "$memcond_pid"
+	wait "$memcond_pid"
+	memcond_pid=""
+}
+load() {
+	"$servetmp/memload" -addr "$(cat "$servetmp/addr")" \
+		-exp fig4,fig6 -seeds 2 -scale 0.05 -simtime 200000 -mixes 3 -json "$@"
+}
+
+echo "bench: serving ladder (4 keys = fig4,fig6 x 2 seeds)"
+start_memcond
+load -n 4 -c 4 >"$servetmp/cold.json"
+load -n 2000 -c 1000 -min-hits 1 >"$servetmp/memhit.json"
+load -n 2000 -c 1000 -etag >"$servetmp/etag.json"
+stop_memcond
+start_memcond
+load -n 2000 -c 1000 -min-disk 1 >"$servetmp/warm_restart.json"
+stop_memcond
+rm -rf "$servetmp/cache"
+start_memcond
+load -n 2000 -c 1000 >"$servetmp/cold_restart.json"
+stop_memcond
+
+cat >BENCH_serve.json <<EOF
+{
+  "benchmarks": "go test -run ^\$ -bench BenchmarkServeCache -benchmem -benchtime=2s ./internal/servecache; daemon ladder via cmd/memload -json (fig4,fig6 x 2 seeds = 4 keys, -scale 0.05 -simtime 200000 -mixes 3)",
+  "baseline": {
+    "note": "measured immediately before this refactor: single-mutex LRU (no shards, no disk tier, per-request JSON encoding) and the daemon it backed",
+    "cpu": "Intel(R) Xeon(R) Processor @ 2.10GHz (1 core)",
+    "BenchmarkServeCacheBaseline/mem-hit-parallel": {"ns_per_op": 38.24, "bytes_per_op": 0, "allocs_per_op": 0},
+    "memload_mem_hit_c1000": {"requests": 2000, "rps": 3428, "latency_ms": {"min": 10.366, "p50": 198.727, "p95": 448.773, "max": 476.111}}
+  },
+  "after": {
+    "cpu": "$serve_cpu",
+$serve_bench,
+    "serving": {
+      "note": "cold = first run of each key (experiments execute); mem_hit = warm daemon, memory tier; etag_304 = If-None-Match revalidation (no bodies); warm_restart = restarted daemon over the same -cache-dir (disk_hits > 0, misses must be 0: zero re-runs); cold_restart = restarted daemon with the cache directory cleared (every key re-runs)",
+      "cold": $(cat "$servetmp/cold.json"),
+      "mem_hit_c1000": $(cat "$servetmp/memhit.json"),
+      "etag_304_c1000": $(cat "$servetmp/etag.json"),
+      "warm_restart_c1000": $(cat "$servetmp/warm_restart.json"),
+      "cold_restart_c1000": $(cat "$servetmp/cold_restart.json")
+    }
+  }
+}
+EOF
+
+echo "bench: BENCH_serve.json updated"

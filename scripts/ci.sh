@@ -16,7 +16,11 @@
 #      regenerated and diffed at zero tolerance (report regression),
 #   9. the serving daemon survives a race-instrumented end-to-end
 #      smoke: memcond starts, memload observes cache hits with
-#      byte-identical bodies, and SIGTERM drains cleanly.
+#      byte-identical bodies, and SIGTERM drains cleanly,
+#  10. the persistent cache survives a daemon restart: a second
+#      race-instrumented memcond over the same -cache-dir serves the
+#      first daemon's corpus from disk, byte-identical (memload
+#      -digests), without re-running an experiment.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -100,6 +104,39 @@ while [ ! -s "$servetmp/addr" ]; do
 done
 "$servetmp/memload" -addr "$(cat "$servetmp/addr")" \
     -exp fig4,minwi -n 12 -c 4 -min-hits 4
+kill -TERM "$memcond_pid"
+wait "$memcond_pid"
+
+# Restart-persistence smoke: run a daemon with the disk tier, seed its
+# corpus (recording per-key body digests), SIGTERM it, start a fresh
+# daemon over the same directory and require that the load is answered
+# from disk (-min-disk) with byte-identical bodies (the same -digests
+# file verifies every key against the first run).
+echo "== memcond restart persistence smoke (race) =="
+start_memcond() {
+    rm -f "$servetmp/addr"
+    "$servetmp/memcond" -addr 127.0.0.1:0 -addr-file "$servetmp/addr" \
+        -cache-dir "$servetmp/cache" &
+    memcond_pid=$!
+    i=0
+    while [ ! -s "$servetmp/addr" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "memcond never wrote its address file" >&2
+            kill "$memcond_pid" 2>/dev/null || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+start_memcond
+"$servetmp/memload" -addr "$(cat "$servetmp/addr")" \
+    -exp fig4,minwi -n 12 -c 4 -min-hits 4 -digests "$servetmp/digests"
+kill -TERM "$memcond_pid"
+wait "$memcond_pid"
+start_memcond
+"$servetmp/memload" -addr "$(cat "$servetmp/addr")" \
+    -exp fig4,minwi -n 12 -c 4 -min-disk 1 -digests "$servetmp/digests"
 kill -TERM "$memcond_pid"
 wait "$memcond_pid"
 
