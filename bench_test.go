@@ -19,6 +19,7 @@ import (
 	"memcon/internal/core"
 	"memcon/internal/costmodel"
 	"memcon/internal/ddr3"
+	"memcon/internal/disturb"
 	"memcon/internal/dram"
 	"memcon/internal/ecc"
 	"memcon/internal/experiments"
@@ -391,7 +392,6 @@ func BenchmarkFaultEvaluation(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	model.Preload()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		model.FailingCells(mod, dram.RowAddress{Bank: 0, Row: i % geom.RowsPerBank}, faults.CharacterizationIdle)
@@ -430,7 +430,6 @@ func BenchmarkFailingCells(b *testing.B) {
 		b.Fatal(err)
 	}
 	fillBenchRandom(b, mod, 1)
-	model.Preload()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -457,12 +456,56 @@ func BenchmarkFailingCellsDense(b *testing.B) {
 		b.Fatal(err)
 	}
 	fillBenchRandom(b, mod, 1)
-	model.Preload()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		model.FailingCells(mod, geom.AddressOfIndex(i%geom.TotalRows()), faults.CharacterizationIdle)
 	}
+}
+
+// BenchmarkDisturbScan prices a full read-disturb sweep on the default
+// geometry with random content: one AppendFailures query per victim row
+// at a hammer count deep inside the population (half the victims flip),
+// the kernel under the disturb-exposure census. scripts/bench.sh
+// records this in BENCH_disturb.json.
+func BenchmarkDisturbScan(b *testing.B) {
+	geom := dram.DefaultGeometry()
+	scr := dram.NewScrambler(geom, 42, nil)
+	model, err := faults.NewModel(geom, scr, 42, faults.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dm, err := disturb.NewModel(model, 42, disturb.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mod, err := dram.NewModule(geom)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fillBenchRandom(b, mod, 1)
+	// The geometric mean of the threshold range: roughly half the victim
+	// rows are past HCfirst at this hammer count.
+	w := faults.RowWindow{Hammer: 22_600}
+	var victims, flipped int
+	buf := make([]int, 0, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victims, flipped = 0, 0
+		for bank := 0; bank < geom.BanksPerChip; bank++ {
+			rows, _ := dm.VictimRows(bank)
+			victims += len(rows)
+			for _, r := range rows {
+				buf = dm.AppendFailures(buf[:0], mod, dram.RowAddress{Bank: bank, Row: int(r)}, w)
+				if len(buf) > 0 {
+					flipped++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(victims), "victim-rows/op")
+	b.ReportMetric(float64(flipped), "flipped-rows/op")
 }
 
 // BenchmarkReadBack prices one full-array read-back scan on the default

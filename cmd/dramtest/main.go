@@ -9,7 +9,15 @@
 //	dramtest -content mcf [-idle 328]
 //	dramtest -allfail [-idle 328]
 //	dramtest -profile [-rounds 2] [-guardband 1.25]
+//	dramtest -hammer 60000 [-pattern checker-0]
 //	dramtest -patterns        # list pattern names
+//
+// -hammer runs a read-disturb scan instead of a retention test: every
+// victim row's physical aggressors are hammered the given number of
+// times per refresh window and the cells that flip under the current
+// content (the -pattern fill) are reported. The victim population is
+// sampled over the same silicon as the retention model, so the scan is
+// deterministic in (-seed, -rows, -mapping).
 //
 // Observability: -metrics/-metrics-format write aggregated row-failure
 // and weak-row counts after the run; -pprof serves live profiles.
@@ -24,6 +32,7 @@ import (
 	"runtime"
 	"strings"
 
+	"memcon/internal/disturb"
 	"memcon/internal/dram"
 	"memcon/internal/faults"
 	"memcon/internal/obs"
@@ -49,6 +58,7 @@ func run(args []string, out io.Writer) error {
 		content  = fs.String("content", "", "SPEC benchmark content to test with")
 		allfail  = fs.Bool("allfail", false, "report worst-case (any-pattern) failing rows")
 		profile  = fs.Bool("profile", false, "run a RAIDR/REAPER-style profiling campaign and report escapes")
+		hammer   = fs.Int64("hammer", 0, "read-disturb scan: hammer every victim row's aggressors this many times per window and report flipped cells")
 		rounds   = fs.Int("rounds", 2, "profiling rounds (with -profile)")
 		guard    = fs.Float64("guardband", 1.25, "profiling idle-time guardband (with -profile)")
 		idleMs   = fs.Int64("idle", 328, "idle time in ms (328 ms = paper's 4 s at 45C)")
@@ -88,7 +98,7 @@ func run(args []string, out io.Writer) error {
 
 	geom := dram.DefaultGeometry()
 	geom.RowsPerBank = *rows
-	tester, model, err := buildChip(geom, uint64(*seed), *mapping)
+	tester, model, mod, err := buildChip(geom, uint64(*seed), *mapping)
 	if err != nil {
 		return err
 	}
@@ -102,6 +112,16 @@ func run(args []string, out io.Writer) error {
 
 	runErr := func() error {
 		switch {
+		case *hammer > 0:
+			name := *pattern
+			if name == "" {
+				name = "checker-0"
+			}
+			p, err := findPattern(name)
+			if err != nil {
+				return err
+			}
+			return hammerScan(out, mod, model, uint64(*seed), p, *hammer)
 		case *profile:
 			cfg := profiler.DefaultConfig()
 			cfg.Rounds = *rounds
@@ -151,7 +171,7 @@ func run(args []string, out io.Writer) error {
 			return nil
 		default:
 			fs.Usage()
-			return fmt.Errorf("one of -patterns, -pattern, -content, -allfail, or -profile is required")
+			return fmt.Errorf("one of -patterns, -pattern, -content, -allfail, -profile, or -hammer is required")
 		}
 	}()
 	if runErr != nil {
@@ -180,24 +200,69 @@ func writeMetrics(path string, out io.Writer, reg *obs.Registry, format obs.Form
 	return f.Close()
 }
 
-func buildChip(geom dram.Geometry, seed uint64, mapping string) (*softmc.Tester, *faults.Model, error) {
+func buildChip(geom dram.Geometry, seed uint64, mapping string) (*softmc.Tester, *faults.Model, *dram.Module, error) {
 	scr, err := dram.NewMappedScrambler(geom, seed, nil, mapping)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	model, err := faults.NewModel(geom, scr, seed, faults.DefaultParams())
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	mod, err := dram.NewModule(geom)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	tester, err := softmc.NewTester(mod, model)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return tester, model, nil
+	return tester, model, mod, nil
+}
+
+// hammerScan is the -hammer mode: sample the chip's read-disturb victim
+// population, fill the module with the pattern, apply the given hammer
+// count to every victim row's window, and report the rows and cells
+// that flip under the current content.
+func hammerScan(out io.Writer, mod *dram.Module, model *faults.Model, seed uint64, p softmc.Pattern, hammer int64) error {
+	dm, err := disturb.NewModel(model, seed, disturb.DefaultParams())
+	if err != nil {
+		return err
+	}
+	geom := mod.Geometry()
+	for b := 0; b < geom.BanksPerChip; b++ {
+		for r := 0; r < geom.RowsPerBank; r++ {
+			a := dram.RowAddress{Bank: b, Row: r}
+			p.Fill(mod.RowRef(a), r)
+		}
+	}
+	w := faults.RowWindow{Hammer: hammer}
+	var victims, flippedRows, flippedCells, shown int
+	buf := make([]int, 0, 8)
+	for b := 0; b < geom.BanksPerChip; b++ {
+		rows, thresholds := dm.VictimRows(b)
+		victims += len(rows)
+		for i, r := range rows {
+			a := dram.RowAddress{Bank: b, Row: int(r)}
+			buf = dm.AppendFailures(buf[:0], mod, a, w)
+			if len(buf) == 0 {
+				continue
+			}
+			flippedRows++
+			flippedCells += len(buf)
+			if shown < 10 {
+				fmt.Fprintf(out, "  bank %d row %5d (HCfirst %d): %d cells %v, aggressors %v\n",
+					b, r, thresholds[i], len(buf), buf, dm.Aggressors(a))
+				shown++
+			}
+		}
+	}
+	if flippedRows > shown {
+		fmt.Fprintf(out, "  ... %d more rows\n", flippedRows-shown)
+	}
+	fmt.Fprintf(out, "hammer %d/window under %s: %d of %d victim rows flip (%d rows total), %d cells\n",
+		hammer, p.Name, flippedRows, victims, geom.TotalRows(), flippedCells)
+	return nil
 }
 
 func findPattern(name string) (softmc.Pattern, error) {

@@ -25,6 +25,14 @@
 //
 //	memconsim -exp fleet-ce -fleet 1000 -fleet-out fleet.celog
 //
+// Read-disturb experiments (disturb-exposure, disturb-mitigation)
+// honour -disturb, the RowHammer mitigation spec. The bare policy names
+// compose with their parameter flags:
+//
+//	memconsim -exp disturb-mitigation -disturb para -para-p 0.01
+//	memconsim -exp disturb-mitigation -disturb prac -prac-threshold 2048
+//	memconsim -exp disturb-mitigation -disturb para:0.01   # equivalent full spec
+//
 // Structured reports:
 //
 //	memconsim -exp fig14 -format csv             # primary data table as RFC-4180 CSV
@@ -37,8 +45,8 @@
 // experiment named in a saved report's provenance by round-tripping the
 // provenance through experiments.Request (decode → Normalize →
 // RunRequest), using the saved inputs (seed, scale, simtime, mixes,
-// fleet, version) unless overridden on the command line, and fails when
-// any value drifts beyond -tol-abs/-tol-rel.
+// fleet, mapping, disturb, version) unless overridden on the command
+// line, and fails when any value drifts beyond -tol-abs/-tol-rel.
 //
 // Observability:
 //
@@ -104,6 +112,9 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		mixes    = fs.Int("mixes", defaults.Mixes, "multiprogrammed mixes for performance runs")
 		fleetN   = fs.Int("fleet", 0, "module count for fleet experiments (0 derives a scale-proportional size)")
 		mapping  = fs.String("mapping", "", "address mapping for chip-level experiments: "+strings.Join(dram.MappingNames(), ", ")+" (default mapping when empty)")
+		disturb  = fs.String("disturb", "", `RowHammer mitigation for disturb experiments: none, para, prac, or a full spec like "para:0.001"`)
+		paraP    = fs.Float64("para-p", 0.001, "PARA per-activation refresh probability (with -disturb para)")
+		pracN    = fs.Int64("prac-threshold", 4096, "PRAC mitigation period in activations (with -disturb prac)")
 		fleetOut = fs.String("fleet-out", "", "with -exp fleet-*: also write the CE event log to this file (compact format)")
 		outFmt   = fs.String("format", "table", "output format: table, csv, or json")
 		outDir   = fs.String("out", "", "also write each run's canonical JSON report to DIR/<id>.json")
@@ -157,6 +168,17 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 		defer stopTrace() //nolint:errcheck // flush error surfaced via the file below
 	}
 
+	// The bare policy names compose with their parameter flags; a full
+	// spec ("para:0.01") passes through untouched and Normalize
+	// canonicalizes either spelling.
+	disturbSpec := *disturb
+	switch disturbSpec {
+	case "para":
+		disturbSpec = fmt.Sprintf("para:%g", *paraP)
+	case "prac":
+		disturbSpec = fmt.Sprintf("prac:%d", *pracN)
+	}
+
 	// The flags assemble a canonical experiments.Request. Fields are
 	// literal — the -seed default is 42 at the flag layer, so an
 	// explicit -seed 0 arrives as seed 0 with no "was it set?"
@@ -164,7 +186,7 @@ func runCtx(ctx context.Context, args []string, out io.Writer) error {
 	req := experiments.Request{
 		Experiment: *exp, Seed: *seed, Scale: *scale,
 		SimTimeNs: *simtime, Mixes: *mixes, Fleet: *fleetN,
-		Mapping: *mapping, Version: *version,
+		Mapping: *mapping, Disturb: disturbSpec, Version: *version,
 	}
 	rt := experiments.Runtime{Workers: *nworkers}
 
@@ -411,12 +433,15 @@ func runDiff(ctx context.Context, out io.Writer, path string, flags experiments.
 	}
 	req := experiments.RequestFromProvenance(saved.Prov)
 	for flag, apply := range map[string]func(){
-		"seed":           func() { req.Seed = flags.Seed },
-		"scale":          func() { req.Scale = flags.Scale },
-		"simtime":        func() { req.SimTimeNs = flags.SimTimeNs },
-		"mixes":          func() { req.Mixes = flags.Mixes },
-		"fleet":          func() { req.Fleet = flags.Fleet },
-		"mapping":        func() { req.Mapping = flags.Mapping },
+		"seed":    func() { req.Seed = flags.Seed },
+		"scale":   func() { req.Scale = flags.Scale },
+		"simtime": func() { req.SimTimeNs = flags.SimTimeNs },
+		"mixes":   func() { req.Mixes = flags.Mixes },
+		"fleet":   func() { req.Fleet = flags.Fleet },
+		"mapping": func() { req.Mapping = flags.Mapping },
+		// -disturb carries the spec already composed with -para-p /
+		// -prac-threshold, so one entry covers all three flags.
+		"disturb":        func() { req.Disturb = flags.Disturb },
 		"report-version": func() { req.Version = flags.Version },
 	} {
 		if explicit[flag] {

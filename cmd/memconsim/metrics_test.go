@@ -60,6 +60,48 @@ func TestMetricsParallelInvariantAll(t *testing.T) {
 	assertMetricsParallelInvariant(t, "json", "-all", "-scale", "0.05", "-simtime", "200000", "-mixes", "3")
 }
 
+// TestMetricsParallelInvariantDisturb pins the activation/mitigation
+// counter kinds of the read-disturb co-simulation: both ids must emit
+// byte-identical metrics documents at -parallel 1/4/8, like every
+// other experiment.
+func TestMetricsParallelInvariantDisturb(t *testing.T) {
+	args := []string{"-scale", "0.05", "-simtime", "200000", "-mixes", "3"}
+	assertMetricsParallelInvariant(t, "json", append([]string{"-exp", "disturb-exposure"}, args...)...)
+	assertMetricsParallelInvariant(t, "prom", append([]string{"-exp", "disturb-mitigation", "-disturb", "para:0.01"}, args...)...)
+}
+
+// TestMetricsDisturbCounters checks the new activation/mitigation
+// counters flow from the controller through obs into the document.
+func TestMetricsDisturbCounters(t *testing.T) {
+	out := runMetrics(t, "json", "-exp", "disturb-exposure", "-scale", "0.05",
+		"-simtime", "200000", "-mixes", "3", "-parallel", "4")
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v\n%s", err, out)
+	}
+	for _, name := range []string{
+		"memcon_row_activations_total",
+		"memcon_test_activations_total",
+		"memcon_disturb_rows_total",
+		"memcon_disturb_cells_total",
+	} {
+		if doc.Counters[name] == 0 {
+			t.Errorf("counter %s missing or zero:\n%s", name, out)
+		}
+	}
+
+	out = runMetrics(t, "json", "-exp", "disturb-mitigation", "-disturb", "prac:1024",
+		"-scale", "0.05", "-simtime", "200000", "-mixes", "3", "-parallel", "4")
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v\n%s", err, out)
+	}
+	if doc.Counters["memcon_mitigation_ops_total"] == 0 {
+		t.Errorf("no mitigation ops counted:\n%s", out)
+	}
+}
+
 // TestMetricsJSONDocument checks the document is valid JSON, counts
 // real engine activity, and excludes the volatile wall-clock gauges.
 func TestMetricsJSONDocument(t *testing.T) {

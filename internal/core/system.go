@@ -83,6 +83,16 @@ type System struct {
 	rng    *rand.Rand
 	report Report
 
+	// mech is the failure mechanism the online tests and audits query;
+	// defaults to the retention model itself. A co-simulated secondary
+	// mechanism (read disturb) substitutes here without the test or
+	// audit paths knowing which physics they are probing.
+	mech faults.Mechanism
+	// hammer, when set, supplies a row's current-window hammer count for
+	// the mechanism's RowWindow; nil means no activation tracking (the
+	// retention-only configuration), leaving the count at zero.
+	hammer func(dram.RowAddress) int64
+
 	// source supplies per-write content; defaults to random bits.
 	source ContentSource
 	// detectSilentWrites enables the footnote-9 optimization: a write
@@ -172,6 +182,35 @@ func (s *System) RemappedRows() int {
 // NeighborRetests returns the number of neighbour re-tests initiated.
 func (s *System) NeighborRetests() int64 { return s.retests }
 
+// SetMechanism substitutes the failure mechanism the online tests and
+// audits query (must be called before Run). The retention model stays in
+// place for physical-adjacency queries; nil restores it as the queried
+// mechanism too.
+func (s *System) SetMechanism(m faults.Mechanism) {
+	if m == nil {
+		s.mech = s.model
+		return
+	}
+	s.mech = m
+}
+
+// SetHammerSource installs a supplier of per-row current-window hammer
+// counts, threaded into every mechanism query's RowWindow (must be
+// called before Run). Typically memctrl.Controller.WindowActivations
+// bound over a co-simulated controller; nil — the default — leaves the
+// window's hammer count at zero.
+func (s *System) SetHammerSource(f func(dram.RowAddress) int64) { s.hammer = f }
+
+// window assembles the mechanism query window for a row idle for the
+// given time.
+func (s *System) window(addr dram.RowAddress, idle dram.Nanoseconds) faults.RowWindow {
+	w := faults.RowWindow{Idle: idle}
+	if s.hammer != nil {
+		w.Hammer = s.hammer(addr)
+	}
+	return w
+}
+
 // NewSystem builds a full-fidelity MEMCON system. The module and fault
 // model must share a geometry; pages beyond the module capacity are
 // rejected at run time. Options apply to the embedded engine; the
@@ -189,6 +228,7 @@ func NewSystem(cfg Config, mod *dram.Module, model *faults.Model, opts ...Engine
 		cfg:   cfg,
 		mod:   mod,
 		model: model,
+		mech:  model,
 		geom:  mod.Geometry(),
 		rng:   rand.New(rand.NewSource(int64(cfg.Quantum) ^ 0x5eed)),
 	}
@@ -231,7 +271,7 @@ func (s *System) test(page uint32, at trace.Microseconds) bool {
 		return true
 	}
 	idle := s.cfg.LoRef // the engine kept the row idle one LO-REF window
-	s.cellBuf = s.model.AppendFailingCells(s.cellBuf[:0], s.mod, addr, idle)
+	s.cellBuf = s.mech.AppendFailures(s.cellBuf[:0], s.mod, addr, s.window(addr, idle))
 	cells := s.cellBuf
 	// The read-back recharges the row either way.
 	s.mod.Activate(addr, nsOf(at))
@@ -357,7 +397,7 @@ func (s *System) auditRow(page uint32, addr dram.RowAddress, now dram.Nanosecond
 	// The row is refreshed every `interval`; its content is therefore
 	// never idle longer than that. If the current content would flip
 	// cells within one interval, MEMCON failed to protect it.
-	s.cellBuf = s.model.AppendFailingCells(s.cellBuf[:0], s.mod, addr, interval)
+	s.cellBuf = s.mech.AppendFailures(s.cellBuf[:0], s.mod, addr, s.window(addr, interval))
 	if len(s.cellBuf) > 0 {
 		s.undetected += len(s.cellBuf)
 	}

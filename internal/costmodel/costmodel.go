@@ -119,6 +119,18 @@ func (c Config) MemconCost(t dram.Nanoseconds) dram.Nanoseconds {
 	return c.TestCost() + refreshes*c.Timing.RefreshCost()
 }
 
+// MitigationCost returns the accumulated latency of ops extra
+// neighbour-refresh operations issued by a RowHammer mitigation policy:
+// each is one per-row refresh (the same 39 ns the refresh terms above
+// price), which is how mitigation overhead enters the shared currency of
+// the cost model.
+func (c Config) MitigationCost(ops int64) dram.Nanoseconds {
+	if ops <= 0 {
+		return 0
+	}
+	return dram.Nanoseconds(ops) * c.Timing.RefreshCost()
+}
+
 // CurvePoint is one sample of the Fig. 6 accumulated-cost curves.
 type CurvePoint struct {
 	Time   dram.Nanoseconds

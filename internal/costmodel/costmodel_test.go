@@ -67,6 +67,20 @@ func TestTestCostPerMode(t *testing.T) {
 	}
 }
 
+func TestMitigationCost(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.MitigationCost(0); got != 0 {
+		t.Errorf("MitigationCost(0) = %d", got)
+	}
+	if got := c.MitigationCost(-5); got != 0 {
+		t.Errorf("MitigationCost(-5) = %d", got)
+	}
+	// Each mitigation op is one per-row refresh (39 ns at DDR3-1600).
+	if got := c.MitigationCost(1000); got != 1000*39 {
+		t.Errorf("MitigationCost(1000) = %d, want %d", got, 1000*39)
+	}
+}
+
 func TestCostAccumulation(t *testing.T) {
 	c := DefaultConfig()
 	// At t=0: HI-REF has refreshed 0 times, MEMCON has paid the test.

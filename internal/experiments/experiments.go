@@ -43,6 +43,11 @@ type Options struct {
 	// Feistel-style scrambler). Experiments that build no chips ignore
 	// it — see mappedExperiments.
 	Mapping string
+	// Disturb is the RowHammer mitigation spec for read-disturb
+	// experiments ("", "none", "para:<p>", "prac:<n>" — see
+	// refresh.ParseMitigation). Experiments that simulate no disturbance
+	// ignore it — see disturbExperiments.
+	Disturb string
 	// Workers bounds the fan-out of the parallel sweep loops; values
 	// below 1 select runtime.GOMAXPROCS(0). Every experiment produces
 	// byte-identical output for any worker count (per-unit seeds are
@@ -192,6 +197,17 @@ var mappedExperiments = map[string]bool{
 	"motiv":     true,
 }
 
+// disturbExperiments marks the experiments whose numbers depend on the
+// RowHammer mitigation spec — the read-disturb co-simulations registered
+// in disturbexp.go. Only these stamp Options.Disturb into provenance and
+// cache keys; for every other id Normalize zeroes the field, so all
+// pre-disturb reports and cache keys stay byte-identical no matter what
+// -disturb the caller passed.
+var disturbExperiments = map[string]bool{
+	"disturb-exposure":   true,
+	"disturb-mitigation": true,
+}
+
 // IDs returns the registered experiment ids, sorted.
 func IDs() []string {
 	ids := make([]string, 0, len(registry))
@@ -229,6 +245,7 @@ func Run(id string, opts Options) (Result, error) {
 		Mixes:      opts.Mixes,
 		Fleet:      opts.Fleet,
 		Mapping:    opts.Mapping,
+		Disturb:    opts.Disturb,
 		Version:    opts.Version,
 	}
 	return RunRequest(opts.Ctx, req, Runtime{

@@ -10,6 +10,7 @@ import (
 
 	"memcon/internal/dram"
 	"memcon/internal/obs"
+	"memcon/internal/refresh"
 	"memcon/internal/report"
 )
 
@@ -53,6 +54,13 @@ type Request struct {
 	// that build no chips, so the canonical form — and therefore the
 	// cache key — never carries a mapping the numbers do not depend on.
 	Mapping string `json:"mapping,omitempty"`
+	// Disturb is the RowHammer mitigation spec for read-disturb
+	// experiments (refresh.ParseMitigation syntax). Normalize
+	// canonicalizes "none" (and parameter spellings) and zeroes the
+	// field for experiments that simulate no disturbance, so the
+	// canonical form — and therefore the cache key — never carries a
+	// mitigation the numbers do not depend on.
+	Disturb string `json:"disturb,omitempty"`
 	// Version is an opaque build identifier stamped into report
 	// provenance. It never influences the numbers, but it does appear
 	// in the report bytes, so it participates in the cache key.
@@ -89,6 +97,7 @@ func RequestFromProvenance(p report.Provenance) Request {
 		Mixes:      p.Mixes,
 		Fleet:      p.Fleet,
 		Mapping:    p.Mapping,
+		Disturb:    p.Disturb,
 		Version:    p.Version,
 	}
 }
@@ -144,6 +153,18 @@ func (r *Request) Normalize() error {
 		return fmt.Errorf("experiments: unknown address mapping %q (known: %s)",
 			r.Mapping, strings.Join(dram.MappingNames(), ", "))
 	}
+	if !disturbExperiments[r.Experiment] {
+		r.Disturb = ""
+	} else {
+		// "none" and parameter spellings collapse to one canonical form
+		// so equivalent requests share a cache key (and no mitigation
+		// keeps the exact pre-disturb key bytes).
+		spec, err := refresh.CanonicalMitigationSpec(r.Disturb)
+		if err != nil {
+			return err
+		}
+		r.Disturb = spec
+	}
 	return nil
 }
 
@@ -184,6 +205,12 @@ func (r Request) CacheKey() [32]byte {
 	// "", so only genuinely non-default requests take the new line.
 	if r.Mapping != "" {
 		fmt.Fprintf(h, "mapping=%s\n", r.Mapping)
+	}
+	// Same conditional-append contract as Mapping: Normalize zeroes the
+	// spec for non-disturb experiments and canonicalizes "none" to "",
+	// so every pre-disturb request hashes its exact historical bytes.
+	if r.Disturb != "" {
+		fmt.Fprintf(h, "disturb=%s\n", r.Disturb)
 	}
 	var key [32]byte
 	h.Sum(key[:0])
@@ -247,6 +274,7 @@ func RunRequest(ctx context.Context, req Request, rt Runtime) (Result, error) {
 		Mixes:     req.Mixes,
 		Fleet:     req.Fleet,
 		Mapping:   req.Mapping,
+		Disturb:   req.Disturb,
 		Workers:   rt.Workers,
 		Version:   req.Version,
 		Ctx:       ctx,
@@ -265,6 +293,7 @@ func RunRequest(ctx context.Context, req Request, rt Runtime) (Result, error) {
 		Mixes:      req.Mixes,
 		Fleet:      req.Fleet,
 		Mapping:    req.Mapping,
+		Disturb:    req.Disturb,
 		Version:    req.Version,
 	})
 	return res, nil

@@ -276,11 +276,10 @@ func TestContentFailuresFewerThanAllFail(t *testing.T) {
 	}
 }
 
-func TestPreloadEnablesConcurrentReads(t *testing.T) {
+func TestModelSafeForConcurrentReads(t *testing.T) {
 	p := DefaultParams()
 	p.WeakCellFraction = 1e-3
 	m, mod := newTestModel(t, 29, p)
-	m.Preload()
 	geom := testGeometry()
 	rng := rand.New(rand.NewSource(7))
 	for r := 0; r < 64; r++ {

@@ -1,0 +1,276 @@
+// The retention mechanism's query kernel: everything that evaluates
+// which cells leak past their effective retention under current content
+// and a row's idle time. The population/build side (sampling, CSR and
+// packed-kernel compilation) stays in faults.go; this file is the
+// read-only query surface the Mechanism interface fronts.
+
+package faults
+
+import (
+	"math/bits"
+	"runtime"
+
+	"memcon/internal/dram"
+)
+
+// contentStress computes the interference stress on a flat cell from
+// its precomputed neighbours under the module's current content.
+// Neighbours on unmapped physical columns store a constant 0; neighbours
+// outside the array were dropped at compile time (their weight is
+// wasted, matching edge cells being less exposed).
+func (m *Model) contentStress(mod *dram.Module, fc *flatCell) float64 {
+	var s float64
+	for k := 0; k < int(fc.nbCount); k++ {
+		nb := &fc.nb[k]
+		bit := uint8(0)
+		if nb.rowIdx >= 0 {
+			bit = uint8(mod.RowAt(int(nb.rowIdx)).Bit(int(nb.col)))
+		}
+		if bit != nb.chargedBit {
+			s += nb.w
+		}
+	}
+	return s
+}
+
+// FailingCells returns the system-column indices of cells in the
+// addressed (system-space) row that fail after the row has been idle for
+// the given time, under the module's current content. The module content
+// is not modified; callers decide whether to commit the flips.
+func (m *Model) FailingCells(mod *dram.Module, a dram.RowAddress, idle dram.Nanoseconds) []int {
+	return m.AppendFailingCells(nil, mod, a, idle)
+}
+
+// maxRowFails bounds the word kernel's on-stack result staging. Rows
+// that fail in more cells than this (possible only under extreme
+// WeakCellFraction) fall back to the scalar path for the whole row.
+const maxRowFails = 64
+
+// AppendFailingCells is FailingCells appending into dst, so steady-state
+// callers (the online-test and audit hot paths) can reuse one buffer
+// instead of allocating per query.
+//
+// This is the bit-parallel kernel: per 64-bit row word, one XOR+AND
+// classifies which weak cells currently hold charge, and the wordline
+// neighbours' discharge states come from the SAME word of the two
+// physically adjacent rows (the column swizzle is row-independent, so
+// an up/down neighbour shares the victim's system column). Only
+// charged candidates pay the per-cell stress sum, which accumulates
+// the left, right, up, down terms in the scalar path's order so the
+// float result — and therefore every verdict — is bit-identical to
+// appendFailingCellsScalar.
+func (m *Model) AppendFailingCells(dst []int, mod *dram.Module, a dram.RowAddress, idle dram.Nanoseconds) []int {
+	bf := m.banks[a.Bank]
+	if idle <= bf.minWorstBySysRow[a.Row] {
+		return dst // no cell of this row fails even under worst-case stress
+	}
+	gl, gh := bf.groupOff[a.Row], bf.groupOff[a.Row+1]
+	if gl == gh {
+		return dst
+	}
+	ni := &bf.neigh[a.Row]
+	row := mod.RowRef(a)
+	cb := uint8(0)
+	candXor := ^uint64(0) // anti-cell rows: charge is a stored 0
+	if ni.flags&neighSelfTrue != 0 {
+		cb, candXor = 1, 0
+	}
+	// The physically adjacent rows resolve lazily, on the first charged
+	// candidate that also clears its worst-case retention bound: rows
+	// whose candidates all read as discharged or all reject on the
+	// bound never touch the two neighbour rows at all, and those
+	// scrambled-row loads are the kernel's cache misses. disXor turns a
+	// neighbour's raw words into discharge masks (bit set = neighbour
+	// aggresses; a missing neighbour leaves wU/wD at 0, so its du/dd
+	// value is never observed).
+	bankBase := a.Bank * m.geom.RowsPerBank
+	var up, dn dram.Row
+	var disXorU, disXorD uint64
+	neighbours := false
+	var ranks, cols [maxRowFails]int32
+	nf := 0
+	for gi := gl; gi < gh; gi++ {
+		g := &bf.groups[gi]
+		if idle <= g.minWorst {
+			continue // whole word rejected by its retention bound
+		}
+		cand := (row[g.word] ^ candXor) & g.mask
+		if cand == 0 {
+			continue // no charged weak cell in this word
+		}
+		var du, dd uint64
+		duddReady := false
+		for c := cand; c != 0; c &= c - 1 {
+			bit := uint(bits.TrailingZeros64(c))
+			lane := bits.OnesCount64(g.mask & (1<<bit - 1))
+			p := &bf.packed[int(g.cellBase)+lane]
+			if idle <= p.worstRetention {
+				continue
+			}
+			if !duddReady {
+				duddReady = true
+				if !neighbours {
+					neighbours = true
+					if ni.upSys >= 0 {
+						up = mod.RowAt(bankBase + int(ni.upSys))
+						if ni.flags&neighUpTrue != 0 {
+							disXorU = ^uint64(0)
+						}
+					}
+					if ni.dnSys >= 0 {
+						dn = mod.RowAt(bankBase + int(ni.dnSys))
+						if ni.flags&neighDnTrue != 0 {
+							disXorD = ^uint64(0)
+						}
+					}
+				}
+				if up != nil {
+					du = up[g.word] ^ disXorU
+				}
+				if dn != nil {
+					dd = dn[g.word] ^ disXorD
+				}
+			}
+			var s float64
+			if p.lCol >= 0 {
+				if uint8(row.Bit(int(p.lCol))) != cb {
+					s += p.wL
+				}
+			} else {
+				s += p.lConstW
+			}
+			if p.rCol >= 0 {
+				if uint8(row.Bit(int(p.rCol))) != cb {
+					s += p.wR
+				}
+			} else {
+				s += p.rConstW
+			}
+			s += p.wU * float64(du>>bit&1)
+			s += p.wD * float64(dd>>bit&1)
+			if idle > dram.Nanoseconds(float64(p.baseRetention)*(1-m.params.MaxStress*s)) {
+				if nf == maxRowFails {
+					return m.appendFailingCellsScalar(dst, mod, a, idle)
+				}
+				ranks[nf], cols[nf] = p.rank, p.sysCol
+				nf++
+			}
+		}
+	}
+	// The kernel visits cells in system-column order; restore the CSR
+	// (physical-column) order the scalar path reports.
+	for i := 1; i < nf; i++ {
+		for j := i; j > 0 && ranks[j] < ranks[j-1]; j-- {
+			ranks[j], ranks[j-1] = ranks[j-1], ranks[j]
+			cols[j], cols[j-1] = cols[j-1], cols[j]
+		}
+	}
+	for i := 0; i < nf; i++ {
+		dst = append(dst, int(cols[i]))
+	}
+	return dst
+}
+
+// AppendFailingRows runs the word kernel over entries [lo, hi) of the
+// bank's weak-row worklist (WeakRowFloors order) against current
+// content at time now. Each failing row appends its failing cells to
+// cells, its system row to rows, and the new len(cells) to offs —
+// extending the caller's CSR bookkeeping (offs must already hold its
+// leading sentinel). Verdicts are exactly AppendFailingCells's, row by
+// row; the only addition is a lookahead touch of a future row's hot
+// words, which keeps several cache misses in flight where a
+// row-at-a-time caller would serialise on each miss in turn.
+func (m *Model) AppendFailingRows(mod *dram.Module, bank, lo, hi int, now dram.Nanoseconds, cells []int, rows, offs []int32) ([]int, []int32, []int32) {
+	bf := m.banks[bank]
+	base := bank * m.geom.RowsPerBank
+	// 8 rows ahead ≈ the distance a row's evaluation takes to catch up
+	// with an L3-latency load issued now.
+	const lookahead = 8
+	var pre uint64
+	for i := lo; i < hi; i++ {
+		if j := i + lookahead; j < hi {
+			if r := int(bf.weakRows[j]); mod.IdleAtIndex(base+r, now) > bf.weakFloors[j] {
+				g := &bf.groups[bf.groupOff[r]]
+				pre += uint64(mod.RowAt(base + r)[g.word])
+				pre += uint64(bf.packed[g.cellBase].worstRetention)
+				// Touch both neighbour words too: roughly half the
+				// rows that pass the floor keep a candidate alive long
+				// enough to read them, and their scrambled-row misses
+				// are the scan's longest stalls.
+				if ni := &bf.neigh[r]; ni.upSys >= 0 {
+					pre += uint64(mod.RowAt(base + int(ni.upSys))[g.word])
+					if ni.dnSys >= 0 {
+						pre += uint64(mod.RowAt(base + int(ni.dnSys))[g.word])
+					}
+				} else if ni.dnSys >= 0 {
+					pre += uint64(mod.RowAt(base + int(ni.dnSys))[g.word])
+				}
+			}
+		}
+		r := int(bf.weakRows[i])
+		idle := mod.IdleAtIndex(base+r, now)
+		if idle <= bf.weakFloors[i] {
+			continue
+		}
+		n0 := len(cells)
+		cells = m.AppendFailingCells(cells, mod, dram.RowAddress{Bank: bank, Row: r}, idle)
+		if len(cells) > n0 {
+			rows = append(rows, int32(r))
+			offs = append(offs, int32(len(cells)))
+		}
+	}
+	// The lookahead loads exist only for their cache side effect; keep
+	// the compiler from proving them dead.
+	runtime.KeepAlive(pre)
+	return cells, rows, offs
+}
+
+// appendFailingCellsScalar is the frozen per-cell evaluation the word
+// kernel is differential-tested against (and its spill fallback for
+// rows with more than maxRowFails failing cells).
+func (m *Model) appendFailingCellsScalar(dst []int, mod *dram.Module, a dram.RowAddress, idle dram.Nanoseconds) []int {
+	bf := m.banks[a.Bank]
+	if idle <= bf.minWorstBySysRow[a.Row] {
+		return dst // no cell of this row fails even under worst-case stress
+	}
+	pr := m.physRowOfSys[a.Bank][a.Row]
+	row := mod.RowRef(a)
+	for i := bf.offsets[pr]; i < bf.offsets[pr+1]; i++ {
+		fc := &bf.cells[i]
+		if idle <= fc.worstRetention {
+			continue // cannot fail at this idle time under any content
+		}
+		if uint8(row.Bit(int(fc.sysCol))) != fc.chargedBit {
+			continue // discharged cells cannot leak
+		}
+		s := m.contentStress(mod, fc)
+		if idle > dram.Nanoseconds(float64(fc.baseRetention)*(1-m.params.MaxStress*s)) {
+			dst = append(dst, int(fc.sysCol))
+		}
+	}
+	return dst
+}
+
+// RowCanFail reports whether the addressed row contains at least one weak
+// cell that could fail under SOME data pattern at the given idle time —
+// the "ALL FAIL" denominator of Fig. 4. A cell can fail under some
+// pattern iff idle > base*(1-MaxStress*maxAchievableStress), where the
+// worst pattern charges the victim and discharges every neighbour; that
+// bound is precomputed per cell and cached as a system-row-indexed
+// minimum, so the query is one comparison with no permutation lookup.
+func (m *Model) RowCanFail(a dram.RowAddress, idle dram.Nanoseconds) bool {
+	return idle > m.banks[a.Bank].minWorstBySysRow[a.Row]
+}
+
+// WeakRowFloors returns, in ascending system-row order, the rows of the
+// bank that hold at least one weak cell, together with each row's
+// RowCanFail floor (the idle time a query must exceed for any cell of
+// the row to fail under any pattern). A full-array scan that walks this
+// dense worklist instead of probing all RowsPerBank rows visits only
+// the ~WeakCellFraction*rows candidates that can matter; rows absent
+// from the list never fail at any idle time. Both slices are owned by
+// the model and must not be modified.
+func (m *Model) WeakRowFloors(bank int) ([]int32, []dram.Nanoseconds) {
+	bf := m.banks[bank]
+	return bf.weakRows, bf.weakFloors
+}

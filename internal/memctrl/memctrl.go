@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"memcon/internal/dram"
+	"memcon/internal/refresh"
 )
 
 // Config parameterizes the memory system.
@@ -45,6 +46,18 @@ type Config struct {
 	RefreshPostponeProb float64
 	// Seed drives test-traffic placement and any model randomness.
 	Seed int64
+	// Rows, when positive, enables per-row activation accounting for
+	// RowHammer co-simulation: every row miss and every injected-test row
+	// cycle counts as an ACT against its row within the current hammer
+	// window (one full refresh cycle, RefreshPeriod*8192 — the span over
+	// which every row is refreshed once, so per-row disturbance resets).
+	// 0 — the default — disables tracking and adds no per-access work.
+	Rows int
+	// Mitigation, when non-nil, is a RowHammer mitigation policy
+	// consulted on every tracked activation; the extra neighbour-refresh
+	// operations it issues accumulate in Stats.MitigationOps for the
+	// cost model to price. Requires Rows > 0.
+	Mitigation refresh.Mitigation
 }
 
 // DefaultConfig returns a DDR3-1600, 8-bank, 8 Gb configuration with an
@@ -85,6 +98,12 @@ func (c Config) Validate() error {
 	if c.RefreshPostponeProb < 0 || c.RefreshPostponeProb > 1 {
 		return fmt.Errorf("memctrl: refresh postpone probability %v outside [0,1]", c.RefreshPostponeProb)
 	}
+	if c.Rows < 0 {
+		return fmt.Errorf("memctrl: row count cannot be negative, got %d", c.Rows)
+	}
+	if c.Mitigation != nil && c.Rows == 0 {
+		return fmt.Errorf("memctrl: mitigation %q requires activation tracking (Rows > 0)", c.Mitigation.Name())
+	}
 	return nil
 }
 
@@ -95,6 +114,22 @@ type Stats struct {
 	RowMisses    int64
 	TestBusies   int64
 	TotalLatency dram.Nanoseconds
+
+	// Activation accounting (populated only when Config.Rows > 0):
+	// Activations counts tracked ACT commands (row misses plus injected
+	// test row cycles), TestActivations the test-attributable subset.
+	Activations     int64
+	TestActivations int64
+	// MaxRowActivations is the largest single-row activation count
+	// observed within any hammer window — the worst hammer any row's
+	// neighbours endured.
+	MaxRowActivations int64
+	// HammerWindows counts the hammer-window boundaries (full refresh
+	// cycles) the activation stream crossed.
+	HammerWindows int64
+	// MitigationOps counts the extra neighbour-refresh operations the
+	// configured mitigation policy issued.
+	MitigationOps int64
 }
 
 // Controller simulates the memory system. It is single-goroutine: the
@@ -115,11 +150,28 @@ type Controller struct {
 	rng        *rand.Rand
 	nextTestAt dram.Nanoseconds
 
+	// Activation accounting (Config.Rows > 0). Test-row placement draws
+	// from its own RNG stream: c.rng's draw sequence is pinned by the
+	// latency goldens and must not shift when tracking is enabled.
+	testRNG   *rand.Rand
+	windowLen dram.Nanoseconds
+	curEpoch  int64
+	// Per (bank, row): activation count and test-attributable subset
+	// within the window stamped in actStamp (stamps store epoch+1 so the
+	// zero value means "never activated").
+	actCount  [][]int64
+	testCount [][]int64
+	actStamp  [][]int64
+
 	// tracer, when attached, records every access (the HMTT analogue).
 	tracer *BusTracer
 
 	stats Stats
 }
+
+// testRowStream decorrelates test-row placement from the bank-selection
+// and jitter stream (c.rng), which existing goldens pin draw-for-draw.
+const testRowStream = 0x7e57b0b5c0ffee11
 
 // New creates a controller.
 func New(cfg Config) (*Controller, error) {
@@ -136,7 +188,68 @@ func New(cfg Config) (*Controller, error) {
 	for i := range c.bankOpenRow {
 		c.bankOpenRow[i] = -1
 	}
+	if cfg.Rows > 0 {
+		c.testRNG = rand.New(rand.NewSource(int64(uint64(cfg.Seed) ^ testRowStream)))
+		c.windowLen = cfg.RefreshPeriod * 8192
+		c.actCount = make([][]int64, cfg.Banks)
+		c.testCount = make([][]int64, cfg.Banks)
+		c.actStamp = make([][]int64, cfg.Banks)
+		for b := 0; b < cfg.Banks; b++ {
+			c.actCount[b] = make([]int64, cfg.Rows)
+			c.testCount[b] = make([]int64, cfg.Rows)
+			c.actStamp[b] = make([]int64, cfg.Rows)
+		}
+	}
 	return c, nil
+}
+
+// noteActivation records one tracked ACT of (bank, row) at time at,
+// resetting the row's counters lazily when the activation falls in a
+// later hammer window than the row's last, and consults the mitigation
+// policy. Rows outside [0, Config.Rows) — possible for program traffic
+// on a larger address space — are ignored.
+func (c *Controller) noteActivation(at dram.Nanoseconds, bank, row int, test bool) {
+	if c.actCount == nil || row < 0 || row >= c.cfg.Rows {
+		return
+	}
+	epoch := int64(at / c.windowLen)
+	if epoch > c.curEpoch {
+		c.stats.HammerWindows += epoch - c.curEpoch
+		c.curEpoch = epoch
+	}
+	stamp := epoch + 1
+	if c.actStamp[bank][row] != stamp {
+		c.actStamp[bank][row] = stamp
+		c.actCount[bank][row] = 0
+		c.testCount[bank][row] = 0
+	}
+	c.actCount[bank][row]++
+	c.stats.Activations++
+	if test {
+		c.testCount[bank][row]++
+		c.stats.TestActivations++
+	}
+	if n := c.actCount[bank][row]; n > c.stats.MaxRowActivations {
+		c.stats.MaxRowActivations = n
+	}
+	if c.cfg.Mitigation != nil {
+		c.stats.MitigationOps += int64(c.cfg.Mitigation.OnActivation(bank, row, c.actCount[bank][row]))
+	}
+}
+
+// WindowActivations returns the addressed row's activation counts —
+// total and test-attributable — within the current hammer window. Rows
+// last activated in an earlier window (or never) report zero, matching
+// the refresh cycle having restored their neighbours' charge. Without
+// activation tracking it returns zeros.
+func (c *Controller) WindowActivations(bank, row int) (total, test int64) {
+	if c.actCount == nil || row < 0 || row >= c.cfg.Rows {
+		return 0, 0
+	}
+	if c.actStamp[bank][row] != c.curEpoch+1 {
+		return 0, 0
+	}
+	return c.actCount[bank][row], c.testCount[bank][row]
 }
 
 // Stats returns a snapshot of the counters.
@@ -179,6 +292,15 @@ func (c *Controller) injectTests(now dram.Nanoseconds) {
 		c.bankBusyUntil[bank] = start + busy
 		c.bankOpenRow[bank] = -1 // the test closes whatever row was open
 		c.stats.TestBusies++
+		if c.actCount != nil {
+			// MEMCON's own probes hammer the rows they test: each row
+			// cycle of the test opens the row once, so a test is
+			// TestRowCycles ACTs of one tracked row.
+			row := c.testRNG.Intn(c.cfg.Rows)
+			for k := 0; k < c.cfg.TestRowCycles; k++ {
+				c.noteActivation(start, bank, row, true)
+			}
+		}
 		// Jittered spacing in [0.5, 1.5) of the average.
 		c.nextTestAt += spacing/2 + dram.Nanoseconds(c.rng.Int63n(int64(spacing)))
 	}
@@ -221,6 +343,7 @@ func (c *Controller) Access(at dram.Nanoseconds, bank, row int, write bool) (dra
 		c.stats.RowMisses++
 		service = t.TRP + t.TRCD + t.CL + t.TCCD
 		c.bankOpenRow[bank] = row
+		c.noteActivation(at, bank, row, false) // a row miss issues an ACT
 	}
 	if write {
 		// Writes complete into the write queue; model the same bank

@@ -29,6 +29,11 @@ type Metrics struct {
 	failingCells    *Counter
 	weakRows        *Counter
 	runs            *Counter
+	rowActivations  *Counter
+	testActivations *Counter
+	mitigationOps   *Counter
+	disturbRows     *Counter
+	disturbCells    *Counter
 
 	peakBuffer *Gauge
 	runWallNs  *Gauge
@@ -64,6 +69,11 @@ func NewMetrics(reg *Registry) *Metrics {
 		failingCells:    reg.Counter("memcon_failing_cells_total", "failing cells found by characterization read-backs"),
 		weakRows:        reg.Counter("memcon_weak_rows_total", "rows the all-pattern scan classified as weak"),
 		runs:            reg.Counter("memcon_engine_runs_total", "engine runs completed"),
+		rowActivations:  reg.Counter("memcon_row_activations_total", "tracked ACT commands (row misses plus test row cycles)"),
+		testActivations: reg.Counter("memcon_test_activations_total", "ACT commands attributable to injected test traffic"),
+		mitigationOps:   reg.Counter("memcon_mitigation_ops_total", "extra neighbour refreshes issued by RowHammer mitigation"),
+		disturbRows:     reg.Counter("memcon_disturb_rows_total", "victim rows with read-disturb flips found by a census"),
+		disturbCells:    reg.Counter("memcon_disturb_cells_total", "cells flipped by read disturb found by a census"),
 
 		peakBuffer: reg.Gauge("memcon_pril_peak_buffer", "largest PRIL write-buffer occupancy seen", false),
 		runWallNs:  reg.Gauge("memcon_run_wall_ns", "accumulated wall-clock engine run time (schedule-dependent)", true),
@@ -133,6 +143,15 @@ func (m *Metrics) OnEvent(e Event) {
 	case KindRunDone:
 		m.runs.Inc()
 		m.runWallNs.Add(float64(e.Aux))
+	case KindRowActivation:
+		m.rowActivations.Add(e.Aux)
+	case KindTestActivation:
+		m.testActivations.Add(e.Aux)
+	case KindMitigation:
+		m.mitigationOps.Add(e.Aux)
+	case KindDisturbFailure:
+		m.disturbRows.Inc()
+		m.disturbCells.Add(e.Aux)
 	}
 }
 

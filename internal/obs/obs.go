@@ -88,6 +88,19 @@ const (
 	// duration in nanoseconds (from the engine's injected clock), the
 	// one Aux that is not simulated time.
 	KindRunDone
+	// KindRowActivation: a memory controller reported ACT commands (row
+	// misses plus injected-test row cycles) for a simulation, aggregated.
+	// Aux is the activation count.
+	KindRowActivation
+	// KindTestActivation: the test-traffic-attributable subset of
+	// KindRowActivation. Aux is the activation count.
+	KindTestActivation
+	// KindMitigation: a RowHammer mitigation policy issued extra
+	// neighbour-refresh operations. Aux is the operation count.
+	KindMitigation
+	// KindDisturbFailure: a read-disturb census found a victim row with
+	// flipped cells. Aux is the number of flipped cells.
+	KindDisturbFailure
 
 	// numKinds bounds the catalogue; keep it last.
 	numKinds
@@ -113,6 +126,10 @@ var kindNames = [numKinds]string{
 	KindRowFailure:     "row_failure",
 	KindRowWeak:        "row_weak",
 	KindRunDone:        "run_done",
+	KindRowActivation:  "row_activation",
+	KindTestActivation: "test_activation",
+	KindMitigation:     "mitigation",
+	KindDisturbFailure: "disturb_failure",
 }
 
 // String returns the kind's stable wire name.

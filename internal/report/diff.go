@@ -122,6 +122,9 @@ func Diff(a, b *Report, tol Tolerance) *DiffReport {
 	if pa.Mapping != pb.Mapping {
 		add("provenance.mapping", "", pa.Mapping, pb.Mapping, 0)
 	}
+	if pa.Disturb != pb.Disturb {
+		add("provenance.disturb", "", pa.Disturb, pb.Disturb, 0)
+	}
 	if pa.Title != pb.Title {
 		d.Notes = append(d.Notes, fmt.Sprintf("title differs: %q vs %q", pa.Title, pb.Title))
 	}

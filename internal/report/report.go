@@ -96,6 +96,11 @@ type Provenance struct {
 	// that build no chips (and omitted from their JSON, keeping
 	// pre-mapping reports byte-identical).
 	Mapping string `json:"mapping,omitempty"`
+	// Disturb is the RowHammer mitigation spec of read-disturb
+	// experiments (e.g. "para:0.001"); empty for no mitigation and for
+	// experiments that simulate no disturbance (and omitted from their
+	// JSON, keeping pre-disturb reports byte-identical).
+	Disturb string `json:"disturb,omitempty"`
 	// Version is an opaque caller-supplied build identifier (for
 	// example a git-describe string). Empty means unrecorded.
 	Version string `json:"version,omitempty"`

@@ -1,9 +1,10 @@
 #!/bin/sh
 # bench.sh — regenerate the committed benchmark measurement files:
 # BENCH_hotpath.json (fault-model kernel, parallel ReadBack),
-# BENCH_engine.json (engine hot loop) and BENCH_fleet.json (fleet
-# simulation). Each section prints the raw `go test -bench` output and
-# rewrites its JSON document.
+# BENCH_disturb.json (read-disturb victim sweep), BENCH_engine.json
+# (engine hot loop) and BENCH_fleet.json (fleet simulation). Each
+# section prints the raw `go test -bench` output and rewrites its JSON
+# document.
 #
 # Runs BenchmarkFailingCells (sparse and dense populations) and
 # BenchmarkReadBack (workers 1/4/8) on the default geometry and
@@ -65,6 +66,46 @@ END {
 }' >BENCH_hotpath.json
 
 echo "bench: BENCH_hotpath.json updated"
+
+# --- Read-disturb scan (BENCH_disturb.json) ---
+# First-measurement baseline for the read-disturb mechanism: a full
+# victim sweep (one AppendFailures query per victim row at a hammer
+# count inside the threshold population) on the default geometry with
+# random content. There is no "before" commit — the mechanism is new —
+# so the recorded numbers ARE the baseline future PRs compare against.
+# The victim-rows/op and flipped-rows/op metrics pin the population
+# shape: a drift there is a model change, not noise.
+
+out=$(go test -run '^$' -bench 'BenchmarkDisturbScan' \
+	-benchmem -benchtime=2s .)
+echo "$out"
+
+echo "$out" | awk '
+function field(line, unit,    f, i, n) {
+	n = split(line, f, /[ \t]+/)
+	for (i = 2; i <= n; i++) {
+		if (f[i] == unit) {
+			return f[i - 1]
+		}
+	}
+	return "null"
+}
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^BenchmarkDisturbScan/ { ds = $0 }
+END {
+	print "{"
+	print "  \"benchmarks\": \"go test -run ^$ -bench BenchmarkDisturbScan -benchmem -benchtime=2s .\","
+	print "  \"geometry\": \"DefaultGeometry (1 rank, 8 chips, 8 banks, 4096x1024, 32 redundant cols), random content, hammer 22600/window\","
+	print "  \"note\": \"new mechanism; these numbers are the baseline. victim-rows/op and flipped-rows/op pin the sampled population.\","
+	print "  \"baseline\": {"
+	printf "    \"cpu\": \"%s\",\n", cpu
+	printf "    \"BenchmarkDisturbScan\": {\"ns_per_op\": %s, \"victim_rows_per_op\": %s, \"flipped_rows_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}\n", \
+		field(ds, "ns/op"), field(ds, "victim-rows/op"), field(ds, "flipped-rows/op"), field(ds, "B/op"), field(ds, "allocs/op")
+	print "  }"
+	print "}"
+}' >BENCH_disturb.json
+
+echo "bench: BENCH_disturb.json updated"
 
 # --- Engine hot loop (BENCH_engine.json) ---
 # Before/after evidence for the flat-state engine rewrite: bitset+order

@@ -12,12 +12,15 @@
 #      small scale the -short race pass skips,
 #   7. the hot-path benchmarks still run (single iteration smoke; see
 #      scripts/bench.sh for real measurements),
-#   8. every committed reference report under testdata/reports/ is
+#   8. both read-disturb co-simulation ids run race-instrumented at
+#      workers 1/4/8 with byte-identical output, plus one mitigated
+#      run exercising the -disturb flag path,
+#   9. every committed reference report under testdata/reports/ is
 #      regenerated and diffed at zero tolerance (report regression),
-#   9. the serving daemon survives a race-instrumented end-to-end
+#  10. the serving daemon survives a race-instrumented end-to-end
 #      smoke: memcond starts, memload observes cache hits with
 #      byte-identical bodies, and SIGTERM drains cleanly,
-#  10. the persistent cache survives a daemon restart: a second
+#  11. the persistent cache survives a daemon restart: a second
 #      race-instrumented memcond over the same -cache-dir serves the
 #      first daemon's corpus from disk, byte-identical (memload
 #      -digests), without re-running an experiment.
@@ -59,7 +62,7 @@ go test -race -run 'TestFleet' ./cmd/memconsim
 # scripts/bench.sh, which rewrites BENCH_hotpath.json,
 # BENCH_engine.json and BENCH_fleet.json.
 echo "== bench smoke =="
-go test -run '^$' -bench 'BenchmarkReadBack|BenchmarkFailingCells|BenchmarkFailingCellsDense|BenchmarkEngineRun|BenchmarkFleetRun' -benchtime=1x .
+go test -run '^$' -bench 'BenchmarkReadBack|BenchmarkFailingCells|BenchmarkFailingCellsDense|BenchmarkDisturbScan|BenchmarkEngineRun|BenchmarkFleetRun' -benchtime=1x .
 
 # Mapping sweep smoke: one chip-level experiment per vendor address
 # mapping, race-instrumented and fanned out over 4 workers. Catches a
@@ -71,6 +74,29 @@ for pair in "fig3 default" "fig4 gray" "vrt linear" "profile mirror"; do
     set -- $pair
     go run -race ./cmd/memconsim -exp "$1" -mapping "$2" -scale 0.05 -parallel 4 > /dev/null
 done
+
+# Disturb sweep smoke: both read-disturb co-simulation ids,
+# race-instrumented at workers 1/4/8, with one mitigated run. The
+# workers-1 output is the reference; higher worker counts must be
+# byte-identical (the same contract every other experiment honours).
+echo "== disturb sweep smoke (race) =="
+disturbtmp=$(mktemp -d)
+trap 'rm -rf "$disturbtmp"' EXIT # replaced by the serve smoke's trap; rm'd below first
+for id in disturb-exposure disturb-mitigation; do
+    go run -race ./cmd/memconsim -exp "$id" -scale 0.05 -simtime 200000 \
+        -mixes 3 -parallel 1 > "$disturbtmp/ref"
+    for w in 4 8; do
+        go run -race ./cmd/memconsim -exp "$id" -scale 0.05 -simtime 200000 \
+            -mixes 3 -parallel "$w" > "$disturbtmp/out"
+        cmp "$disturbtmp/ref" "$disturbtmp/out" || {
+            echo "$id output differs between -parallel 1 and -parallel $w" >&2
+            exit 1
+        }
+    done
+done
+go run -race ./cmd/memconsim -exp disturb-mitigation -disturb para -para-p 0.01 \
+    -scale 0.05 -simtime 200000 -mixes 3 -parallel 4 > /dev/null
+rm -rf "$disturbtmp"
 
 # Report regression: re-run every experiment from its committed
 # reference document and fail on any numeric drift. `make reports`
